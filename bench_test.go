@@ -1,0 +1,176 @@
+// Package bdcc_test hosts the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (Section IV):
+//
+//   - BenchmarkFig2ExecutionTime — per-query cold execution time under
+//     Plain / PK / BDCC (Figure 2); reports modeled device ms and bytes.
+//   - BenchmarkFig3Memory — per-query peak memory (Figure 3); reports peak
+//     bytes of operator state.
+//   - BenchmarkTableDimensions — Algorithm 2 design derivation (the
+//     "dimensions" and "dimension uses" tables); reports dimensions found.
+//   - BenchmarkOtherOrderings — automatic Z-order vs hand-tuned major-minor
+//     clustering over the full query set (the paper's 284 s vs 291 s).
+//   - BenchmarkAlg1SelfTuning — the bulk-load path of Algorithm 1 on
+//     LINEITEM (sort, histograms, granularity choice, relocation).
+//
+// The scale factor defaults to 0.02 and can be raised with BDCC_BENCH_SF.
+package bdcc_test
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"bdcc/internal/core"
+	"bdcc/internal/plan"
+	"bdcc/internal/tpch"
+)
+
+var (
+	benchOnce sync.Once
+	benchB    *tpch.Benchmark
+	benchErr  error
+)
+
+func benchSF() float64 {
+	if s := os.Getenv("BDCC_BENCH_SF"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.02
+}
+
+func fixture(b *testing.B) *tpch.Benchmark {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchB, benchErr = tpch.NewBenchmark(benchSF())
+	})
+	if benchErr != nil {
+		b.Fatalf("NewBenchmark: %v", benchErr)
+	}
+	return benchB
+}
+
+// BenchmarkFig2ExecutionTime regenerates Figure 2: cold per-query execution
+// under the three schemes. The benchmark time is the wall (CPU) time; the
+// modeled device milliseconds and megabytes are attached as metrics, since
+// the paper's cold runs are I/O-bound and ours are CPU-bound at laptop
+// scale (see EXPERIMENTS.md).
+func BenchmarkFig2ExecutionTime(b *testing.B) {
+	bench := fixture(b)
+	for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
+		db := bench.DBs[scheme]
+		for _, q := range tpch.Queries {
+			b.Run(scheme.String()+"/"+q.Name, func(b *testing.B) {
+				var devMS, mb float64
+				for i := 0; i < b.N; i++ {
+					_, st, _, err := tpch.RunQuery(db, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					devMS = float64(st.IO.Time.Microseconds()) / 1000
+					mb = float64(st.IO.Bytes) / (1 << 20)
+				}
+				b.ReportMetric(devMS, "device-ms")
+				b.ReportMetric(mb, "MB-read")
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Memory regenerates Figure 3: peak operator memory per query
+// and scheme, attached as a metric in MB.
+func BenchmarkFig3Memory(b *testing.B) {
+	bench := fixture(b)
+	for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
+		db := bench.DBs[scheme]
+		for _, q := range tpch.Queries {
+			b.Run(scheme.String()+"/"+q.Name, func(b *testing.B) {
+				var peakMB float64
+				for i := 0; i < b.N; i++ {
+					_, st, _, err := tpch.RunQuery(db, q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					peakMB = float64(st.PeakMem) / (1 << 20)
+				}
+				b.ReportMetric(peakMB, "peak-MB")
+			})
+		}
+	}
+}
+
+// BenchmarkTableDimensions regenerates the Section IV schema-design tables:
+// Algorithm 2 deriving the dimension set and per-table uses from DDL hints.
+func BenchmarkTableDimensions(b *testing.B) {
+	schema := tpch.Schema()
+	var dims int
+	for i := 0; i < b.N; i++ {
+		design, err := (&core.Advisor{Schema: schema}).Design()
+		if err != nil {
+			b.Fatal(err)
+		}
+		dims = len(design.Dimensions)
+	}
+	b.ReportMetric(float64(dims), "dimensions")
+}
+
+// BenchmarkOtherOrderings regenerates the "Other Orderings" self-comparison:
+// the full query set under automatic Z-order vs hand-tuned major-minor
+// interleaving (same dimensions, same bit counts).
+func BenchmarkOtherOrderings(b *testing.B) {
+	if testing.Short() {
+		b.Skip("builds two BDCC databases")
+	}
+	for i := 0; i < b.N; i++ {
+		oc, err := tpch.RunOrderingComparison(benchSF())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(oc.ZOrder.Seconds()*1000, "zorder-ms")
+		b.ReportMetric(oc.MajorMinor.Seconds()*1000, "majorminor-ms")
+	}
+}
+
+// BenchmarkAlg1SelfTuning measures the bulk-load path of Algorithm 1 —
+// computing _bdcc_ at maximal granularity, sorting, collecting the
+// per-granularity group histograms, choosing b and relocating small groups —
+// for the full TPC-H design.
+func BenchmarkAlg1SelfTuning(b *testing.B) {
+	bench := fixture(b)
+	schema := bench.Schema
+	design, err := (&core.Advisor{Schema: schema}).Design()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := &core.Builder{Schema: schema, Tables: bench.Data.Tables}
+		if _, err := builder.Build(design); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSandwichAblation contrasts the sandwiched and unsandwiched
+// execution of TPC-H Q13 under BDCC — the design choice DESIGN.md calls out
+// for the paper's memory claims. The unsandwiched run is approximated by
+// the Plain scheme's hash join (identical operator repertoire minus
+// grouping).
+func BenchmarkSandwichAblation(b *testing.B) {
+	bench := fixture(b)
+	for _, scheme := range []plan.Scheme{plan.BDCC, plan.Plain} {
+		b.Run("q13-"+scheme.String(), func(b *testing.B) {
+			var peakMB float64
+			for i := 0; i < b.N; i++ {
+				_, st, _, err := tpch.RunQuery(bench.DBs[scheme], tpch.Query(13))
+				if err != nil {
+					b.Fatal(err)
+				}
+				peakMB = float64(st.PeakMem) / (1 << 20)
+			}
+			b.ReportMetric(peakMB, "peak-MB")
+		})
+	}
+}

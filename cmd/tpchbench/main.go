@@ -1,0 +1,67 @@
+// Command tpchbench regenerates the paper's evaluation: it runs all 22
+// TPC-H queries under the Plain, PK and BDCC schemes and prints the
+// Figure 2 (cold execution time) and Figure 3 (peak query memory) series,
+// the device-activity breakdown, and optionally the per-query planner
+// decisions behind the paper's "Detailed Analysis".
+//
+// Usage:
+//
+//	tpchbench [-sf 0.05] [-explain] [-orderings]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bdcc/internal/plan"
+	"bdcc/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
+	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
+	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
+	flag.Parse()
+
+	fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes...\n", *sf)
+	b, err := tpch.NewBenchmark(*sf)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := b.RunAll()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	rep.WriteFig2(os.Stdout)
+	fmt.Println()
+	rep.WriteFig3(os.Stdout)
+	fmt.Println()
+	rep.WriteIO(os.Stdout)
+
+	if *explain {
+		fmt.Println("\nBDCC planner decisions:")
+		for _, q := range tpch.Queries {
+			key := fmt.Sprintf("%s/%s", plan.BDCC, q.Name)
+			fmt.Printf("%s:\n", q.Name)
+			for _, line := range rep.Explain[key] {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+	if *orderings {
+		fmt.Println("\nOther orderings (paper: 284 s Z-order vs 291 s major-minor at SF100):")
+		oc, err := tpch.RunOrderingComparison(*sf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  z-order     total cold %8.3fs (device %8.3fs)\n", oc.ZOrder.Seconds(), oc.ZOrderIO.Seconds())
+		fmt.Printf("  major-minor total cold %8.3fs (device %8.3fs)\n", oc.MajorMinor.Seconds(), oc.MajorIO.Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpchbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"bdcc/internal/catalog"
+)
+
+// UseSpec is a planned dimension use of Algorithm 2's output: the dimension
+// name plus the foreign-key path from the using table to the dimension host.
+type UseSpec struct {
+	Dim  string
+	Path []string
+}
+
+// PathString renders the path in the paper's notation ("-" when local).
+func (u UseSpec) PathString() string {
+	if len(u.Path) == 0 {
+		return "-"
+	}
+	return strings.Join(u.Path, ".")
+}
+
+// DimensionSpec describes a dimension Algorithm 2 decided to create; the
+// actual bins are built from data (or statistics) afterwards.
+type DimensionSpec struct {
+	Name  string
+	Table string
+	Key   []string
+	// MaxBits caps bits(D); the builder derives actual bits from the number
+	// of distinct key values (Algorithm 2 (ii), "e.g. bits(D) ≤ 13").
+	MaxBits int
+}
+
+// TableDesign lists the dimension uses of one table, in interleaving order.
+type TableDesign struct {
+	Table string
+	Uses  []UseSpec
+}
+
+// Design is the output of Algorithm 2: which dimensions to create and how
+// each table is co-clustered on them.
+type Design struct {
+	Dimensions []*DimensionSpec
+	Tables     []*TableDesign
+}
+
+// Dimension returns the named dimension spec, or nil.
+func (d *Design) Dimension(name string) *DimensionSpec {
+	for _, ds := range d.Dimensions {
+		if ds.Name == name {
+			return ds
+		}
+	}
+	return nil
+}
+
+// Table returns the design of the named table, or nil (not every table is
+// BDCC-clustered — tables without index hints keep their plain layout, like
+// REGION in the paper's TPC-H setup).
+func (d *Design) Table(name string) *TableDesign {
+	for _, td := range d.Tables {
+		if td.Table == name {
+			return td
+		}
+	}
+	return nil
+}
+
+// Advisor runs the semi-automatic schema design (Algorithm 2 phases (i) and
+// the granularity caps of (ii)); materialization of dimensions and tables is
+// the Builder's job (resolver.go).
+type Advisor struct {
+	Schema *catalog.Schema
+	// CapBits is the fixed maximal dimension granularity; 0 means the
+	// paper's 13.
+	CapBits int
+	// BitsCap overrides the granularity cap for individual dimensions by
+	// name; actual bits(D) still follow from the number of bins created
+	// (Definition 1 (vi)).
+	BitsCap map[string]int
+}
+
+// Design derives the BDCC design: it traverses the schema DAG from the
+// leaves (tables referenced by others first); for each table it interprets
+// every CREATE INDEX declaration as a hint — an index whose columns equal a
+// declared foreign key inherits all dimension uses of the referenced table
+// with the foreign key prepended to their paths, any other index introduces
+// a new dimension on the index key.
+func (a *Advisor) Design() (*Design, error) {
+	capBits := a.CapBits
+	if capBits == 0 {
+		capBits = 13
+	}
+	order, err := a.Schema.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	design := &Design{}
+	perTable := make(map[string][]UseSpec)
+	for _, tname := range order {
+		t := a.Schema.Table(tname)
+		var uses []UseSpec
+		seen := make(map[string]bool)
+		add := func(u UseSpec) {
+			k := u.Dim + "|" + u.PathString()
+			if !seen[k] {
+				seen[k] = true
+				uses = append(uses, u)
+			}
+		}
+		for _, ix := range t.Indexes {
+			if fk := matchFK(t, ix); fk != nil {
+				for _, ref := range perTable[fk.RefTable] {
+					add(UseSpec{Dim: ref.Dim, Path: append([]string{fk.Name}, ref.Path...)})
+				}
+				continue
+			}
+			spec := &DimensionSpec{
+				Name:    dimensionName(ix, design),
+				Table:   tname,
+				Key:     append([]string(nil), ix.Cols...),
+				MaxBits: capBits,
+			}
+			if ov, ok := a.BitsCap[spec.Name]; ok {
+				spec.MaxBits = ov
+			}
+			design.Dimensions = append(design.Dimensions, spec)
+			add(UseSpec{Dim: spec.Name})
+		}
+		if len(uses) > 0 {
+			perTable[tname] = uses
+			design.Tables = append(design.Tables, &TableDesign{Table: tname, Uses: uses})
+		}
+	}
+	return design, nil
+}
+
+// matchFK returns the foreign key of t whose column set equals the index's,
+// or nil.
+func matchFK(t *catalog.TableDef, ix *catalog.Index) *catalog.ForeignKey {
+	for _, fk := range t.ForeignKeys {
+		if catalog.IndexMatchesFK(ix, fk) {
+			return fk
+		}
+	}
+	return nil
+}
+
+// dimensionName derives the dimension name from the index name the way the
+// paper does (date_idx → d_date, part_idx → d_part, nation_idx → d_nation),
+// falling back to the raw index name on collision.
+func dimensionName(ix *catalog.Index, d *Design) string {
+	base := strings.TrimSuffix(ix.Name, "_idx")
+	base = strings.TrimSuffix(base, "idx")
+	base = strings.TrimPrefix(base, "idx_")
+	if base == "" {
+		base = ix.Table
+	}
+	name := "d_" + base
+	if d.Dimension(name) != nil {
+		name = "d_" + ix.Table + "_" + base
+	}
+	for i := 2; d.Dimension(name) != nil; i++ {
+		name = fmt.Sprintf("d_%s_%s_%d", ix.Table, base, i)
+	}
+	return name
+}

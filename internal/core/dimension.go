@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Bin is one entry 〈nᵢ, Vᵢ〉 of a dimension's sequence S(D). The value set Vᵢ
+// is represented by its closed [Min, Max] key range — Definition 1 (ii)-(iii)
+// guarantee bins never overlap and are value-ordered, so a range suffices.
+type Bin struct {
+	// No is the bin number nᵢ; creation assigns dense ascending numbers
+	// 0..m-1, satisfying Definition 1 (i).
+	No uint64
+	// Min and Max delimit the bin's value set.
+	Min KeyVal
+	Max KeyVal
+	// Weight is the total key frequency observed for this bin during
+	// creation, kept for diagnostics and tests of binning balance.
+	Weight int64
+	// Unique marks singleton bins |Vᵢ| = 1 (Definition 1 (iv)).
+	Unique bool
+}
+
+// Dimension is a BDCC dimension D = 〈T, K, S〉 (Definition 1): an order
+// respecting surjective mapping from the dimension key domain of a host
+// table onto bin numbers.
+type Dimension struct {
+	// Name identifies the dimension (the paper's D_NATION, D_DATE, ...).
+	Name string
+	// Table is T(D), the table hosting the dimension key.
+	Table string
+	// Key is K(D), the ordered list of key column names on Table.
+	Key []string
+	// Bins is S(D), ordered by bin number and by value range.
+	Bins []Bin
+}
+
+// NumBins returns m(D) = |S|.
+func (d *Dimension) NumBins() int { return len(d.Bins) }
+
+// Bits returns bits(D) = ⌈log₂|S|⌉, the dimension granularity
+// (Definition 1 (vi)).
+func (d *Dimension) Bits() int {
+	return BitsFor(len(d.Bins))
+}
+
+// BitsFor returns ⌈log₂ n⌉ for n ≥ 1 (and 0 for n ≤ 1).
+func BitsFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(n - 1))
+}
+
+// BinOf returns bin_D(v), the bin number of key value v (Definition 1 (v)).
+// Values outside every bin (unseen at creation time) map to the nearest bin
+// in order, keeping the mapping total and monotone — required for range
+// rewrites to stay correct under data drift.
+func (d *Dimension) BinOf(v KeyVal) uint64 {
+	i := sort.Search(len(d.Bins), func(i int) bool {
+		return d.Bins[i].Max.Compare(v) >= 0
+	})
+	if i == len(d.Bins) {
+		i = len(d.Bins) - 1
+	}
+	return d.Bins[i].No
+}
+
+// BinRange returns the inclusive bin-number interval covering all key values
+// in [lo, hi]. Either bound may be nil for an open end. This is the mapping
+// the query rewriter uses to turn a predicate on dimension key attributes
+// into a _bdcc_ range restriction.
+func (d *Dimension) BinRange(lo, hi *KeyVal) (uint64, uint64) {
+	loBin := uint64(0)
+	hiBin := uint64(len(d.Bins) - 1)
+	if lo != nil {
+		i := sort.Search(len(d.Bins), func(i int) bool {
+			return d.Bins[i].Max.Compare(*lo) >= 0
+		})
+		if i == len(d.Bins) {
+			i = len(d.Bins) - 1
+		}
+		loBin = d.Bins[i].No
+	}
+	if hi != nil {
+		i := sort.Search(len(d.Bins), func(i int) bool {
+			return d.Bins[i].Min.Compare(*hi) > 0
+		})
+		if i == 0 {
+			i = 1
+		}
+		hiBin = d.Bins[i-1].No
+	}
+	if hiBin < loBin {
+		hiBin = loBin
+	}
+	return loBin, hiBin
+}
+
+// Reduce returns the dimension D|g with granularity reduced to g bits
+// (Definition 1 (vii)): the bits(D)-g least significant bits of all bin
+// numbers are chopped off and bins with equal numbers are united.
+func (d *Dimension) Reduce(g int) (*Dimension, error) {
+	b := d.Bits()
+	if g > b {
+		return nil, fmt.Errorf("core: cannot reduce dimension %s from %d to %d bits", d.Name, b, g)
+	}
+	if g == b {
+		return d, nil
+	}
+	shift := uint(b - g)
+	out := &Dimension{Name: fmt.Sprintf("%s|%d", d.Name, g), Table: d.Table, Key: d.Key}
+	for _, bin := range d.Bins {
+		no := bin.No >> shift
+		if n := len(out.Bins); n > 0 && out.Bins[n-1].No == no {
+			last := &out.Bins[n-1]
+			last.Max = bin.Max
+			last.Weight += bin.Weight
+			last.Unique = false
+			continue
+		}
+		out.Bins = append(out.Bins, Bin{No: no, Min: bin.Min, Max: bin.Max, Weight: bin.Weight, Unique: bin.Unique})
+	}
+	return out, nil
+}
+
+// Validate checks the Definition 1 invariants: ascending bin numbers,
+// non-overlapping and value-ordered bins.
+func (d *Dimension) Validate() error {
+	if len(d.Bins) == 0 {
+		return fmt.Errorf("core: dimension %s has no bins", d.Name)
+	}
+	for i := range d.Bins {
+		if d.Bins[i].Min.Compare(d.Bins[i].Max) > 0 {
+			return fmt.Errorf("core: dimension %s bin %d has Min > Max", d.Name, i)
+		}
+		if i == 0 {
+			continue
+		}
+		if d.Bins[i-1].No >= d.Bins[i].No {
+			return fmt.Errorf("core: dimension %s bin numbers not ascending at %d", d.Name, i)
+		}
+		if d.Bins[i-1].Max.Compare(d.Bins[i].Min) >= 0 {
+			return fmt.Errorf("core: dimension %s bins overlap or are unordered at %d", d.Name, i)
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (d *Dimension) String() string {
+	return fmt.Sprintf("%s(%d bits over %s.%v)", d.Name, d.Bits(), d.Table, d.Key)
+}

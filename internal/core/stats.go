@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// GroupStats is the logarithmic group-size histogram Algorithm 1 collects
+// "in a piggy-backed aggregation" during bulk load, one per possible
+// count-table granularity: entry x counts groups of size [2^(x-1), 2^x).
+// Correlated or hierarchical dimensions reveal themselves here as missing
+// groups and skewed sizes, and Algorithm 1 reacts by choosing a higher
+// granularity — the paper's "puff pastry does not hurt" property.
+type GroupStats struct {
+	// Granularity is the count-table bit granularity these stats describe.
+	Granularity int
+	// Groups[x] counts groups whose tuple count falls in [2^(x-1), 2^x).
+	Groups []int64
+	// Tuples[x] sums the tuple counts of those groups.
+	Tuples []int64
+	// NumGroups is the total number of (occupied) groups.
+	NumGroups int64
+	// TotalTuples is the table's tuple count.
+	TotalTuples int64
+}
+
+// bucketOf returns the histogram bucket of a group of size n ≥ 1.
+func bucketOf(n int64) int { return bits.Len64(uint64(n)) }
+
+// addGroup records one group of size n.
+func (g *GroupStats) addGroup(n int64) {
+	b := bucketOf(n)
+	for len(g.Groups) <= b {
+		g.Groups = append(g.Groups, 0)
+		g.Tuples = append(g.Tuples, 0)
+	}
+	g.Groups[b]++
+	g.Tuples[b] += n
+	g.NumGroups++
+	g.TotalTuples += n
+}
+
+// TuplesInGroupsAtLeast returns the number of tuples that live in groups of
+// at least minRows tuples, computed conservatively from the histogram: only
+// buckets whose lower bound reaches minRows count. Algorithm 1's granularity
+// chooser uses the exact sweep (TuplesInLargeGroups) instead; this
+// bucket-granular variant serves reporting.
+func (g *GroupStats) TuplesInGroupsAtLeast(minRows int64) int64 {
+	if minRows <= 1 {
+		return g.TotalTuples
+	}
+	var sum int64
+	for x := range g.Groups {
+		lo := int64(1) << uint(x-1) // lower bound of bucket x (x ≥ 1)
+		if x == 0 {
+			lo = 0
+		}
+		if lo >= minRows {
+			sum += g.Tuples[x]
+		}
+	}
+	return sum
+}
+
+// String renders the histogram for diagnostics.
+func (g *GroupStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "g=%d groups=%d:", g.Granularity, g.NumGroups)
+	for x, n := range g.Groups {
+		if n == 0 {
+			continue
+		}
+		lo := int64(0)
+		if x > 0 {
+			lo = 1 << uint(x-1)
+		}
+		fmt.Fprintf(&b, " [%d,%d):%d", lo, int64(1)<<uint(x), n)
+	}
+	return b.String()
+}
+
+// TuplesInLargeGroups returns, exactly, how many tuples of the sorted
+// full-granularity key column live in groups of at least minRows tuples when
+// grouped at granularity g ≤ fullBits.
+func TuplesInLargeGroups(keys []uint64, fullBits, g int, minRows int64) int64 {
+	shift := uint(fullBits - g)
+	var sum, run int64
+	flush := func() {
+		if run >= minRows {
+			sum += run
+		}
+		run = 0
+	}
+	for i := range keys {
+		if i > 0 && keys[i]>>shift != keys[i-1]>>shift {
+			flush()
+		}
+		run++
+	}
+	flush()
+	return sum
+}
+
+// CollectGroupStats computes, from the sorted full-granularity keys of a
+// table, the group-size histogram at every granularity 1..fullBits. keys
+// must be ascending. The result is indexed by granularity-1.
+func CollectGroupStats(keys []uint64, fullBits int) []*GroupStats {
+	out := make([]*GroupStats, fullBits)
+	for g := 1; g <= fullBits; g++ {
+		gs := &GroupStats{Granularity: g}
+		shift := uint(fullBits - g)
+		var run int64
+		for i := range keys {
+			if i > 0 && keys[i]>>shift != keys[i-1]>>shift {
+				gs.addGroup(run)
+				run = 0
+			}
+			run++
+		}
+		if run > 0 {
+			gs.addGroup(run)
+		}
+		out[g-1] = gs
+	}
+	return out
+}

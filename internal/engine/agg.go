@@ -1,0 +1,508 @@
+package engine
+
+import (
+	"fmt"
+
+	"bdcc/internal/expr"
+	"bdcc/internal/vector"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+const (
+	// AggSum sums the argument (int64 or float64).
+	AggSum AggFunc = iota
+	// AggMin tracks the minimum argument.
+	AggMin
+	// AggMax tracks the maximum argument.
+	AggMax
+	// AggCount counts rows (Arg nil) or non-default indicator semantics are
+	// handled by the planner via CASE expressions.
+	AggCount
+	// AggCountDistinct counts distinct argument values.
+	AggCountDistinct
+	// AggAvg computes the mean of the argument as float64.
+	AggAvg
+)
+
+// AggSpec is one aggregate of an aggregation operator.
+type AggSpec struct {
+	Name string
+	Func AggFunc
+	// Arg is the aggregated expression; nil is permitted for AggCount.
+	Arg expr.Expr
+}
+
+// resultKind returns the output kind of the aggregate.
+func (a AggSpec) resultKind() vector.Kind {
+	switch a.Func {
+	case AggCount, AggCountDistinct:
+		return vector.Int64
+	case AggAvg:
+		return vector.Float64
+	default:
+		return a.Arg.Kind()
+	}
+}
+
+// aggState is the running state of one aggregate in one group.
+type aggState struct {
+	i64      int64
+	f64      float64
+	str      string
+	count    int64
+	distinct map[string]struct{}
+}
+
+// group is one hash-aggregate entry.
+type group struct {
+	states []aggState
+}
+
+// HashAggregate groups its input by the GroupBy columns and computes the
+// aggregates. With FlushOnGroup set the operator becomes the sandwich
+// aggregation of the paper's reference [3]: the input stream must be
+// grouped (tagged batches from a scatter scan or a group-preserving
+// pipeline), and because the grouping key functionally determines the
+// stream's group identifier, the hash table can be emitted and cleared at
+// every group boundary — peak memory is one co-clustering group instead of
+// the whole input (the paper's Q13/Q16/Q18 memory effect).
+type HashAggregate struct {
+	Child        Operator
+	GroupBy      []string
+	Aggs         []AggSpec
+	FlushOnGroup bool
+
+	schema   expr.Schema
+	ctx      *Context
+	keyIdx   []int
+	enc      *keyEncoder
+	groups   map[string]*group
+	order    []string // emission order (first-seen)
+	keyBuf   *Buffer  // one row per group, in first-seen order
+	memBytes int64
+
+	argVecs []*vector.Vector
+	out     *vector.Batch
+
+	pending []*vector.Batch // flushed output waiting to be returned
+	done    bool
+	haveGID bool
+	curGID  uint64
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() expr.Schema { return h.schema }
+
+// Open implements Operator.
+func (h *HashAggregate) Open(ctx *Context) error {
+	h.ctx = ctx
+	if err := h.Child.Open(ctx); err != nil {
+		return err
+	}
+	cs := h.Child.Schema()
+	var err error
+	h.keyIdx, err = keyIndexes(cs, h.GroupBy)
+	if err != nil {
+		return errOp("aggregate keys", err)
+	}
+	var keySchema expr.Schema
+	for _, i := range h.keyIdx {
+		keySchema = append(keySchema, cs[i])
+	}
+	h.schema = append(expr.Schema{}, keySchema...)
+	for _, a := range h.Aggs {
+		if a.Arg != nil {
+			if err := expr.Bind(a.Arg, cs); err != nil {
+				return errOp(fmt.Sprintf("aggregate %s", a.Name), err)
+			}
+		} else if a.Func != AggCount {
+			return fmt.Errorf("engine: aggregate %s requires an argument", a.Name)
+		}
+		h.schema = append(h.schema, expr.ColMeta{Name: a.Name, Kind: a.resultKind()})
+	}
+	h.enc = newKeyEncoder(h.keyIdx)
+	h.groups = make(map[string]*group)
+	h.keyBuf = NewBuffer(keySchema)
+	h.argVecs = make([]*vector.Vector, len(h.Aggs))
+	for i, a := range h.Aggs {
+		if a.Arg != nil {
+			h.argVecs[i] = expr.NewScratch(a.Arg.Kind())
+		}
+	}
+	h.out = vector.NewBatch(h.schema.Kinds())
+	return nil
+}
+
+// accumulate folds one batch into the hash table.
+func (h *HashAggregate) accumulate(b *vector.Batch) {
+	for i, a := range h.Aggs {
+		if a.Arg != nil {
+			h.argVecs[i].Reset()
+			a.Arg.Eval(b, h.argVecs[i])
+		}
+	}
+	keyBatch := vector.Batch{Cols: make([]*vector.Vector, len(h.keyIdx))}
+	for c, ki := range h.keyIdx {
+		keyBatch.Cols[c] = b.Cols[ki]
+	}
+	for r := 0; r < b.Len(); r++ {
+		key := string(h.enc.encode(b, r))
+		g, ok := h.groups[key]
+		if !ok {
+			g = &group{states: make([]aggState, len(h.Aggs))}
+			h.groups[key] = g
+			h.order = append(h.order, key)
+			prev := h.keyBuf.Bytes()
+			h.keyBuf.AppendRow(&keyBatch, r)
+			grow := (h.keyBuf.Bytes() - prev) + int64(len(key)) + 64 + int64(len(h.Aggs))*48
+			h.memBytes += grow
+			h.ctx.Mem.Grow(grow)
+		}
+		for i, a := range h.Aggs {
+			st := &g.states[i]
+			switch a.Func {
+			case AggCount:
+				st.count++
+			case AggCountDistinct:
+				if st.distinct == nil {
+					st.distinct = make(map[string]struct{})
+				}
+				dk := distinctKey(h.argVecs[i], r)
+				if _, seen := st.distinct[dk]; !seen {
+					st.distinct[dk] = struct{}{}
+					h.memBytes += int64(len(dk)) + 32
+					h.ctx.Mem.Grow(int64(len(dk)) + 32)
+				}
+			case AggSum, AggAvg:
+				switch h.argVecs[i].Kind {
+				case vector.Int64:
+					st.i64 += h.argVecs[i].I64[r]
+					st.f64 += float64(h.argVecs[i].I64[r])
+				case vector.Float64:
+					st.f64 += h.argVecs[i].F64[r]
+				}
+				st.count++
+			case AggMin, AggMax:
+				updateMinMax(st, h.argVecs[i], r, a.Func == AggMin)
+			}
+		}
+	}
+}
+
+func distinctKey(v *vector.Vector, r int) string {
+	switch v.Kind {
+	case vector.Int64:
+		return fmt.Sprintf("i%d", v.I64[r])
+	case vector.Float64:
+		return fmt.Sprintf("f%g", v.F64[r])
+	default:
+		return v.Str[r]
+	}
+}
+
+func updateMinMax(st *aggState, v *vector.Vector, r int, isMin bool) {
+	first := st.count == 0
+	st.count++
+	switch v.Kind {
+	case vector.Int64:
+		x := v.I64[r]
+		if first || (isMin && x < st.i64) || (!isMin && x > st.i64) {
+			st.i64 = x
+		}
+	case vector.Float64:
+		x := v.F64[r]
+		if first || (isMin && x < st.f64) || (!isMin && x > st.f64) {
+			st.f64 = x
+		}
+	case vector.String:
+		x := v.Str[r]
+		if first || (isMin && x < st.str) || (!isMin && x > st.str) {
+			st.str = x
+		}
+	}
+}
+
+// flush converts the hash table into pending output batches and clears it.
+// Flushed batches of a FlushOnGroup aggregation keep the group tag, so a
+// sandwich aggregation's output remains a group stream and enclosing
+// sandwich operators can align on it.
+func (h *HashAggregate) flush() {
+	if len(h.order) == 0 {
+		return
+	}
+	nk := len(h.keyIdx)
+	tag := func(b *vector.Batch) {
+		if h.FlushOnGroup && h.haveGID {
+			b.Grouped = true
+			b.GroupID = h.curGID
+		}
+	}
+	out := vector.NewBatch(h.schema.Kinds())
+	emit := func() {
+		if out.Len() > 0 {
+			tag(out)
+			h.pending = append(h.pending, out)
+			out = vector.NewBatch(h.schema.Kinds())
+		}
+	}
+	for gi, key := range h.order {
+		g := h.groups[key]
+		h.keyBuf.WriteRow(out, gi, 0)
+		for i, a := range h.Aggs {
+			col := out.Cols[nk+i]
+			st := g.states[i]
+			switch a.Func {
+			case AggCount:
+				col.AppendInt64(st.count)
+			case AggCountDistinct:
+				col.AppendInt64(int64(len(st.distinct)))
+			case AggAvg:
+				if st.count == 0 {
+					col.AppendFloat64(0)
+				} else {
+					col.AppendFloat64(st.f64 / float64(st.count))
+				}
+			case AggSum:
+				if col.Kind == vector.Int64 {
+					col.AppendInt64(st.i64)
+				} else {
+					col.AppendFloat64(st.f64)
+				}
+			case AggMin, AggMax:
+				switch col.Kind {
+				case vector.Int64:
+					col.AppendInt64(st.i64)
+				case vector.Float64:
+					col.AppendFloat64(st.f64)
+				case vector.String:
+					col.AppendString(st.str)
+				}
+			}
+		}
+		if out.Len() >= vector.BatchSize {
+			emit()
+		}
+	}
+	emit()
+	h.ctx.Mem.Shrink(h.memBytes)
+	h.memBytes = 0
+	h.groups = make(map[string]*group)
+	h.order = h.order[:0]
+	h.keyBuf.Reset()
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (*vector.Batch, error) {
+	for {
+		if len(h.pending) > 0 {
+			b := h.pending[0]
+			h.pending = h.pending[1:]
+			return b, nil
+		}
+		if h.done {
+			return nil, nil
+		}
+		b, err := h.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			h.done = true
+			h.flush()
+			continue
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		if h.FlushOnGroup && b.Grouped {
+			if h.haveGID && b.GroupID != h.curGID {
+				h.flush()
+			}
+			h.haveGID = true
+			h.curGID = b.GroupID
+		}
+		h.accumulate(b)
+	}
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.ctx.Mem.Shrink(h.memBytes)
+	h.memBytes = 0
+	return h.Child.Close()
+}
+
+// StreamAggregate aggregates an input already sorted on its grouping
+// columns with O(1) state — the "streaming aggregate applied by the PK
+// scheme" that wins Q18 in the paper.
+type StreamAggregate struct {
+	Child   Operator
+	GroupBy []string
+	Aggs    []AggSpec
+
+	schema  expr.Schema
+	keyIdx  []int
+	enc     *keyEncoder
+	curKey  []byte
+	haveKey bool
+	keyRow  *Buffer
+	states  []aggState
+	argVecs []*vector.Vector
+	out     *vector.Batch
+	done    bool
+}
+
+// Schema implements Operator.
+func (s *StreamAggregate) Schema() expr.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *StreamAggregate) Open(ctx *Context) error {
+	if err := s.Child.Open(ctx); err != nil {
+		return err
+	}
+	cs := s.Child.Schema()
+	var err error
+	s.keyIdx, err = keyIndexes(cs, s.GroupBy)
+	if err != nil {
+		return errOp("stream aggregate keys", err)
+	}
+	var keySchema expr.Schema
+	for _, i := range s.keyIdx {
+		keySchema = append(keySchema, cs[i])
+	}
+	s.schema = append(expr.Schema{}, keySchema...)
+	for _, a := range s.Aggs {
+		if a.Arg != nil {
+			if err := expr.Bind(a.Arg, cs); err != nil {
+				return errOp(fmt.Sprintf("stream aggregate %s", a.Name), err)
+			}
+		}
+		s.schema = append(s.schema, expr.ColMeta{Name: a.Name, Kind: a.resultKind()})
+	}
+	s.enc = newKeyEncoder(s.keyIdx)
+	s.keyRow = NewBuffer(keySchema)
+	s.states = make([]aggState, len(s.Aggs))
+	s.argVecs = make([]*vector.Vector, len(s.Aggs))
+	for i, a := range s.Aggs {
+		if a.Arg != nil {
+			s.argVecs[i] = expr.NewScratch(a.Arg.Kind())
+		}
+	}
+	s.out = vector.NewBatch(s.schema.Kinds())
+	return nil
+}
+
+// emitGroup appends the finished group to the output batch.
+func (s *StreamAggregate) emitGroup() {
+	nk := len(s.keyIdx)
+	s.keyRow.WriteRow(s.out, 0, 0)
+	for i, a := range s.Aggs {
+		col := s.out.Cols[nk+i]
+		st := s.states[i]
+		switch a.Func {
+		case AggCount:
+			col.AppendInt64(st.count)
+		case AggCountDistinct:
+			col.AppendInt64(int64(len(st.distinct)))
+		case AggAvg:
+			if st.count == 0 {
+				col.AppendFloat64(0)
+			} else {
+				col.AppendFloat64(st.f64 / float64(st.count))
+			}
+		case AggSum:
+			if col.Kind == vector.Int64 {
+				col.AppendInt64(st.i64)
+			} else {
+				col.AppendFloat64(st.f64)
+			}
+		case AggMin, AggMax:
+			switch col.Kind {
+			case vector.Int64:
+				col.AppendInt64(st.i64)
+			case vector.Float64:
+				col.AppendFloat64(st.f64)
+			case vector.String:
+				col.AppendString(st.str)
+			}
+		}
+	}
+	s.states = make([]aggState, len(s.Aggs))
+	s.keyRow.Reset()
+}
+
+// Next implements Operator.
+func (s *StreamAggregate) Next() (*vector.Batch, error) {
+	s.out.Reset()
+	for {
+		if s.done {
+			if s.out.Len() > 0 {
+				return s.out, nil
+			}
+			return nil, nil
+		}
+		b, err := s.Child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			s.done = true
+			if s.haveKey {
+				s.emitGroup()
+			}
+			continue
+		}
+		for i, a := range s.Aggs {
+			if a.Arg != nil {
+				s.argVecs[i].Reset()
+				a.Arg.Eval(b, s.argVecs[i])
+			}
+		}
+		keyBatch := vector.Batch{Cols: make([]*vector.Vector, len(s.keyIdx))}
+		for c, ki := range s.keyIdx {
+			keyBatch.Cols[c] = b.Cols[ki]
+		}
+		for r := 0; r < b.Len(); r++ {
+			key := s.enc.encode(b, r)
+			if !s.haveKey || string(key) != string(s.curKey) {
+				if s.haveKey {
+					s.emitGroup()
+				}
+				s.curKey = append(s.curKey[:0], key...)
+				s.haveKey = true
+				s.keyRow.AppendRow(&keyBatch, r)
+			}
+			for i, a := range s.Aggs {
+				st := &s.states[i]
+				switch a.Func {
+				case AggCount:
+					st.count++
+				case AggCountDistinct:
+					if st.distinct == nil {
+						st.distinct = make(map[string]struct{})
+					}
+					st.distinct[distinctKey(s.argVecs[i], r)] = struct{}{}
+				case AggSum, AggAvg:
+					switch s.argVecs[i].Kind {
+					case vector.Int64:
+						st.i64 += s.argVecs[i].I64[r]
+						st.f64 += float64(s.argVecs[i].I64[r])
+					case vector.Float64:
+						st.f64 += s.argVecs[i].F64[r]
+					}
+					st.count++
+				case AggMin, AggMax:
+					updateMinMax(st, s.argVecs[i], r, a.Func == AggMin)
+				}
+			}
+		}
+		if s.out.Len() >= vector.BatchSize {
+			return s.out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *StreamAggregate) Close() error { return s.Child.Close() }

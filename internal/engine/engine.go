@@ -1,0 +1,159 @@
+// Package engine implements the vectorized query executor the reproduction
+// runs its workloads on: batch-at-a-time operators (scans, filters, hash /
+// merge joins, aggregation, sorting) in the style of the paper's host
+// system, plus the sandwich operators of the paper's reference [3] ("Query
+// Processing of Pre-Partitioned Data Using Sandwich Operators") that exploit
+// BDCC's co-clustered group streams to shrink hash tables to one group at a
+// time.
+//
+// Every operator charges its device reads to the execution context's I/O
+// accountant and its materialized state (hash tables, sort buffers) to the
+// memory tracker; the paper's Figure 2 (cold time) and Figure 3 (peak query
+// memory) series are produced from exactly these two meters.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"bdcc/internal/expr"
+	"bdcc/internal/iosim"
+	"bdcc/internal/vector"
+)
+
+// Context carries per-query execution state shared by all operators.
+type Context struct {
+	// Acct records device I/O; nil disables I/O accounting.
+	Acct *iosim.Accountant
+	// Mem tracks operator memory; nil disables memory accounting.
+	Mem *MemTracker
+}
+
+// NewContext returns a context with fresh meters for the given device.
+func NewContext(dev iosim.Device) *Context {
+	return &Context{Acct: iosim.NewAccountant(dev), Mem: &MemTracker{}}
+}
+
+// MemTracker accounts the bytes of materialized operator state (hash
+// tables, buffered groups, sort runs). Peak is the query's high-water mark —
+// the metric of the paper's Figure 3.
+type MemTracker struct {
+	mu   sync.Mutex
+	cur  int64
+	peak int64
+}
+
+// Grow records the allocation of n bytes.
+func (m *MemTracker) Grow(n int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cur += n
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+	m.mu.Unlock()
+}
+
+// Shrink records the release of n bytes.
+func (m *MemTracker) Shrink(n int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.cur -= n
+	m.mu.Unlock()
+}
+
+// Peak returns the high-water mark in bytes.
+func (m *MemTracker) Peak() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Current returns the currently accounted bytes.
+func (m *MemTracker) Current() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Operator is a pull-based vectorized operator. Next returns nil at end of
+// stream; the returned batch is owned by the operator and valid until the
+// following Next or Close call.
+type Operator interface {
+	// Schema describes the produced columns.
+	Schema() expr.Schema
+	// Open prepares execution; it must be called exactly once before Next.
+	Open(ctx *Context) error
+	// Next produces the next batch, or nil at end of stream.
+	Next() (*vector.Batch, error)
+	// Close releases resources; it must be called exactly once.
+	Close() error
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema expr.Schema
+	Cols   []*vector.Vector
+}
+
+// Rows returns the number of result rows.
+func (r *Result) Rows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return r.Cols[0].Len()
+}
+
+// Row renders row i as display strings (stable across schemes, used by the
+// cross-scheme equivalence tests).
+func (r *Result) Row(i int) []string {
+	out := make([]string, len(r.Cols))
+	for c, col := range r.Cols {
+		out[c] = col.GetString(i)
+	}
+	return out
+}
+
+// Run executes an operator tree to completion and materializes the result.
+func Run(ctx *Context, op Operator) (*Result, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	res := &Result{Schema: op.Schema()}
+	for _, c := range op.Schema() {
+		res.Cols = append(res.Cols, vector.NewVector(c.Kind, vector.BatchSize))
+	}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return res, nil
+		}
+		for c, col := range res.Cols {
+			src := b.Cols[c]
+			switch col.Kind {
+			case vector.Int64:
+				col.I64 = append(col.I64, src.I64...)
+			case vector.Float64:
+				col.F64 = append(col.F64, src.F64...)
+			case vector.String:
+				col.Str = append(col.Str, src.Str...)
+			}
+		}
+	}
+}
+
+func errOp(op string, err error) error { return fmt.Errorf("engine: %s: %w", op, err) }

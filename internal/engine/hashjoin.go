@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"fmt"
+
+	"bdcc/internal/expr"
+	"bdcc/internal/vector"
+)
+
+// JoinType selects the join semantics of HashJoin and SandwichHashJoin.
+type JoinType uint8
+
+const (
+	// InnerJoin emits every matching left/right combination.
+	InnerJoin JoinType = iota
+	// LeftOuterJoin emits all left rows; unmatched rows carry zero values
+	// in the right columns and 0 in the appended __matched column.
+	LeftOuterJoin
+	// SemiJoin emits left rows with at least one match (left columns only).
+	SemiJoin
+	// AntiJoin emits left rows with no match (left columns only).
+	AntiJoin
+)
+
+// MatchedColName is the indicator column appended by left outer joins; the
+// engine has no NULLs, so COUNT over an outer join tests this column instead
+// (the planner rewrites COUNT(right.col) accordingly).
+const MatchedColName = "__matched"
+
+// HashJoin joins its probe (Left) and build (Right) children on key
+// equality. The entire build side is materialized into a hash table — the
+// memory behaviour the paper's Figure 3 measures and that the sandwich
+// variant avoids. An optional Residual predicate over the combined row
+// filters matches (used for decorrelated EXISTS subqueries with extra
+// conditions, e.g. TPC-H Q21).
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []string
+	Type                JoinType
+	Residual            expr.Expr
+
+	schema   expr.Schema
+	ctx      *Context
+	built    bool
+	buf      *Buffer
+	table    map[string][]int32
+	mapBytes int64
+
+	leftKeyIdx []int
+	enc        *keyEncoder
+	out        *vector.Batch
+
+	// probe iteration state
+	cur      *vector.Batch
+	curRow   int
+	matches  []int32
+	matchPos int
+
+	// residual scratch
+	combined *vector.Batch
+	resVec   *vector.Vector
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() expr.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *HashJoin) Open(ctx *Context) error {
+	j.ctx = ctx
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return err
+	}
+	ls, rs := j.Left.Schema(), j.Right.Schema()
+	switch j.Type {
+	case InnerJoin:
+		j.schema = append(append(expr.Schema{}, ls...), rs...)
+	case LeftOuterJoin:
+		j.schema = append(append(expr.Schema{}, ls...), rs...)
+		j.schema = append(j.schema, expr.ColMeta{Name: MatchedColName, Kind: vector.Int64})
+	case SemiJoin, AntiJoin:
+		j.schema = append(expr.Schema{}, ls...)
+	}
+	var err error
+	j.leftKeyIdx, err = keyIndexes(ls, j.LeftKeys)
+	if err != nil {
+		return errOp("hash join probe keys", err)
+	}
+	if len(j.LeftKeys) != len(j.RightKeys) {
+		return fmt.Errorf("engine: hash join: %d probe keys vs %d build keys", len(j.LeftKeys), len(j.RightKeys))
+	}
+	if j.Residual != nil {
+		combined := append(append(expr.Schema{}, ls...), rs...)
+		if err := expr.Bind(j.Residual, combined); err != nil {
+			return errOp("hash join residual", err)
+		}
+		j.combined = vector.NewBatch(combined.Kinds())
+		j.resVec = expr.NewScratch(vector.Int64)
+	}
+	j.enc = newKeyEncoder(j.leftKeyIdx)
+	j.out = vector.NewBatch(j.schema.Kinds())
+	return nil
+}
+
+func keyIndexes(s expr.Schema, names []string) ([]int, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		k := s.IndexOf(n)
+		if k < 0 {
+			return nil, fmt.Errorf("unknown key column %q in schema %v", n, s.Names())
+		}
+		idx[i] = k
+	}
+	return idx, nil
+}
+
+// build materializes the right child into the hash table.
+func (j *HashJoin) build() error {
+	rs := j.Right.Schema()
+	rightKeyIdx, err := keyIndexes(rs, j.RightKeys)
+	if err != nil {
+		return errOp("hash join build keys", err)
+	}
+	j.buf = NewBuffer(rs)
+	j.table = make(map[string][]int32)
+	enc := newKeyEncoder(rightKeyIdx)
+	var prevBytes int64
+	for {
+		b, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		base := int32(j.buf.Len())
+		j.buf.AppendBatch(b)
+		for i := 0; i < b.Len(); i++ {
+			key := string(enc.encode(b, i))
+			if _, ok := j.table[key]; !ok {
+				j.mapBytes += int64(len(key)) + 48
+			}
+			j.table[key] = append(j.table[key], base+int32(i))
+			j.mapBytes += 4
+		}
+		if grow := j.buf.Bytes() + j.mapBytes - prevBytes; grow > 0 {
+			j.ctx.Mem.Grow(grow)
+			prevBytes += grow
+		}
+	}
+	j.built = true
+	return nil
+}
+
+// residualOK evaluates the residual for a (left row, build row) pair.
+func (j *HashJoin) residualOK(left *vector.Batch, li int, bi int32) bool {
+	if j.Residual == nil {
+		return true
+	}
+	j.combined.Reset()
+	nl := len(left.Cols)
+	for c := 0; c < nl; c++ {
+		j.combined.Cols[c].AppendFrom(left.Cols[c], li)
+	}
+	j.buf.WriteRow(j.combined, int(bi), nl)
+	j.resVec.Reset()
+	j.Residual.Eval(j.combined, j.resVec)
+	return j.resVec.I64[0] != 0
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	j.out.Reset()
+	if j.cur != nil {
+		j.out.Grouped = j.cur.Grouped
+		j.out.GroupID = j.cur.GroupID
+	}
+	for {
+		if j.cur == nil {
+			b, err := j.Left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if j.out.Len() > 0 {
+					return j.out, nil
+				}
+				return nil, nil
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			// Group boundary: flush so output batches stay group-pure.
+			if j.out.Len() > 0 && (b.Grouped != j.out.Grouped || b.GroupID != j.out.GroupID) {
+				j.cur, j.curRow, j.matchPos = b, 0, 0
+				j.matches = nil
+				return j.out, nil
+			}
+			j.cur, j.curRow, j.matchPos = b, 0, 0
+			j.matches = nil
+			j.out.Grouped = b.Grouped
+			j.out.GroupID = b.GroupID
+		}
+		for j.curRow < j.cur.Len() {
+			if j.matches == nil {
+				j.matches = j.table[string(j.enc.encode(j.cur, j.curRow))]
+				j.matchPos = 0
+				switch j.Type {
+				case SemiJoin:
+					if j.anyMatch() {
+						j.out.AppendRow(j.cur, j.curRow)
+					}
+					j.advanceRow()
+					continue
+				case AntiJoin:
+					if !j.anyMatch() {
+						j.out.AppendRow(j.cur, j.curRow)
+					}
+					j.advanceRow()
+					continue
+				case LeftOuterJoin:
+					if len(j.matches) == 0 || !j.anyMatch() {
+						j.emitOuter()
+						j.advanceRow()
+						continue
+					}
+				}
+			}
+			// Inner (and matched outer): emit remaining matches.
+			for j.matchPos < len(j.matches) {
+				bi := j.matches[j.matchPos]
+				j.matchPos++
+				if !j.residualOK(j.cur, j.curRow, bi) {
+					continue
+				}
+				nl := len(j.cur.Cols)
+				for c := 0; c < nl; c++ {
+					j.out.Cols[c].AppendFrom(j.cur.Cols[c], j.curRow)
+				}
+				j.buf.WriteRow(j.out, int(bi), nl)
+				if j.Type == LeftOuterJoin {
+					j.out.Cols[len(j.out.Cols)-1].AppendInt64(1)
+				}
+				if j.out.Len() >= vector.BatchSize {
+					return j.out, nil
+				}
+			}
+			j.advanceRow()
+			if j.out.Len() >= vector.BatchSize {
+				return j.out, nil
+			}
+		}
+		j.cur = nil
+		if j.out.Len() >= vector.BatchSize {
+			return j.out, nil
+		}
+	}
+}
+
+// anyMatch reports whether any current match passes the residual.
+func (j *HashJoin) anyMatch() bool {
+	for _, bi := range j.matches {
+		if j.residualOK(j.cur, j.curRow, bi) {
+			return true
+		}
+	}
+	return false
+}
+
+// emitOuter emits the current left row null-extended (zero values, matched=0).
+func (j *HashJoin) emitOuter() {
+	nl := len(j.cur.Cols)
+	for c := 0; c < nl; c++ {
+		j.out.Cols[c].AppendFrom(j.cur.Cols[c], j.curRow)
+	}
+	rs := j.Right.Schema()
+	for c := range rs {
+		appendZero(j.out.Cols[nl+c])
+	}
+	j.out.Cols[len(j.out.Cols)-1].AppendInt64(0)
+}
+
+func appendZero(v *vector.Vector) {
+	switch v.Kind {
+	case vector.Int64:
+		v.AppendInt64(0)
+	case vector.Float64:
+		v.AppendFloat64(0)
+	case vector.String:
+		v.AppendString("")
+	}
+}
+
+// advanceRow moves to the next probe row.
+func (j *HashJoin) advanceRow() {
+	j.curRow++
+	j.matches = nil
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	if j.buf != nil {
+		j.ctx.Mem.Shrink(j.buf.Bytes() + j.mapBytes)
+		j.buf = nil
+		j.table = nil
+	}
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

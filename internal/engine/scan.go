@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+
+	"bdcc/internal/core"
+	"bdcc/internal/expr"
+	"bdcc/internal/storage"
+	"bdcc/internal/vector"
+)
+
+// TableScan reads selected columns of a stored table over a set of row
+// ranges (nil means the full table), applying an optional tuple-level
+// filter. The planner is responsible for shrinking Ranges via count-table
+// (BDCC) and MinMax (zonemap) pruning before the scan runs; the scan always
+// re-applies the full predicate, so pruning only ever has to be
+// conservative.
+type TableScan struct {
+	Table  *storage.Table
+	Cols   []string
+	Ranges storage.RowRanges
+	Filter expr.Expr
+	// Rename, when non-nil, renames the output columns (same length as
+	// Cols); the filter is still expressed over the original names. Used for
+	// self-joined table aliases.
+	Rename []string
+
+	schema  expr.Schema
+	colIdx  []int
+	reader  *storage.Reader
+	out     *vector.Batch
+	raw     *vector.Batch
+	predVec *vector.Vector
+}
+
+// Schema implements Operator.
+func (s *TableScan) Schema() expr.Schema { return s.schema }
+
+// resolveScanSchema resolves column names against the stored table.
+func resolveScanSchema(t *storage.Table, cols []string) (expr.Schema, []int, error) {
+	schema := make(expr.Schema, len(cols))
+	idx := make([]int, len(cols))
+	for i, name := range cols {
+		ci := t.ColumnIndex(name)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("engine: table %q has no column %q", t.Name, name)
+		}
+		idx[i] = ci
+		schema[i] = expr.ColMeta{Name: name, Kind: t.Cols[ci].Kind}
+	}
+	return schema, idx, nil
+}
+
+// Open implements Operator.
+func (s *TableScan) Open(ctx *Context) error {
+	schema, idx, err := resolveScanSchema(s.Table, s.Cols)
+	if err != nil {
+		return err
+	}
+	s.schema, s.colIdx = schema, idx
+	if s.Filter != nil {
+		if err := expr.Bind(s.Filter, schema); err != nil {
+			return errOp("scan filter", err)
+		}
+		s.predVec = expr.NewScratch(vector.Int64)
+		s.out = vector.NewBatch(schema.Kinds())
+	}
+	if s.Rename != nil {
+		if len(s.Rename) != len(s.schema) {
+			return fmt.Errorf("engine: scan of %q: %d renames for %d columns", s.Table.Name, len(s.Rename), len(s.schema))
+		}
+		renamed := append(expr.Schema{}, s.schema...)
+		for i, n := range s.Rename {
+			renamed[i].Name = n
+		}
+		s.schema = renamed
+	}
+	s.reader = storage.NewReader(s.Table, idx, s.Ranges, ctx.Acct)
+	s.raw = vector.NewBatch(schema.Kinds())
+	return nil
+}
+
+// Next implements Operator.
+func (s *TableScan) Next() (*vector.Batch, error) {
+	for {
+		if !s.reader.Next(s.raw) {
+			return nil, nil
+		}
+		if s.Filter == nil {
+			return s.raw, nil
+		}
+		s.out.Reset()
+		filterInto(s.Filter, s.predVec, s.raw, s.out)
+		if s.out.Len() > 0 {
+			return s.out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *TableScan) Close() error { return nil }
+
+// filterInto evaluates pred on in and appends passing rows to out.
+func filterInto(pred expr.Expr, scratch *vector.Vector, in *vector.Batch, out *vector.Batch) {
+	scratch.Reset()
+	pred.Eval(in, scratch)
+	for i, v := range scratch.I64 {
+		if v != 0 {
+			out.AppendRow(in, i)
+		}
+	}
+	out.GroupID = in.GroupID
+	out.Grouped = in.Grouped
+}
+
+// GroupedScan is the BDCC scatter scan: it reads a BDCC table group by group
+// following a scatter plan, tagging every emitted batch with its group
+// identifier ("this scan adds an additional group identifier to the stream,
+// that is used during query optimization"). Batches never span groups and
+// group identifiers are non-decreasing, so downstream sandwich operators can
+// merge-align two grouped streams on their identifiers; groups that come out
+// empty after filtering are simply absent from the stream.
+type GroupedScan struct {
+	BDCC   *core.BDCCTable
+	Cols   []string
+	Groups []core.ScatterGroup
+	Filter expr.Expr
+	// Rename optionally renames output columns (see TableScan.Rename).
+	Rename []string
+
+	schema  expr.Schema
+	colIdx  []int
+	ctx     *Context
+	gi      int
+	reader  *storage.Reader
+	raw     *vector.Batch
+	out     *vector.Batch
+	predVec *vector.Vector
+}
+
+// Schema implements Operator.
+func (s *GroupedScan) Schema() expr.Schema { return s.schema }
+
+// Open implements Operator. Device I/O is charged once for the union of all
+// group extents: the scatter scan computes its offsets from T_COUNT up
+// front, issues page reads at most once per query (buffer-pool semantics),
+// and run boundaries follow the coalesced page runs of the union.
+func (s *GroupedScan) Open(ctx *Context) error {
+	schema, idx, err := resolveScanSchema(s.BDCC.Data, s.Cols)
+	if err != nil {
+		return err
+	}
+	s.schema, s.colIdx = schema, idx
+	s.ctx = ctx
+	var union storage.RowRanges
+	for _, g := range s.Groups {
+		union = append(union, g.Ranges...)
+	}
+	s.BDCC.Data.ChargeIO(ctx.Acct, idx, union.Normalize())
+	if s.Filter != nil {
+		if err := expr.Bind(s.Filter, schema); err != nil {
+			return errOp("grouped scan filter", err)
+		}
+		s.predVec = expr.NewScratch(vector.Int64)
+	}
+	if s.Rename != nil {
+		if len(s.Rename) != len(s.schema) {
+			return fmt.Errorf("engine: grouped scan of %q: %d renames for %d columns", s.BDCC.Name, len(s.Rename), len(s.schema))
+		}
+		renamed := append(expr.Schema{}, s.schema...)
+		for i, n := range s.Rename {
+			renamed[i].Name = n
+		}
+		s.schema = renamed
+	}
+	s.raw = vector.NewBatch(schema.Kinds())
+	s.out = vector.NewBatch(schema.Kinds())
+	s.gi = -1
+	return nil
+}
+
+// Next implements Operator.
+func (s *GroupedScan) Next() (*vector.Batch, error) {
+	for {
+		if s.reader == nil {
+			s.gi++
+			if s.gi >= len(s.Groups) {
+				return nil, nil
+			}
+			// I/O was charged for the union at Open; per-group readers do
+			// not double-charge.
+			s.reader = storage.NewReader(s.BDCC.Data, s.colIdx, s.Groups[s.gi].Ranges, nil)
+		}
+		g := s.Groups[s.gi]
+		if !s.reader.Next(s.raw) {
+			s.reader = nil
+			continue
+		}
+		s.raw.GroupID = g.GroupID
+		s.raw.Grouped = true
+		if s.Filter == nil {
+			return s.raw, nil
+		}
+		s.out.Reset()
+		filterInto(s.Filter, s.predVec, s.raw, s.out)
+		if s.out.Len() > 0 {
+			return s.out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *GroupedScan) Close() error { return nil }

@@ -1,0 +1,254 @@
+package expr
+
+import (
+	"fmt"
+
+	"bdcc/internal/vector"
+)
+
+// Bind resolves column references in e against schema and computes result
+// kinds, mutating the tree in place. Expressions must be bound before Eval
+// and must not be re-bound against a different schema (plan builders
+// construct fresh trees per execution).
+func Bind(e Expr, schema Schema) error {
+	switch n := e.(type) {
+	case *Col:
+		i := schema.IndexOf(n.Name)
+		if i < 0 {
+			return fmt.Errorf("expr: unknown column %q (schema %v)", n.Name, schema.Names())
+		}
+		n.Index = i
+		n.kind = schema[i].Kind
+		return nil
+	case *Const:
+		return nil
+	case *Cmp:
+		if err := bindAll(schema, n.L, n.R); err != nil {
+			return err
+		}
+		if n.L.Kind() != n.R.Kind() {
+			return fmt.Errorf("expr: comparison kind mismatch %s %s %s (%s vs %s)",
+				n.L, n.Op, n.R, n.L.Kind(), n.R.Kind())
+		}
+		return nil
+	case *And:
+		return bindAll(schema, n.Args...)
+	case *Or:
+		return bindAll(schema, n.Args...)
+	case *Not:
+		return Bind(n.Arg, schema)
+	case *Arith:
+		if err := bindAll(schema, n.L, n.R); err != nil {
+			return err
+		}
+		if n.L.Kind() == vector.String || n.R.Kind() == vector.String {
+			return fmt.Errorf("expr: arithmetic on string operand in %s", n)
+		}
+		if n.L.Kind() == vector.Float64 || n.R.Kind() == vector.Float64 {
+			n.kind = vector.Float64
+		} else {
+			n.kind = vector.Int64
+		}
+		return nil
+	case *Case:
+		if err := bindAll(schema, n.When, n.Then, n.Else); err != nil {
+			return err
+		}
+		if n.Then.Kind() != n.Else.Kind() {
+			return fmt.Errorf("expr: CASE branches disagree on kind in %s", n)
+		}
+		return nil
+	case *Year:
+		return Bind(n.Arg, schema)
+	case *Substr:
+		if err := Bind(n.Arg, schema); err != nil {
+			return err
+		}
+		if n.Arg.Kind() != vector.String {
+			return fmt.Errorf("expr: SUBSTRING of non-string in %s", n)
+		}
+		return nil
+	case *InList:
+		if err := Bind(n.Arg, schema); err != nil {
+			return err
+		}
+		for _, c := range n.Values {
+			if c.K != n.Arg.Kind() {
+				return fmt.Errorf("expr: IN list kind mismatch in %s", n)
+			}
+		}
+		return nil
+	case *Like:
+		if err := Bind(n.Arg, schema); err != nil {
+			return err
+		}
+		if n.Arg.Kind() != vector.String {
+			return fmt.Errorf("expr: LIKE on non-string in %s", n)
+		}
+		return nil
+	}
+	return fmt.Errorf("expr: cannot bind %T", e)
+}
+
+func bindAll(schema Schema, es ...Expr) error {
+	for _, e := range es {
+		if err := Bind(e, schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conjuncts flattens nested ANDs into a list of conjuncts. A nil expression
+// yields nil.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*And); ok {
+		var out []Expr
+		for _, arg := range a.Args {
+			out = append(out, Conjuncts(arg)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+// AndAll combines conjuncts into a single expression (nil for empty input,
+// the sole element for a singleton).
+func AndAll(conjs []Expr) Expr {
+	switch len(conjs) {
+	case 0:
+		return nil
+	case 1:
+		return conjs[0]
+	default:
+		return NewAnd(conjs...)
+	}
+}
+
+// ColRange is a closed value interval implied by a predicate on one column.
+type ColRange struct {
+	Col   string
+	HasLo bool
+	HasHi bool
+	// Numeric bounds (Int64 columns, including dates).
+	LoI, HiI int64
+	// String bounds.
+	LoS, HiS string
+	Kind     vector.Kind
+}
+
+// ImpliedRanges extracts, for each column, the tightest closed interval
+// implied by the conjuncts of e. Only directly analyzable conjuncts
+// contribute: comparisons between a bare column and a constant, and
+// single-element IN lists. The BDCC rewriter maps these intervals onto
+// dimension bin ranges; the scan also uses them for MinMax pruning.
+func ImpliedRanges(e Expr) map[string]*ColRange {
+	out := make(map[string]*ColRange)
+	for _, c := range Conjuncts(e) {
+		col, op, k, iv, sv, ok := analyzeCmp(c)
+		if !ok {
+			continue
+		}
+		r := out[col]
+		if r == nil {
+			r = &ColRange{Col: col, Kind: k}
+			out[col] = r
+		}
+		switch op {
+		case EQ:
+			r.tightenLo(k, iv, sv)
+			r.tightenHi(k, iv, sv)
+		case GE:
+			r.tightenLo(k, iv, sv)
+		case GT:
+			if k == vector.Int64 {
+				r.tightenLo(k, iv+1, sv)
+			} else {
+				r.tightenLo(k, iv, sv) // conservative: treat as ≥ for strings
+			}
+		case LE:
+			r.tightenHi(k, iv, sv)
+		case LT:
+			if k == vector.Int64 {
+				r.tightenHi(k, iv-1, sv)
+			} else {
+				r.tightenHi(k, iv, sv)
+			}
+		}
+	}
+	return out
+}
+
+func (r *ColRange) tightenLo(k vector.Kind, iv int64, sv string) {
+	if k == vector.Int64 {
+		if !r.HasLo || iv > r.LoI {
+			r.LoI = iv
+		}
+	} else {
+		if !r.HasLo || sv > r.LoS {
+			r.LoS = sv
+		}
+	}
+	r.HasLo = true
+}
+
+func (r *ColRange) tightenHi(k vector.Kind, iv int64, sv string) {
+	if k == vector.Int64 {
+		if !r.HasHi || iv < r.HiI {
+			r.HiI = iv
+		}
+	} else {
+		if !r.HasHi || sv < r.HiS {
+			r.HiS = sv
+		}
+	}
+	r.HasHi = true
+}
+
+// analyzeCmp recognizes `col op const` and `const op col` (flipping the
+// operator) over Int64 and String columns, plus single-constant IN lists.
+func analyzeCmp(e Expr) (col string, op CmpOp, k vector.Kind, iv int64, sv string, ok bool) {
+	if in, isIn := e.(*InList); isIn && !in.Negate && len(in.Values) == 1 {
+		c, isCol := in.Arg.(*Col)
+		if !isCol {
+			return "", 0, 0, 0, "", false
+		}
+		v := in.Values[0]
+		if v.K == vector.Float64 {
+			return "", 0, 0, 0, "", false
+		}
+		return c.Name, EQ, v.K, v.I, v.S, true
+	}
+	cmp, isCmp := e.(*Cmp)
+	if !isCmp {
+		return "", 0, 0, 0, "", false
+	}
+	if c, isCol := cmp.L.(*Col); isCol {
+		if v, isConst := cmp.R.(*Const); isConst && v.K != vector.Float64 {
+			return c.Name, cmp.Op, v.K, v.I, v.S, true
+		}
+	}
+	if c, isCol := cmp.R.(*Col); isCol {
+		if v, isConst := cmp.L.(*Const); isConst && v.K != vector.Float64 {
+			return c.Name, flip(cmp.Op), v.K, v.I, v.S, true
+		}
+	}
+	return "", 0, 0, 0, "", false
+}
+
+func flip(op CmpOp) CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	}
+	return op
+}

@@ -1,0 +1,70 @@
+package iosim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunLatencyCalibration(t *testing.T) {
+	d := PaperSSD()
+	// By construction, a run of exactly AR bytes must achieve
+	// RandEfficiency of sequential throughput.
+	total := d.ReadTime(1, d.AR)
+	seq := time.Duration(float64(d.AR) / d.SeqBandwidth * float64(time.Second))
+	eff := float64(seq) / float64(total)
+	if eff < d.RandEfficiency-0.01 || eff > d.RandEfficiency+0.01 {
+		t.Errorf("AR-sized run efficiency = %.3f, want %.2f", eff, d.RandEfficiency)
+	}
+}
+
+func TestSequentialBeatsScattered(t *testing.T) {
+	d := PaperSSD()
+	bytes := int64(100 << 20)
+	seq := d.ReadTime(1, bytes)
+	scattered := d.ReadTime(1000, bytes)
+	if scattered <= seq {
+		t.Errorf("scattered (%v) should cost more than sequential (%v)", scattered, seq)
+	}
+}
+
+func TestHDDHasLargerAR(t *testing.T) {
+	if PaperHDD().AR <= PaperSSD().AR {
+		t.Error("the paper puts HDD efficient access size at a few MB, flash at 32KB")
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant(PaperSSD())
+	a.AddRun(2, 64<<10)
+	a.AddRun(1, 32<<10)
+	st := a.Stats()
+	if st.Runs != 2 || st.Pages != 3 || st.Bytes != 96<<10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Time != PaperSSD().ReadTime(2, 96<<10) {
+		t.Errorf("modeled time mismatch")
+	}
+	a.Reset()
+	if st := a.Stats(); st.Runs != 0 || st.Bytes != 0 {
+		t.Errorf("reset failed: %+v", st)
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant(PaperSSD())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.AddRun(1, 1024)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := a.Stats(); st.Runs != 8000 || st.Bytes != 8000*1024 {
+		t.Errorf("concurrent accounting lost updates: %+v", st)
+	}
+}

@@ -1,0 +1,137 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"bdcc/internal/catalog"
+	"bdcc/internal/core"
+	"bdcc/internal/iosim"
+	"bdcc/internal/storage"
+)
+
+// Scheme identifies a physical storage scheme.
+type Scheme int
+
+const (
+	// Plain is the unindexed baseline: tables in insertion order.
+	Plain Scheme = iota
+	// PK sorts every table on its primary key (the paper's second baseline).
+	PK
+	// BDCC is the paper's co-clustered scheme.
+	BDCC
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Plain:
+		return "plain"
+	case PK:
+		return "pk"
+	case BDCC:
+		return "bdcc"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// DB is one physical database the planner lowers against: the stored tables
+// in the scheme's layout plus scheme-specific metadata.
+type DB struct {
+	Scheme Scheme
+	Schema *catalog.Schema
+	// Tables holds the scheme's layout of every table. Under BDCC, tables
+	// with a design are additionally present in Clustered (whose Data is
+	// what actually gets scanned); tables without a design (REGION) fall
+	// back to this map.
+	Tables map[string]*storage.Table
+	// SortedBy lists the sort columns per table under PK.
+	SortedBy map[string][]string
+	// Clustered is the materialized BDCC design (nil except under BDCC).
+	Clustered *core.Database
+	// Device is the modeled storage device.
+	Device iosim.Device
+}
+
+// NewPlainDB wraps insertion-order tables as the plain scheme.
+func NewPlainDB(schema *catalog.Schema, tables map[string]*storage.Table, dev iosim.Device) *DB {
+	return &DB{Scheme: Plain, Schema: schema, Tables: tables, Device: dev}
+}
+
+// NewPKDB re-sorts every table on its primary key and returns the PK scheme
+// database. Composite keys sort lexicographically.
+func NewPKDB(schema *catalog.Schema, tables map[string]*storage.Table, dev iosim.Device) (*DB, error) {
+	out := make(map[string]*storage.Table, len(tables))
+	sortedBy := make(map[string][]string)
+	for name, t := range tables {
+		def := schema.Table(name)
+		if def == nil || len(def.PrimaryKey) == 0 {
+			out[name] = t
+			continue
+		}
+		keys, err := core.KeyValues(t, def.PrimaryKey)
+		if err != nil {
+			return nil, fmt.Errorf("plan: pk sort of %s: %w", name, err)
+		}
+		perm := sortPermByKeys(keys)
+		st, err := t.Permute(perm)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = st
+		sortedBy[name] = append([]string(nil), def.PrimaryKey...)
+	}
+	return &DB{Scheme: PK, Schema: schema, Tables: out, SortedBy: sortedBy, Device: dev}, nil
+}
+
+// NewBDCCDB materializes the BDCC design over the given tables using the
+// advisor (Algorithm 2) and builder (Algorithm 1).
+func NewBDCCDB(schema *catalog.Schema, tables map[string]*storage.Table, dev iosim.Device, opt core.BuildOptions) (*DB, error) {
+	adv := &core.Advisor{Schema: schema}
+	design, err := adv.Design()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Device.PageSize == 0 {
+		opt.Device = dev
+	}
+	b := &core.Builder{Schema: schema, Tables: tables, Options: opt}
+	db, err := b.Build(design)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{Scheme: BDCC, Schema: schema, Tables: tables, Clustered: db, Device: dev}, nil
+}
+
+// sortPermByKeys returns the stable sort permutation of composite keys.
+func sortPermByKeys(keys []core.KeyVal) []int32 {
+	perm := make([]int32, len(keys))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]].Compare(keys[perm[b]]) < 0 })
+	return perm
+}
+
+// StoredTable returns the scannable layout of a table under this scheme:
+// the BDCC-clustered data when available, the scheme layout otherwise.
+func (db *DB) StoredTable(name string) (*storage.Table, error) {
+	if db.Scheme == BDCC && db.Clustered != nil {
+		if bt, ok := db.Clustered.Tables[name]; ok {
+			return bt.Data, nil
+		}
+	}
+	t, ok := db.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// BDCCTable returns the clustered form of a table, or nil.
+func (db *DB) BDCCTable(name string) *core.BDCCTable {
+	if db.Scheme != BDCC || db.Clustered == nil {
+		return nil
+	}
+	return db.Clustered.Tables[name]
+}

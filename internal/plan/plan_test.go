@@ -1,0 +1,338 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"bdcc/internal/catalog"
+	"bdcc/internal/core"
+	"bdcc/internal/engine"
+	"bdcc/internal/expr"
+	"bdcc/internal/iosim"
+	"bdcc/internal/storage"
+)
+
+// starDDL is a small star schema: a fact with two dimension paths, one of
+// them two hops deep (fact → store → region), so restriction transfer,
+// pre-execution and sandwich placement all have something to do.
+const starDDL = `
+CREATE TABLE region (rg_id INT, rg_name VARCHAR(16), PRIMARY KEY (rg_id));
+CREATE TABLE store (st_id INT, st_region INT, st_name VARCHAR(16), PRIMARY KEY (st_id),
+    CONSTRAINT fk_st_rg FOREIGN KEY (st_region) REFERENCES region);
+CREATE TABLE item (it_id INT, it_class INT, PRIMARY KEY (it_id));
+CREATE TABLE fact (f_id INT, f_store INT, f_item INT, f_amount DECIMAL(9,2), PRIMARY KEY (f_id),
+    CONSTRAINT fk_f_st FOREIGN KEY (f_store) REFERENCES store,
+    CONSTRAINT fk_f_it FOREIGN KEY (f_item) REFERENCES item);
+CREATE INDEX rg_idx ON region (rg_id);
+CREATE INDEX it_idx ON item (it_class, it_id);
+CREATE INDEX strg_idx ON store (st_region);
+CREATE INDEX fst_idx ON fact (f_store);
+CREATE INDEX fit_idx ON fact (f_item);
+`
+
+func starData(n int) map[string]*storage.Table {
+	rng := rand.New(rand.NewSource(17))
+	mk := storage.MustNewTable
+	regions := mk("region", 4096,
+		storage.NewInt64Column("rg_id", []int64{0, 1, 2, 3}),
+		storage.NewStringColumn("rg_name", []string{"EAST", "NORTH", "SOUTH", "WEST"}))
+	nStores := 32
+	stID := make([]int64, nStores)
+	stRegion := make([]int64, nStores)
+	stName := make([]string, nStores)
+	for i := range stID {
+		stID[i] = int64(i)
+		stRegion[i] = int64(i % 4)
+		stName[i] = fmt.Sprintf("store%02d", i)
+	}
+	nItems := 256
+	itID := make([]int64, nItems)
+	itClass := make([]int64, nItems)
+	for i := range itID {
+		itID[i] = int64(i)
+		itClass[i] = int64(i % 16)
+	}
+	fID := make([]int64, n)
+	fStore := make([]int64, n)
+	fItem := make([]int64, n)
+	fAmount := make([]float64, n)
+	for i := 0; i < n; i++ {
+		fID[i] = int64(i)
+		fStore[i] = rng.Int63n(int64(nStores))
+		fItem[i] = rng.Int63n(int64(nItems))
+		fAmount[i] = float64(rng.Intn(1000)) / 10
+	}
+	return map[string]*storage.Table{
+		"region": regions,
+		"store": mk("store", 4096,
+			storage.NewInt64Column("st_id", stID),
+			storage.NewInt64Column("st_region", stRegion),
+			storage.NewStringColumn("st_name", stName)),
+		"item": mk("item", 4096,
+			storage.NewInt64Column("it_id", itID),
+			storage.NewInt64Column("it_class", itClass)),
+		"fact": mk("fact", 4096,
+			storage.NewInt64Column("f_id", fID),
+			storage.NewInt64Column("f_store", fStore),
+			storage.NewInt64Column("f_item", fItem),
+			storage.NewFloat64Column("f_amount", fAmount)),
+	}
+}
+
+type fixture struct {
+	schema *catalog.Schema
+	tables map[string]*storage.Table
+	dbs    map[Scheme]*DB
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	schema := catalog.MustParseDDL(starDDL)
+	tables := starData(50_000)
+	dev := iosim.PaperSSD()
+	pk, err := NewPKDB(schema, tables, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := NewBDCCDB(schema, tables, dev, core.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		schema: schema,
+		tables: tables,
+		dbs: map[Scheme]*DB{
+			Plain: NewPlainDB(schema, tables, dev),
+			PK:    pk,
+			BDCC:  bd,
+		},
+	}
+}
+
+func runRows(t *testing.T, db *DB, n Node) ([]string, *Planner) {
+	t.Helper()
+	ctx := engine.NewContext(db.Device)
+	p := NewPlanner(db, ctx)
+	res, err := p.Run(n)
+	if err != nil {
+		t.Fatalf("run under %s: %v", db.Scheme, err)
+	}
+	rows := make([]string, res.Rows())
+	for i := range rows {
+		rows[i] = fmt.Sprint(res.Row(i))
+	}
+	sort.Strings(rows)
+	return rows, p
+}
+
+// assertEquivalent runs one plan-builder under all schemes and compares.
+func assertEquivalent(t *testing.T, f *fixture, build func() Node) {
+	t.Helper()
+	ref, _ := runRows(t, f.dbs[Plain], build())
+	for _, s := range []Scheme{PK, BDCC} {
+		got, _ := runRows(t, f.dbs[s], build())
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("%s disagrees with plain:\n got %d rows\nwant %d rows", s, len(got), len(ref))
+		}
+	}
+}
+
+func TestPlannerJoinTypesEquivalent(t *testing.T) {
+	f := newFixture(t)
+	factScan := func() *Scan {
+		return &Scan{Table: "fact", Cols: []string{"f_id", "f_store", "f_amount"}}
+	}
+	westStores := func() *Scan {
+		return &Scan{Table: "store", Cols: []string{"st_id", "st_region"},
+			Filter: expr.Eq(expr.C("st_region"), expr.Int(3))}
+	}
+	for name, typ := range map[string]engine.JoinType{
+		"inner": engine.InnerJoin, "semi": engine.SemiJoin,
+		"anti": engine.AntiJoin, "leftouter": engine.LeftOuterJoin,
+	} {
+		typ := typ
+		t.Run(name, func(t *testing.T) {
+			assertEquivalent(t, f, func() Node {
+				j := &Join{Left: factScan(), Right: westStores(),
+					LeftKeys: []string{"f_store"}, RightKeys: []string{"st_id"}, Type: typ}
+				return &Agg{Child: j, GroupBy: []string{"f_store"},
+					Aggs: []engine.AggSpec{{Name: "c", Func: engine.AggCount}}}
+			})
+		})
+	}
+}
+
+func TestPlannerTwoHopPropagation(t *testing.T) {
+	f := newFixture(t)
+	build := func() Node {
+		stores := &Join{
+			Left:     &Scan{Table: "store", Cols: []string{"st_id", "st_region"}},
+			Right:    &Scan{Table: "region", Cols: []string{"rg_id", "rg_name"}, Filter: expr.Eq(expr.C("rg_name"), expr.Str("SOUTH"))},
+			LeftKeys: []string{"st_region"}, RightKeys: []string{"rg_id"}, Type: engine.InnerJoin,
+		}
+		j := &Join{Left: &Scan{Table: "fact", Cols: []string{"f_store", "f_amount"}}, Right: stores,
+			LeftKeys: []string{"f_store"}, RightKeys: []string{"st_id"}, Type: engine.InnerJoin}
+		return &Agg{Child: j, GroupBy: []string{"rg_name"},
+			Aggs: []engine.AggSpec{{Name: "total", Func: engine.AggSum, Arg: expr.C("f_amount")}}}
+	}
+	assertEquivalent(t, f, build)
+	// And the fact scan must actually be restricted under BDCC.
+	_, p := runRows(t, f.dbs[BDCC], build())
+	found := false
+	for _, l := range p.Log {
+		if strings.Contains(l, "scan fact: bdcc pushdown") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("region selection did not propagate to the fact scan; log:\n%s", strings.Join(p.Log, "\n"))
+	}
+}
+
+// TestPlannerSelfJoinSafety pins the Q21-style soundness rule: a filtered
+// dimension reached by ONE fact alias must not restrict the scan of another
+// alias joined only on an unrelated key.
+func TestPlannerSelfJoinSafety(t *testing.T) {
+	f := newFixture(t)
+	build := func() Node {
+		f1 := &Join{
+			Left:     &Scan{Table: "fact", Cols: []string{"f_id", "f_store", "f_item"}},
+			Right:    &Scan{Table: "store", Cols: []string{"st_id", "st_region"}, Filter: expr.Eq(expr.C("st_region"), expr.Int(1))},
+			LeftKeys: []string{"f_store"}, RightKeys: []string{"st_id"}, Type: engine.InnerJoin,
+		}
+		// Exists another fact row for the same item from a different store.
+		f2 := &Scan{Table: "fact", Alias: "f2", Cols: []string{"f_item", "f_store"}}
+		s := &Join{Left: f1, Right: f2,
+			LeftKeys: []string{"f_item"}, RightKeys: []string{"f2_f_item"},
+			Type:     engine.SemiJoin,
+			Residual: expr.NewCmp(expr.NE, expr.C("f2_f_store"), expr.C("f_store"))}
+		return &Agg{Child: s, GroupBy: nil,
+			Aggs: []engine.AggSpec{{Name: "c", Func: engine.AggCount}}}
+	}
+	assertEquivalent(t, f, build)
+}
+
+func TestPKMergeJoinSelected(t *testing.T) {
+	f := newFixture(t)
+	// fact sorted by f_id under PK; a self-equi-join on the key order...
+	// simpler: store sorted by st_id; join fact (not sorted on f_store) — no
+	// merge. Join store to itself via fact is artificial; instead check the
+	// one real merge case: scanning fact ordered by f_id and joining a
+	// probe that is also f_id-ordered (the fact scan itself).
+	build := func() Node {
+		agg := &Agg{
+			Child:   &Scan{Table: "fact", Cols: []string{"f_id", "f_amount"}},
+			GroupBy: []string{"f_id"},
+			Aggs:    []engine.AggSpec{{Name: "s", Func: engine.AggSum, Arg: expr.C("f_amount")}},
+		}
+		return &Join{
+			Left:     &Scan{Table: "fact", Cols: []string{"f_id", "f_store"}},
+			Right:    agg,
+			LeftKeys: []string{"f_id"}, RightKeys: []string{"f_id"}, Type: engine.InnerJoin,
+		}
+	}
+	_, p := runRows(t, f.dbs[PK], build())
+	merged := false
+	streamed := false
+	for _, l := range p.Log {
+		if strings.Contains(l, "merge join") {
+			merged = true
+		}
+		if strings.Contains(l, "streaming aggregation") {
+			streamed = true
+		}
+	}
+	if !streamed {
+		t.Errorf("PK scheme should stream-aggregate over key order; log:\n%s", strings.Join(p.Log, "\n"))
+	}
+	if !merged {
+		t.Errorf("PK scheme should merge join on shared key order; log:\n%s", strings.Join(p.Log, "\n"))
+	}
+	assertEquivalent(t, f, build)
+}
+
+func TestSandwichPlacedAndMemoryLower(t *testing.T) {
+	f := newFixture(t)
+	build := func() Node {
+		return &Join{
+			Left:     &Scan{Table: "fact", Cols: []string{"f_store", "f_amount"}},
+			Right:    &Scan{Table: "store", Cols: []string{"st_id", "st_name"}},
+			LeftKeys: []string{"f_store"}, RightKeys: []string{"st_id"}, Type: engine.InnerJoin,
+		}
+	}
+	ctxB := engine.NewContext(f.dbs[BDCC].Device)
+	pB := NewPlanner(f.dbs[BDCC], ctxB)
+	if _, err := pB.Run(build()); err != nil {
+		t.Fatal(err)
+	}
+	sandwich := false
+	for _, l := range pB.Log {
+		if strings.Contains(l, "sandwich hash join") {
+			sandwich = true
+		}
+	}
+	if !sandwich {
+		t.Fatalf("no sandwich join placed; log:\n%s", strings.Join(pB.Log, "\n"))
+	}
+	ctxP := engine.NewContext(f.dbs[Plain].Device)
+	if _, err := NewPlanner(f.dbs[Plain], ctxP).Run(build()); err != nil {
+		t.Fatal(err)
+	}
+	if ctxB.Mem.Peak() >= ctxP.Mem.Peak() {
+		t.Errorf("sandwich peak %d should undercut hash join peak %d", ctxB.Mem.Peak(), ctxP.Mem.Peak())
+	}
+}
+
+func TestSharedDimsStructuralCases(t *testing.T) {
+	f := newFixture(t)
+	db := f.dbs[BDCC]
+	p := NewPlanner(db, engine.NewContext(db.Device))
+	fact := db.BDCCTable("fact")
+	store := db.BDCCTable("store")
+	item := db.BDCCTable("item")
+	// Forward: fact reaches d_rg over fk_f_st ++ store's path.
+	pairs := p.sharedDims(fact, store, []string{"f_store"}, []string{"st_id"})
+	if len(pairs) == 0 {
+		t.Error("forward case not matched (fact⋈store)")
+	}
+	// Wrong keys must not match.
+	if got := p.sharedDims(fact, store, []string{"f_item"}, []string{"st_id"}); len(got) != 0 {
+		t.Errorf("matched on unrelated keys: %d pairs", len(got))
+	}
+	// Common third table: two facts joined on f_item would share d_it; here
+	// item itself: forward again.
+	pairs = p.sharedDims(fact, item, []string{"f_item"}, []string{"it_id"})
+	if len(pairs) == 0 {
+		t.Error("fact⋈item not matched")
+	}
+	// Reverse: probe store, build fact (fact's FK lands on the probe).
+	pairs = p.sharedDims(store, fact, []string{"st_id"}, []string{"f_store"})
+	if len(pairs) == 0 {
+		t.Error("reverse case not matched (store⋈fact)")
+	}
+}
+
+func TestMaterializedNode(t *testing.T) {
+	f := newFixture(t)
+	db := f.dbs[Plain]
+	ctx := engine.NewContext(db.Device)
+	p := NewPlanner(db, ctx)
+	res, err := p.Run(&Scan{Table: "region", Cols: []string{"rg_id", "rg_name"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPlanner(db, ctx)
+	res2, err := p2.Run(&FilterNode{
+		Child: &Materialized{Res: res},
+		Pred:  expr.Eq(expr.C("rg_name"), expr.Str("EAST")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows() != 1 || res2.Row(0)[1] != "EAST" {
+		t.Errorf("materialized filter = %v", res2)
+	}
+}

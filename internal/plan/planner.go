@@ -1,0 +1,594 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"bdcc/internal/core"
+	"bdcc/internal/engine"
+	"bdcc/internal/expr"
+	"bdcc/internal/storage"
+	"bdcc/internal/vector"
+)
+
+// Planner lowers logical plans to physical operator trees for one physical
+// database. A planner is single-use per query execution (it owns the
+// execution context used for pre-executed subtrees).
+type Planner struct {
+	DB  *DB
+	Ctx *engine.Context
+	// PropagationThreshold bounds the base-table size of build subtrees the
+	// BDCC planner pre-executes for key-set propagation; 0 means 300000.
+	PropagationThreshold int
+	// PreExecRowCap bounds the result size usable for key-set restrictions.
+	PreExecRowCap int
+	// Log collects EXPLAIN-style decisions.
+	Log []string
+
+	res        *core.Resolver
+	binMaps    map[string]map[int64]uint64
+	scanChoice map[*Scan]*useChoice
+	alignment  map[*Join]*sharedPair
+	joinPairs  map[*Join][]sharedPair
+}
+
+// NewPlanner returns a planner for one query execution.
+func NewPlanner(db *DB, ctx *engine.Context) *Planner {
+	return &Planner{
+		DB:                   db,
+		Ctx:                  ctx,
+		PropagationThreshold: 300_000,
+		PreExecRowCap:        65_536,
+		binMaps:              make(map[string]map[int64]uint64),
+		scanChoice:           make(map[*Scan]*useChoice),
+		alignment:            make(map[*Join]*sharedPair),
+		joinPairs:            make(map[*Join][]sharedPair),
+	}
+}
+
+func (p *Planner) resolver() *core.Resolver {
+	if p.res == nil {
+		p.res = core.NewResolver(p.DB.Schema, p.DB.Tables)
+	}
+	return p.res
+}
+
+func (p *Planner) logf(format string, args ...any) {
+	p.Log = append(p.Log, fmt.Sprintf(format, args...))
+}
+
+// streamInfo describes what the planner knows about a lowered subtree's
+// output stream.
+type streamInfo struct {
+	// base is the BDCC table at the bottom of the probe pipeline (nil when
+	// the pipeline is not BDCC-clustered).
+	base *core.BDCCTable
+	// groupUse/groupBits describe the stream's group tags (nil/0 when the
+	// stream is ungrouped).
+	groupUse  *core.DimensionUse
+	groupBits int
+	// order is the column prefix the stream is sorted on.
+	order []string
+	// restr are the stream's known dimension restrictions, anchored at base.
+	restr restrictions
+}
+
+// Plan lowers a logical plan into an executable operator tree.
+func (p *Planner) Plan(n Node) (engine.Operator, error) {
+	if p.DB.Scheme == BDCC {
+		p.preanalyze(n, nil)
+	}
+	op, _, err := p.lower(n, restrictions{})
+	return op, err
+}
+
+// Run lowers and executes a logical plan.
+func (p *Planner) Run(n Node) (*engine.Result, error) {
+	op, err := p.Plan(n)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run(p.Ctx, op)
+}
+
+func (p *Planner) lower(n Node, inherited restrictions) (engine.Operator, *streamInfo, error) {
+	switch t := n.(type) {
+	case *Scan:
+		return p.lowerScan(t, inherited)
+	case *Materialized:
+		return &engine.Values{Rows: t.Res}, &streamInfo{restr: restrictions{}}, nil
+	case *Join:
+		return p.lowerJoin(t, inherited)
+	case *Agg:
+		return p.lowerAgg(t, inherited)
+	case *Project:
+		op, info, err := p.lower(t.Child, inherited)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &engine.Project{Child: op, Cols: t.Cols}
+		// A projection keeps group tags but invalidates column-order info
+		// unless the sort columns survive; conservatively keep order only
+		// for pass-through column references.
+		kept := info.withOrder(projectedOrder(info.order, t.Cols))
+		return out, kept, nil
+	case *FilterNode:
+		op, info, err := p.lower(t.Child, inherited)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &engine.Filter{Child: op, Pred: t.Pred}, info, nil
+	case *OrderBy:
+		op, info, err := p.lower(t.Child, inherited)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &engine.Sort{Child: op, By: t.By}
+		return out, &streamInfo{order: sortOrder(t.By), restr: info.restr}, nil
+	case *LimitNode:
+		op, info, err := p.lower(t.Child, inherited)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &engine.Limit{Child: op, N: t.N}, info, nil
+	case *TopNNode:
+		op, info, err := p.lower(t.Child, inherited)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &engine.TopN{Child: op, By: t.By, N: t.N}
+		return out, &streamInfo{order: sortOrder(t.By), restr: info.restr}, nil
+	default:
+		return nil, nil, fmt.Errorf("plan: cannot lower %T", n)
+	}
+}
+
+func (s *streamInfo) withOrder(order []string) *streamInfo {
+	c := *s
+	c.order = order
+	return &c
+}
+
+func sortOrder(by []engine.SortSpec) []string {
+	var out []string
+	for _, b := range by {
+		if b.Desc {
+			break
+		}
+		out = append(out, b.Col)
+	}
+	return out
+}
+
+// projectedOrder keeps the order prefix as long as its columns pass through
+// the projection under the same name.
+func projectedOrder(order []string, cols []engine.ProjCol) []string {
+	passthrough := make(map[string]bool)
+	for _, c := range cols {
+		if ref, ok := c.Expr.(*expr.Col); ok && ref.Name == c.Name {
+			passthrough[c.Name] = true
+		}
+	}
+	var out []string
+	for _, o := range order {
+		if !passthrough[o] {
+			break
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// lowerScan plans a base-table access.
+func (p *Planner) lowerScan(s *Scan, inherited restrictions) (engine.Operator, *streamInfo, error) {
+	stored, err := p.DB.StoredTable(s.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rename []string
+	if s.Alias != "" {
+		rename = make([]string, len(s.Cols))
+		for i, c := range s.Cols {
+			rename[i] = s.Alias + "_" + c
+		}
+	}
+	info := &streamInfo{restr: restrictions{}}
+	if p.DB.Scheme == PK {
+		info.order = p.DB.SortedBy[s.Table]
+		if s.Alias != "" {
+			info.order = nil
+		}
+	}
+	bt := p.DB.BDCCTable(s.Table)
+	if bt == nil || (s.Alias != "" && p.scanChoice[s] == nil) {
+		ranges := p.zonemapPrune(stored, s.Filter, storage.FullRange(stored.Rows()))
+		op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Rename: rename}
+		if rows := ranges.Rows(); rows < stored.Rows() {
+			p.logf("scan %s%s: minmax pruned to %d of %d rows", s.Table, aliasSuffix(s.Alias), rows, stored.Rows())
+		}
+		return op, info, nil
+	}
+	info.base = bt
+	// Count-table restriction: local pushdown plus inherited propagation.
+	// Aliased scans participate in sandwich alignment but not in restriction
+	// propagation (their renamed columns are invisible to the rewriter).
+	restr := restrictions{}
+	if s.Alias == "" {
+		restr = localScanRestrictions(bt, s.Filter)
+		restr.intersectInto(inherited)
+	}
+	entries := bt.Count
+	for _, u := range bt.Uses {
+		bins, ok := restr[useKey(u)]
+		if !ok {
+			continue
+		}
+		entries = core.IntersectEntries(entries, bt.SelectBinSet(u, bins))
+	}
+	if len(entries) < len(bt.Count) {
+		p.logf("scan %s: bdcc pushdown to %d of %d groups (%d of %d rows)",
+			s.Table, len(entries), len(bt.Count), core.TotalRows(entries), bt.Rows())
+	}
+	info.restr = restr
+	if choice := p.scanChoice[s]; choice != nil {
+		idx := -1
+		for i, u := range bt.Uses {
+			if u == choice.use {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("plan: scatter use %s not found on %s", useKey(choice.use), s.Table)
+		}
+		groups, err := bt.ScatterPlan([]int{idx}, []int{choice.bits}, entries)
+		if err != nil {
+			return nil, nil, err
+		}
+		groups = p.pruneGroups(stored, s.Filter, groups)
+		p.logf("scan %s%s: scatter scan on %s (%d bits, %d groups)",
+			s.Table, aliasSuffix(s.Alias), choice.use.Dim.Name, choice.bits, len(groups))
+		op := &engine.GroupedScan{BDCC: bt, Cols: s.Cols, Groups: groups, Filter: s.Filter, Rename: rename}
+		info.groupUse = choice.use
+		info.groupBits = choice.bits
+		return op, info, nil
+	}
+	ranges := p.zonemapPrune(stored, s.Filter, core.EntriesRanges(entries))
+	op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter}
+	return op, info, nil
+}
+
+func aliasSuffix(alias string) string {
+	if alias == "" {
+		return ""
+	}
+	return " (" + alias + ")"
+}
+
+// zonemapPrune intersects row ranges with the MinMax-qualified pages for
+// every analyzable conjunct of the filter.
+func (p *Planner) zonemapPrune(t *storage.Table, filter expr.Expr, in storage.RowRanges) storage.RowRanges {
+	if filter == nil {
+		return in
+	}
+	for col, r := range expr.ImpliedRanges(filter) {
+		if t.ColumnIndex(col) < 0 {
+			continue
+		}
+		iv := storage.Interval{}
+		if r.HasLo {
+			iv.Lo = storage.Bound{Set: true, I: r.LoI, S: r.LoS}
+		}
+		if r.HasHi {
+			iv.Hi = storage.Bound{Set: true, I: r.HiI, S: r.HiS}
+		}
+		in = t.PruneZonemap(col, iv, in)
+	}
+	return in
+}
+
+// pruneGroups applies zonemap pruning inside every scatter group.
+func (p *Planner) pruneGroups(t *storage.Table, filter expr.Expr, groups []core.ScatterGroup) []core.ScatterGroup {
+	if filter == nil {
+		return groups
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		ranges := p.zonemapPrune(t, filter, g.Ranges)
+		if len(ranges) == 0 {
+			continue
+		}
+		g.Ranges = ranges
+		out = append(out, g)
+	}
+	return out
+}
+
+// lowerJoin plans a join: sandwich where the chain analysis aligned it,
+// merge join under PK where both inputs share the key order, hash join
+// otherwise. Build sides are lowered (and possibly pre-executed) first so
+// their selections propagate into the probe side's scans.
+func (p *Planner) lowerJoin(j *Join, inherited restrictions) (engine.Operator, *streamInfo, error) {
+	al := p.alignment[j]
+	buildOp, buildInfo, err := p.lower(j.Right, restrictions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	sandwich := al != nil &&
+		buildInfo.groupUse == al.uR && buildInfo.groupBits > 0
+	// Restriction transfer (selection propagation) across matched uses,
+	// valid for inner and semi joins only.
+	transferred := restrictions{}
+	if j.Type == engine.InnerJoin || j.Type == engine.SemiJoin {
+		for _, pr := range p.joinPairs[j] {
+			if bins, ok := buildInfo.restr[useKey(pr.uR)]; ok {
+				transferred[useKey(pr.uP)] = bins
+				p.logf("join: propagate %s restriction (%d bins) from %s to probe",
+					pr.uR.Dim.Name, len(bins), pr.uR.Dim.Table)
+			}
+		}
+		// Key-set propagation from small build sides (pre-execution).
+		if p.DB.Scheme == BDCC && len(j.LeftKeys) == 1 {
+			buildOp, err = p.preExecPropagate(j, sandwich, buildOp, transferred)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	probeIn := inherited.clone()
+	probeIn.intersectInto(transferred)
+	probeOp, probeInfo, err := p.lower(j.Left, probeIn)
+	if err != nil {
+		return nil, nil, err
+	}
+	outInfo := &streamInfo{
+		base:      probeInfo.base,
+		groupUse:  probeInfo.groupUse,
+		groupBits: probeInfo.groupBits,
+		order:     probeInfo.order,
+		restr:     probeInfo.restr.clone(),
+	}
+	outInfo.restr.intersectInto(transferred)
+	if sandwich && probeInfo.groupUse == al.uP && probeInfo.groupBits > 0 {
+		g := probeInfo.groupBits
+		if buildInfo.groupBits < g {
+			g = buildInfo.groupBits
+		}
+		p.logf("join: sandwich hash join on %s (%d group bits)", al.uP.Dim.Name, g)
+		return &engine.SandwichHashJoin{
+			Left: probeOp, Right: buildOp,
+			LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
+			Type: j.Type, Residual: j.Residual,
+			ProbeShift: uint(probeInfo.groupBits - g),
+			BuildShift: uint(buildInfo.groupBits - g),
+		}, outInfo, nil
+	}
+	if p.DB.Scheme == PK && j.Type == engine.InnerJoin && j.Residual == nil &&
+		len(j.LeftKeys) == 1 &&
+		hasOrderPrefix(probeInfo.order, j.LeftKeys[0]) &&
+		hasOrderPrefix(buildInfo.order, j.RightKeys[0]) {
+		p.logf("join: merge join on %s = %s", j.LeftKeys[0], j.RightKeys[0])
+		return &engine.MergeJoin{
+			Left: probeOp, Right: buildOp,
+			LeftKey: j.LeftKeys[0], RightKey: j.RightKeys[0],
+		}, outInfo, nil
+	}
+	return &engine.HashJoin{
+		Left: probeOp, Right: buildOp,
+		LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
+		Type: j.Type, Residual: j.Residual,
+	}, outInfo, nil
+}
+
+func hasOrderPrefix(order []string, col string) bool {
+	return len(order) > 0 && order[0] == col
+}
+
+// preExecPropagate executes a small build subtree to convert its join-key
+// set into probe-side bin restrictions. For sandwich joins the subtree runs
+// once more in grouped form, so the planning run is charged to neither the
+// I/O nor the memory meter (the rewriter-style lookup); for plain hash
+// joins the materialized rows feed the real join and the run is charged
+// normally.
+func (p *Planner) preExecPropagate(j *Join, sandwich bool, buildOp engine.Operator, transferred restrictions) (engine.Operator, error) {
+	probeBase := baseScan(j.Left)
+	if probeBase == nil || probeBase.Alias != "" {
+		return buildOp, nil
+	}
+	bt := p.DB.BDCCTable(probeBase.Table)
+	if bt == nil {
+		return buildOp, nil
+	}
+	if !p.subtreeSmall(j.Right) {
+		return buildOp, nil
+	}
+	probeCol := j.LeftKeys[0]
+	var res *engine.Result
+	var err error
+	if sandwich {
+		// Plan-time lookup: re-lower ungrouped with free meters.
+		scratch := &Planner{
+			DB: p.DB, Ctx: &engine.Context{},
+			PropagationThreshold: 0, PreExecRowCap: p.PreExecRowCap,
+			binMaps:    p.binMaps,
+			scanChoice: map[*Scan]*useChoice{},
+			alignment:  map[*Join]*sharedPair{},
+			joinPairs:  map[*Join][]sharedPair{},
+		}
+		op, _, err2 := scratch.lower(j.Right, restrictions{})
+		if err2 != nil {
+			return buildOp, err2
+		}
+		res, err = engine.Run(scratch.Ctx, op)
+	} else {
+		res, err = engine.Run(p.Ctx, buildOp)
+	}
+	if err != nil {
+		return buildOp, err
+	}
+	if res.Rows() > p.PreExecRowCap {
+		if sandwich {
+			return buildOp, nil
+		}
+		return &engine.Values{Rows: res}, nil
+	}
+	ci := res.Schema.IndexOf(j.RightKeys[0])
+	if ci >= 0 && res.Schema[ci].Kind == vector.Int64 {
+		vals := distinctInt64(res.Cols[ci].I64)
+		equated := make(map[string]bool)
+		equatedPairs(j.Left, equated)
+		for _, u := range bt.Uses {
+			bins, err := p.binsForKeyValues(u, probeCol, vals, equated)
+			if err != nil {
+				return buildOp, err
+			}
+			if bins == nil {
+				continue
+			}
+			k := useKey(u)
+			if cur, ok := transferred[k]; ok {
+				merged := make(binSet)
+				for b := range cur {
+					if bins[b] {
+						merged[b] = true
+					}
+				}
+				transferred[k] = merged
+			} else {
+				transferred[k] = bins
+			}
+			p.logf("join: pre-executed build (%d keys) restricts %s via %s to %d bins",
+				len(vals), probeBase.Table, k, len(bins))
+		}
+	}
+	if sandwich {
+		return buildOp, nil
+	}
+	return &engine.Values{Rows: res}, nil
+}
+
+// subtreeSmall reports whether every base table of a subtree is under the
+// propagation threshold.
+func (p *Planner) subtreeSmall(n Node) bool {
+	limit := p.PropagationThreshold
+	if limit == 0 {
+		limit = 300_000
+	}
+	small := true
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Scan:
+			if tab, ok := p.DB.Tables[t.Table]; !ok || tab.Rows() > limit {
+				small = false
+			}
+		case *Join:
+			walk(t.Left)
+			walk(t.Right)
+		case *FilterNode:
+			walk(t.Child)
+		case *Project:
+			walk(t.Child)
+		case *Agg:
+			walk(t.Child)
+		case *OrderBy:
+			walk(t.Child)
+		case *LimitNode:
+			walk(t.Child)
+		case *TopNNode:
+			walk(t.Child)
+		}
+	}
+	walk(n)
+	return small
+}
+
+func distinctInt64(vals []int64) []int64 {
+	out := append([]int64(nil), vals...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// lowerAgg plans an aggregation: sandwich (flush-per-group) when the stream
+// is grouped and the grouping keys determine the group dimension, streaming
+// when the input already arrives in group-key order, hash otherwise.
+func (p *Planner) lowerAgg(a *Agg, inherited restrictions) (engine.Operator, *streamInfo, error) {
+	childOp, info, err := p.lower(a.Child, inherited)
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.groupUse != nil && p.keysDetermineUse(a.GroupBy, info.groupUse) {
+		p.logf("agg: sandwich aggregation on %s (flush per %s group)",
+			fmt.Sprint(a.GroupBy), info.groupUse.Dim.Name)
+		op := &engine.HashAggregate{Child: childOp, GroupBy: a.GroupBy, Aggs: a.Aggs, FlushOnGroup: true}
+		out := &streamInfo{
+			base:      info.base,
+			groupUse:  info.groupUse,
+			groupBits: info.groupBits,
+			restr:     info.restr,
+		}
+		return op, out, nil
+	}
+	if orderCovers(info.order, a.GroupBy) {
+		p.logf("agg: streaming aggregation on %v", a.GroupBy)
+		op := &engine.StreamAggregate{Child: childOp, GroupBy: a.GroupBy, Aggs: a.Aggs}
+		return op, &streamInfo{order: a.GroupBy, restr: info.restr, base: info.base}, nil
+	}
+	op := &engine.HashAggregate{Child: childOp, GroupBy: a.GroupBy, Aggs: a.Aggs}
+	return op, &streamInfo{restr: info.restr, base: info.base}, nil
+}
+
+// keysDetermineUse reports whether the grouping keys functionally determine
+// the group dimension: a local dimension's key columns, or the columns of
+// the first foreign-key hop of the use's path, are all grouping keys.
+func (p *Planner) keysDetermineUse(groupBy []string, u *core.DimensionUse) bool {
+	contains := func(col string) bool {
+		for _, g := range groupBy {
+			if g == col {
+				return true
+			}
+		}
+		return false
+	}
+	if len(u.Path) == 0 {
+		for _, k := range u.Dim.Key {
+			if !contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	fk := p.DB.Schema.FK(u.Path[0])
+	if fk == nil {
+		return false
+	}
+	for _, c := range fk.Cols {
+		if !contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderCovers reports whether the stream order prefix covers all grouping
+// keys (so equal keys are adjacent).
+func orderCovers(order []string, groupBy []string) bool {
+	if len(groupBy) == 0 || len(order) < len(groupBy) {
+		return false
+	}
+	prefix := make(map[string]bool, len(groupBy))
+	for _, o := range order[:len(groupBy)] {
+		prefix[o] = true
+	}
+	for _, g := range groupBy {
+		if !prefix[g] {
+			return false
+		}
+	}
+	return true
+}

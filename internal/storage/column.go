@@ -1,0 +1,123 @@
+// Package storage implements the columnar table store the engine runs on:
+// typed columns laid out in logical fixed-size pages, per-page MinMax
+// (zonemap) indexes — the "MinMax indices on each table" the paper's host
+// system creates automatically — row-range readers that charge a device-model
+// accountant for the pages and access runs they touch, and utilities for
+// re-clustering tables (stable sort by a computed key), which is how BDCC
+// tables and primary-key tables are materialized.
+package storage
+
+import (
+	"fmt"
+
+	"bdcc/internal/vector"
+)
+
+// Column is a named, typed column of a stored table. Exactly one of the data
+// slices matching Kind is populated.
+type Column struct {
+	Name string
+	Kind vector.Kind
+	I64  []int64
+	F64  []float64
+	Str  []string
+
+	// width is the modeled bytes per value, computed by finish(). For string
+	// columns it is the average string length (≥1); for numeric columns 8.
+	width float64
+}
+
+// NewInt64Column returns an int64 column over vals (not copied).
+func NewInt64Column(name string, vals []int64) *Column {
+	return &Column{Name: name, Kind: vector.Int64, I64: vals}
+}
+
+// NewFloat64Column returns a float64 column over vals (not copied).
+func NewFloat64Column(name string, vals []float64) *Column {
+	return &Column{Name: name, Kind: vector.Float64, F64: vals}
+}
+
+// NewStringColumn returns a string column over vals (not copied).
+func NewStringColumn(name string, vals []string) *Column {
+	return &Column{Name: name, Kind: vector.String, Str: vals}
+}
+
+// Len returns the number of values.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case vector.Int64:
+		return len(c.I64)
+	case vector.Float64:
+		return len(c.F64)
+	case vector.String:
+		return len(c.Str)
+	}
+	return 0
+}
+
+// Width returns the modeled bytes per value. The densest (widest) column of a
+// table drives Algorithm 1's granularity choice.
+func (c *Column) Width() float64 { return c.width }
+
+// finish computes the modeled width.
+func (c *Column) finish() {
+	switch c.Kind {
+	case vector.Int64, vector.Float64:
+		c.width = 8
+	case vector.String:
+		total := 0
+		for _, s := range c.Str {
+			total += len(s)
+		}
+		if n := len(c.Str); n > 0 {
+			c.width = float64(total) / float64(n)
+		}
+		if c.width < 1 {
+			c.width = 1
+		}
+	}
+}
+
+// permute returns a copy of the column reordered so that row i of the result
+// is row perm[i] of the original.
+func (c *Column) permute(perm []int32) *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind, width: c.width}
+	switch c.Kind {
+	case vector.Int64:
+		out.I64 = make([]int64, len(perm))
+		for i, p := range perm {
+			out.I64[i] = c.I64[p]
+		}
+	case vector.Float64:
+		out.F64 = make([]float64, len(perm))
+		for i, p := range perm {
+			out.F64[i] = c.F64[p]
+		}
+	case vector.String:
+		out.Str = make([]string, len(perm))
+		for i, p := range perm {
+			out.Str[i] = c.Str[p]
+		}
+	}
+	return out
+}
+
+// appendRows appends rows [lo,hi) of src to c (same kind).
+func (c *Column) appendRows(src *Column, lo, hi int) {
+	switch c.Kind {
+	case vector.Int64:
+		c.I64 = append(c.I64, src.I64[lo:hi]...)
+	case vector.Float64:
+		c.F64 = append(c.F64, src.F64[lo:hi]...)
+	case vector.String:
+		c.Str = append(c.Str, src.Str[lo:hi]...)
+	}
+}
+
+// validate checks internal consistency against an expected row count.
+func (c *Column) validate(rows int) error {
+	if c.Len() != rows {
+		return fmt.Errorf("storage: column %q has %d rows, table has %d", c.Name, c.Len(), rows)
+	}
+	return nil
+}

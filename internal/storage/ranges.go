@@ -1,0 +1,115 @@
+package storage
+
+import "sort"
+
+// RowRange is a half-open interval [Start, End) of row positions.
+type RowRange struct {
+	Start int
+	End   int
+}
+
+// Len returns the number of rows in the range.
+func (r RowRange) Len() int { return r.End - r.Start }
+
+// RowRanges is an ordered, non-overlapping set of row ranges. The zero value
+// is the empty set. Scans interpret a nil RowRanges as "all rows".
+type RowRanges []RowRange
+
+// FullRange returns the range set covering all n rows.
+func FullRange(n int) RowRanges {
+	if n == 0 {
+		return RowRanges{}
+	}
+	return RowRanges{{0, n}}
+}
+
+// Normalize sorts the ranges, drops empty ones and merges overlapping or
+// adjacent ones. It returns the normalized set.
+func (rs RowRanges) Normalize() RowRanges {
+	out := make(RowRanges, 0, len(rs))
+	for _, r := range rs {
+		if r.End > r.Start {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && r.Start <= merged[n-1].End {
+			if r.End > merged[n-1].End {
+				merged[n-1].End = r.End
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// Rows returns the total number of rows covered.
+func (rs RowRanges) Rows() int {
+	n := 0
+	for _, r := range rs {
+		n += r.Len()
+	}
+	return n
+}
+
+// Intersect returns the intersection of two normalized range sets.
+func (rs RowRanges) Intersect(other RowRanges) RowRanges {
+	var out RowRanges
+	i, j := 0, 0
+	for i < len(rs) && j < len(other) {
+		a, b := rs[i], other[j]
+		lo := max(a.Start, b.Start)
+		hi := min(a.End, b.End)
+		if lo < hi {
+			out = append(out, RowRange{lo, hi})
+		}
+		if a.End < b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns the union of two range sets, normalized.
+func (rs RowRanges) Union(other RowRanges) RowRanges {
+	all := make(RowRanges, 0, len(rs)+len(other))
+	all = append(all, rs...)
+	all = append(all, other...)
+	return all.Normalize()
+}
+
+// Clamp restricts the set to [0, n).
+func (rs RowRanges) Clamp(n int) RowRanges {
+	var out RowRanges
+	for _, r := range rs {
+		if r.Start < 0 {
+			r.Start = 0
+		}
+		if r.End > n {
+			r.End = n
+		}
+		if r.End > r.Start {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"bdcc/internal/iosim"
+	"bdcc/internal/vector"
+)
+
+// Reader iterates the given row ranges of selected columns, producing
+// batches. Device I/O for the covered pages is charged to the accountant
+// once, at construction, with page runs coalesced across the range set —
+// matching a scan that issues all its reads up front.
+type Reader struct {
+	t      *Table
+	cols   []int
+	ranges RowRanges
+	ri     int // current range index
+	pos    int // next row within current range
+	limit  int // rows per emitted batch
+}
+
+// NewReader returns a reader over the row ranges (nil means the full table)
+// of the named column positions. acct may be nil.
+func NewReader(t *Table, cols []int, ranges RowRanges, acct *iosim.Accountant) *Reader {
+	if ranges == nil {
+		ranges = FullRange(t.Rows())
+	}
+	t.ChargeIO(acct, cols, ranges)
+	r := &Reader{t: t, cols: cols, ranges: ranges, limit: vector.BatchSize}
+	if len(ranges) > 0 {
+		r.pos = ranges[0].Start
+	}
+	return r
+}
+
+// Kinds returns the column kinds the reader produces, in order.
+func (r *Reader) Kinds() []vector.Kind {
+	ks := make([]vector.Kind, len(r.cols))
+	for i, ci := range r.cols {
+		ks[i] = r.t.Cols[ci].Kind
+	}
+	return ks
+}
+
+// Next fills out with up to BatchSize rows and reports whether any rows were
+// produced. Batches never span a range boundary, so callers that align range
+// boundaries with group boundaries (scatter scans) get group-pure batches.
+func (r *Reader) Next(out *vector.Batch) bool {
+	out.Reset()
+	for r.ri < len(r.ranges) {
+		rr := r.ranges[r.ri]
+		if r.pos >= rr.End {
+			r.ri++
+			if r.ri < len(r.ranges) {
+				r.pos = r.ranges[r.ri].Start
+			}
+			if out.Len() > 0 {
+				return true
+			}
+			continue
+		}
+		n := rr.End - r.pos
+		if n > r.limit-out.Len() {
+			n = r.limit - out.Len()
+		}
+		for i, ci := range r.cols {
+			c := r.t.Cols[ci]
+			dst := out.Cols[i]
+			switch c.Kind {
+			case vector.Int64:
+				dst.I64 = append(dst.I64, c.I64[r.pos:r.pos+n]...)
+			case vector.Float64:
+				dst.F64 = append(dst.F64, c.F64[r.pos:r.pos+n]...)
+			case vector.String:
+				dst.Str = append(dst.Str, c.Str[r.pos:r.pos+n]...)
+			}
+		}
+		r.pos += n
+		if out.Len() == r.limit {
+			return true
+		}
+		// Stop at the range boundary to keep batches range-pure.
+		if r.pos >= rr.End {
+			r.ri++
+			if r.ri < len(r.ranges) {
+				r.pos = r.ranges[r.ri].Start
+			}
+			return out.Len() > 0
+		}
+	}
+	return out.Len() > 0
+}

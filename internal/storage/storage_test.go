@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bdcc/internal/iosim"
+	"bdcc/internal/vector"
+)
+
+func testTable(t *testing.T, n int, pageSize int64) *Table {
+	t.Helper()
+	vals := make([]int64, n)
+	strs := make([]string, n)
+	for i := range vals {
+		vals[i] = int64(i)
+		strs[i] = "v" + string(rune('a'+i%26))
+	}
+	tab, err := NewTable("t", pageSize,
+		NewInt64Column("a", vals),
+		NewStringColumn("s", strs))
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("t", 0, NewInt64Column("a", nil)); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := NewTable("t", 4096); err == nil {
+		t.Error("table without columns accepted")
+	}
+	if _, err := NewTable("t", 4096,
+		NewInt64Column("a", []int64{1}), NewInt64Column("b", []int64{1, 2})); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	if _, err := NewTable("t", 4096,
+		NewInt64Column("a", []int64{1}), NewInt64Column("a", []int64{2})); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestDensestColumn(t *testing.T) {
+	tab := MustNewTable("t", 4096,
+		NewInt64Column("i", []int64{1, 2}),
+		NewStringColumn("wide", []string{"aaaaaaaaaaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbbbbbbbbbb"}))
+	if d := tab.DensestColumn(); d.Name != "wide" {
+		t.Errorf("densest = %s, want wide", d.Name)
+	}
+}
+
+func TestPagesGeometry(t *testing.T) {
+	tab := testTable(t, 1000, 4096) // int64 col: 512 rows/page
+	c := tab.MustColumn("a")
+	if got := tab.Pages(c); got != 2 {
+		t.Errorf("pages = %d, want 2", got)
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	tab := testTable(t, 100, 4096)
+	perm := make([]int32, 100)
+	for i := range perm {
+		perm[i] = int32(99 - i)
+	}
+	rev, err := tab.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.MustColumn("a").I64[0] != 99 {
+		t.Error("permute did not reverse")
+	}
+	back, err := rev.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range back.MustColumn("a").I64 {
+		if v != int64(i) {
+			t.Fatalf("double reverse broken at %d", i)
+		}
+	}
+	if _, err := tab.Permute(perm[:5]); err == nil {
+		t.Error("short permutation accepted")
+	}
+}
+
+func TestAppendRows(t *testing.T) {
+	tab := testTable(t, 10, 4096)
+	bigger, err := tab.AppendRows(RowRanges{{2, 4}, {8, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger.Rows() != 14 {
+		t.Fatalf("rows = %d, want 14", bigger.Rows())
+	}
+	a := bigger.MustColumn("a").I64
+	want := []int64{2, 3, 8, 9}
+	for i, w := range want {
+		if a[10+i] != w {
+			t.Errorf("appended row %d = %d, want %d", i, a[10+i], w)
+		}
+	}
+	if _, err := tab.AppendRows(RowRanges{{5, 20}}); err == nil {
+		t.Error("out-of-bounds append accepted")
+	}
+}
+
+func TestSortPerm(t *testing.T) {
+	keys := []uint64{3, 1, 2, 1}
+	perm := SortPerm(keys)
+	got := []uint64{keys[perm[0]], keys[perm[1]], keys[perm[2]], keys[perm[3]]}
+	if got[0] != 1 || got[1] != 1 || got[2] != 2 || got[3] != 3 {
+		t.Errorf("sorted = %v", got)
+	}
+	// Stability: the two 1-keys keep original relative order.
+	if perm[0] != 1 || perm[1] != 3 {
+		t.Errorf("unstable sort: perm = %v", perm)
+	}
+}
+
+func TestRowRangesNormalize(t *testing.T) {
+	rs := RowRanges{{5, 10}, {0, 3}, {9, 12}, {3, 3}, {2, 4}}
+	n := rs.Normalize()
+	want := RowRanges{{0, 4}, {5, 12}}
+	if len(n) != len(want) || n[0] != want[0] || n[1] != want[1] {
+		t.Errorf("normalize = %v, want %v", n, want)
+	}
+	if n.Rows() != 11 {
+		t.Errorf("rows = %d, want 11", n.Rows())
+	}
+}
+
+func TestRowRangesIntersectUnionProperties(t *testing.T) {
+	prop := func(aRaw, bRaw []uint16) bool {
+		mk := func(raw []uint16) RowRanges {
+			var out RowRanges
+			for i := 0; i+1 < len(raw); i += 2 {
+				lo := int(raw[i] % 200)
+				out = append(out, RowRange{lo, lo + int(raw[i+1]%20)})
+			}
+			return out.Normalize()
+		}
+		a, b := mk(aRaw), mk(bRaw)
+		inter := a.Intersect(b)
+		union := a.Union(b)
+		member := func(rs RowRanges, x int) bool {
+			for _, r := range rs {
+				if x >= r.Start && x < r.End {
+					return true
+				}
+			}
+			return false
+		}
+		for x := 0; x < 230; x++ {
+			inA, inB := member(a, x), member(b, x)
+			if member(inter, x) != (inA && inB) {
+				return false
+			}
+			if member(union, x) != (inA || inB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZonemapPruneSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	tab := MustNewTable("t", 512, NewInt64Column("v", vals)) // 64 rows/page
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Int63n(1000)
+		hi := lo + rng.Int63n(200)
+		keep := tab.PruneZonemap("v", Interval{
+			Lo: Bound{Set: true, I: lo},
+			Hi: Bound{Set: true, I: hi},
+		}, nil)
+		inKeep := make([]bool, n)
+		for _, r := range keep {
+			for i := r.Start; i < r.End; i++ {
+				inKeep[i] = true
+			}
+		}
+		for i, v := range vals {
+			if v >= lo && v <= hi && !inKeep[i] {
+				t.Fatalf("zonemap pruned qualifying row %d (v=%d in [%d,%d])", i, v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestZonemapPruneUnsortedInput(t *testing.T) {
+	// Regression: count-table-ordered (unsorted) range sets must be handled.
+	n := 1000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tab := MustNewTable("t", 512, NewInt64Column("v", vals))
+	in := RowRanges{{800, 900}, {0, 100}} // out of order
+	keep := tab.PruneZonemap("v", Interval{Lo: Bound{Set: true, I: 0}, Hi: Bound{Set: true, I: 950}}, in)
+	if keep.Rows() != 200 {
+		t.Errorf("kept %d rows, want 200", keep.Rows())
+	}
+}
+
+func TestReaderBatches(t *testing.T) {
+	tab := testTable(t, 3000, 4096)
+	r := NewReader(tab, []int{0, 1}, RowRanges{{10, 20}, {100, 1500}}, nil)
+	var rows int
+	b := vector.NewBatch(r.Kinds())
+	for r.Next(b) {
+		rows += b.Len()
+		if b.Len() > vector.BatchSize {
+			t.Fatalf("batch of %d rows exceeds BatchSize", b.Len())
+		}
+	}
+	if rows != 1410 {
+		t.Errorf("read %d rows, want 1410", rows)
+	}
+}
+
+func TestChargeIOCoalescesRuns(t *testing.T) {
+	tab := testTable(t, 10000, 4096) // int col: 512 rows/page → ~20 pages
+	acct := iosim.NewAccountant(iosim.PaperSSD())
+	// Two ranges on adjacent pages coalesce into one run; a distant one adds
+	// a second run.
+	tab.ChargeIO(acct, []int{0}, RowRanges{{0, 100}, {600, 700}, {9000, 9100}})
+	st := acct.Stats()
+	if st.Runs != 2 {
+		t.Errorf("runs = %d, want 2", st.Runs)
+	}
+	if st.Pages != 3 {
+		t.Errorf("pages = %d, want 3", st.Pages)
+	}
+}

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"bdcc/internal/iosim"
+)
+
+// Table is a stored columnar table. Columns are laid out independently in
+// logical pages of the table's page size; a column's rows-per-page depends on
+// its value width, so narrow columns pack many more rows per page than wide
+// ones (this is what makes the widest column the "highest density" column of
+// Algorithm 1 — it has the most pages, hence the finest meaningful
+// granularity).
+type Table struct {
+	Name     string
+	Cols     []*Column
+	PageSize int64
+
+	rows   int
+	byName map[string]int
+	zones  []zonemap
+}
+
+// NewTable builds a table over the given columns, computes widths and
+// per-page zonemaps, and validates that all columns have equal length.
+// pageSize must be positive; the paper's setup uses 32 KB.
+func NewTable(name string, pageSize int64, cols ...*Column) (*Table, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("storage: table %q: page size %d must be positive", name, pageSize)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("storage: table %q has no columns", name)
+	}
+	t := &Table{Name: name, Cols: cols, PageSize: pageSize, rows: cols[0].Len()}
+	t.byName = make(map[string]int, len(cols))
+	for i, c := range cols {
+		if err := c.validate(t.rows); err != nil {
+			return nil, err
+		}
+		if _, dup := t.byName[c.Name]; dup {
+			return nil, fmt.Errorf("storage: table %q: duplicate column %q", name, c.Name)
+		}
+		t.byName[c.Name] = i
+		c.finish()
+	}
+	t.zones = make([]zonemap, len(cols))
+	for i, c := range cols {
+		t.zones[i] = buildZonemap(c, t.rowsPerPage(c))
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable panicking on error, for construction of static
+// test and example fixtures.
+func MustNewTable(name string, pageSize int64, cols ...*Column) *Table {
+	t, err := NewTable(name, pageSize, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Rows returns the number of rows in the table.
+func (t *Table) Rows() int { return t.rows }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column or an error.
+func (t *Table) Column(name string) (*Column, error) {
+	i := t.ColumnIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("storage: table %q has no column %q", t.Name, name)
+	}
+	return t.Cols[i], nil
+}
+
+// MustColumn is Column panicking on unknown names.
+func (t *Table) MustColumn(name string) *Column {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// rowsPerPage returns how many values of column c fit in one page.
+func (t *Table) rowsPerPage(c *Column) int {
+	w := c.width
+	if w <= 0 {
+		w = 1
+	}
+	rpp := int(float64(t.PageSize) / w)
+	if rpp < 1 {
+		rpp = 1
+	}
+	return rpp
+}
+
+// Pages returns the number of logical pages of column c in this table.
+func (t *Table) Pages(c *Column) int {
+	rpp := t.rowsPerPage(c)
+	return (t.rows + rpp - 1) / rpp
+}
+
+// DensestColumn returns the column with the most pages (the widest). This is
+// the column Algorithm 1 sizes groups against.
+func (t *Table) DensestColumn() *Column {
+	best := t.Cols[0]
+	for _, c := range t.Cols[1:] {
+		if c.width > best.width {
+			best = c
+		}
+	}
+	return best
+}
+
+// Permute returns a new table with rows reordered so that row i of the result
+// is row perm[i] of t. Zonemaps are rebuilt. len(perm) must equal t.Rows().
+func (t *Table) Permute(perm []int32) (*Table, error) {
+	if len(perm) != t.rows {
+		return nil, fmt.Errorf("storage: permutation of length %d for table %q with %d rows", len(perm), t.Name, t.rows)
+	}
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = c.permute(perm)
+	}
+	return NewTable(t.Name, t.PageSize, cols...)
+}
+
+// AppendRows returns a new table consisting of t followed by the given row
+// ranges of t copied once more at the end. This implements the paper's
+// small-group relocation: "the low percentage of data in very small groups
+// ... is copied and appended once more to table T". Zonemaps are rebuilt.
+func (t *Table) AppendRows(ranges RowRanges) (*Table, error) {
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		nc := &Column{Name: c.Name, Kind: c.Kind}
+		nc.appendRows(c, 0, t.rows)
+		for _, r := range ranges {
+			if r.Start < 0 || r.End > t.rows {
+				return nil, fmt.Errorf("storage: append range [%d,%d) outside table %q", r.Start, r.End, t.Name)
+			}
+			nc.appendRows(c, r.Start, r.End)
+		}
+		cols[i] = nc
+	}
+	return NewTable(t.Name, t.PageSize, cols...)
+}
+
+// SortPerm returns the permutation that stably sorts the table by the given
+// int64 keys ascending (keys[i] is the key of row i).
+func SortPerm(keys []uint64) []int32 {
+	perm := make([]int32, len(keys))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	return perm
+}
+
+// ChargeIO records with acct the device activity of reading the given row
+// ranges of columns cols, coalescing page accesses per column into maximal
+// runs. It returns the total bytes charged. A nil accountant is a no-op.
+func (t *Table) ChargeIO(acct *iosim.Accountant, cols []int, ranges RowRanges) int64 {
+	if len(ranges) == 0 {
+		return 0
+	}
+	var total int64
+	for _, ci := range cols {
+		c := t.Cols[ci]
+		rpp := t.rowsPerPage(c)
+		// Convert row ranges to page runs; adjacent page intervals coalesce.
+		runStart, runEnd := -1, -1
+		flush := func() {
+			if runStart < 0 {
+				return
+			}
+			pages := int64(runEnd - runStart + 1)
+			bytes := pages * t.PageSize
+			total += bytes
+			if acct != nil {
+				acct.AddRun(pages, bytes)
+			}
+			runStart, runEnd = -1, -1
+		}
+		for _, r := range ranges {
+			p0 := r.Start / rpp
+			p1 := (r.End - 1) / rpp
+			if runStart >= 0 && p0 <= runEnd+1 {
+				if p1 > runEnd {
+					runEnd = p1
+				}
+				continue
+			}
+			flush()
+			runStart, runEnd = p0, p1
+		}
+		flush()
+	}
+	return total
+}

@@ -1,0 +1,145 @@
+package storage
+
+import "bdcc/internal/vector"
+
+// zonemap holds per-page minimum and maximum values of one column. The host
+// system of the paper ("Integration of VectorWise with Ingres", SIGMOD Record
+// 2011) creates these MinMax indices automatically on every table; they are
+// only selective when the table is clustered on (or correlated with) the
+// filtered attribute — which is exactly how the paper's BDCC setup
+// accelerates l_shipdate predicates through o_orderdate clustering.
+type zonemap struct {
+	rowsPerPage int
+	minI        []int64
+	maxI        []int64
+	minF        []float64
+	maxF        []float64
+	minS        []string
+	maxS        []string
+}
+
+func buildZonemap(c *Column, rowsPerPage int) zonemap {
+	n := c.Len()
+	pages := (n + rowsPerPage - 1) / rowsPerPage
+	z := zonemap{rowsPerPage: rowsPerPage}
+	switch c.Kind {
+	case vector.Int64:
+		z.minI = make([]int64, pages)
+		z.maxI = make([]int64, pages)
+		for p := 0; p < pages; p++ {
+			lo, hi := p*rowsPerPage, min((p+1)*rowsPerPage, n)
+			mn, mx := c.I64[lo], c.I64[lo]
+			for _, v := range c.I64[lo+1 : hi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			z.minI[p], z.maxI[p] = mn, mx
+		}
+	case vector.Float64:
+		z.minF = make([]float64, pages)
+		z.maxF = make([]float64, pages)
+		for p := 0; p < pages; p++ {
+			lo, hi := p*rowsPerPage, min((p+1)*rowsPerPage, n)
+			mn, mx := c.F64[lo], c.F64[lo]
+			for _, v := range c.F64[lo+1 : hi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			z.minF[p], z.maxF[p] = mn, mx
+		}
+	case vector.String:
+		z.minS = make([]string, pages)
+		z.maxS = make([]string, pages)
+		for p := 0; p < pages; p++ {
+			lo, hi := p*rowsPerPage, min((p+1)*rowsPerPage, n)
+			mn, mx := c.Str[lo], c.Str[lo]
+			for _, v := range c.Str[lo+1 : hi] {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			z.minS[p], z.maxS[p] = mn, mx
+		}
+	}
+	return z
+}
+
+// Bound is one endpoint of a value interval used for zonemap pruning.
+// Unbounded endpoints are expressed with Open=false, Set=false.
+type Bound struct {
+	Set bool
+	I   int64
+	F   float64
+	S   string
+}
+
+// Interval is a closed value interval [Lo, Hi] on a column; either endpoint
+// may be absent.
+type Interval struct {
+	Lo Bound
+	Hi Bound
+}
+
+// PruneZonemap intersects the given row ranges with the pages of column name
+// whose [min,max] overlaps the interval, returning the refined row ranges.
+// Pages are the pruning granularity; surviving ranges still require tuple-
+// level re-evaluation of the predicate.
+func (t *Table) PruneZonemap(name string, iv Interval, in RowRanges) RowRanges {
+	ci := t.ColumnIndex(name)
+	if ci < 0 {
+		return in
+	}
+	c := t.Cols[ci]
+	z := t.zones[ci]
+	if in == nil {
+		in = FullRange(t.rows)
+	}
+	// Callers may pass range sets in count-table order, which after
+	// small-group relocation is not offset-sorted; intersection requires
+	// normalized operands.
+	in = in.Normalize()
+	var keep RowRanges
+	rpp := z.rowsPerPage
+	pages := t.Pages(c)
+	for p := 0; p < pages; p++ {
+		ok := true
+		switch c.Kind {
+		case vector.Int64:
+			if iv.Lo.Set && z.maxI[p] < iv.Lo.I {
+				ok = false
+			}
+			if iv.Hi.Set && z.minI[p] > iv.Hi.I {
+				ok = false
+			}
+		case vector.Float64:
+			if iv.Lo.Set && z.maxF[p] < iv.Lo.F {
+				ok = false
+			}
+			if iv.Hi.Set && z.minF[p] > iv.Hi.F {
+				ok = false
+			}
+		case vector.String:
+			if iv.Lo.Set && z.maxS[p] < iv.Lo.S {
+				ok = false
+			}
+			if iv.Hi.Set && z.minS[p] > iv.Hi.S {
+				ok = false
+			}
+		}
+		if ok {
+			keep = append(keep, RowRange{p * rpp, min((p+1)*rpp, t.rows)})
+		}
+	}
+	return in.Intersect(keep.Normalize())
+}

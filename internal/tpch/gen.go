@@ -1,0 +1,466 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bdcc/internal/storage"
+	"bdcc/internal/vector"
+)
+
+// Static value pools from the TPC-H specification (subset sufficient for the
+// 22 queries' predicates).
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+	// nations maps n_nationkey to (name, regionkey), per the spec's fixed
+	// nation table.
+	nationNames = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	nationRegions = []int64{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+	containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+	// colors is a subset of the spec's P_NAME word pool; it includes the
+	// words Q9 ("green") and Q20 ("forest") select on.
+	colors = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+		"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+		"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+		"green", "grey", "honeydew", "hot", "indian", "ivory", "khaki",
+		"lace", "lavender", "lawn", "lemon", "light", "lime", "linen",
+		"magenta", "maroon", "medium", "metallic", "midnight", "mint",
+		"misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+		"pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+		"purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+		"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow",
+		"spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet",
+		"wheat", "white", "yellow",
+	}
+
+	commentWords = []string{
+		"carefully", "quickly", "furiously", "slyly", "blithely", "ironic",
+		"regular", "express", "bold", "final", "pending", "silent", "even",
+		"special", "unusual", "packages", "deposits", "requests", "accounts",
+		"instructions", "theodolites", "pinto", "beans", "foxes", "ideas",
+		"dependencies", "platelets", "excuses", "asymptotes", "courts",
+		"sleep", "wake", "haggle", "nag", "cajole", "boost", "detect",
+		"integrate", "use", "among", "across", "above", "the",
+	}
+)
+
+// Dataset is a generated TPC-H database.
+type Dataset struct {
+	SF     float64
+	Tables map[string]*storage.Table
+}
+
+// Generate produces a deterministic TPC-H dataset at the given scale factor
+// with the paper's 32 KB page geometry. Key distributional properties the
+// reproduction depends on are preserved from the specification:
+//
+//   - o_orderdate uniform in [1992-01-01, 1998-08-02] — uncorrelated with
+//     orderkey, so insertion order gives the Plain scheme no date locality;
+//   - l_shipdate = o_orderdate + U[1,121] — the orderdate/shipdate
+//     correlation that lets MinMax indexes prune shipdate predicates once
+//     BDCC clusters on D_DATE (the paper's Q6/Q12/Q20 effect);
+//   - one third of customers place no orders (Q22's target population);
+//   - c_phone country code = 10 + nationkey (Q22's substring predicate);
+//   - a small fraction of o_comment match '%special%requests%' (Q13) and of
+//     s_comment match '%Customer%Complaints%' (Q16).
+func Generate(sf float64) *Dataset {
+	if sf <= 0 {
+		panic(fmt.Sprintf("tpch: scale factor %v must be positive", sf))
+	}
+	// The paper stores 100 GB TPC-H on 32 KB pages; reproduction datasets
+	// are ~1000× smaller, so 4 KB logical pages keep the group-bytes-per-
+	// page geometry of Algorithm 1's AR sizing comparable (see DESIGN.md).
+	const pageSize = 4 << 10
+	d := &Dataset{SF: sf, Tables: make(map[string]*storage.Table)}
+
+	nSupp := scaled(10_000, sf)
+	nPart := scaled(200_000, sf)
+	nCust := scaled(150_000, sf)
+	nOrd := scaled(1_500_000, sf)
+
+	d.Tables["region"] = genRegion(pageSize)
+	d.Tables["nation"] = genNation(pageSize)
+	d.Tables["supplier"] = genSupplier(pageSize, nSupp)
+	part, retail := genPart(pageSize, nPart)
+	d.Tables["part"] = part
+	d.Tables["partsupp"] = genPartsupp(pageSize, nPart, nSupp)
+	d.Tables["customer"] = genCustomer(pageSize, nCust)
+	orders, lineitem := genOrdersLineitem(pageSize, nOrd, nCust, nPart, nSupp, retail)
+	d.Tables["orders"] = orders
+	d.Tables["lineitem"] = lineitem
+	return d
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// comment builds a pseudo-random comment; with probability injectProb the
+// two pattern words are planted with a gap, so '%w1%w2%' LIKE predicates
+// match a controlled fraction of rows.
+func comment(rng *rand.Rand, words int, injectProb float64, w1, w2 string) string {
+	out := make([]byte, 0, 64)
+	inject := injectProb > 0 && rng.Float64() < injectProb
+	at := -1
+	if inject {
+		at = rng.Intn(words - 1)
+	}
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		switch {
+		case inject && i == at:
+			out = append(out, w1...)
+		case inject && i == at+1:
+			out = append(out, w2...)
+		default:
+			out = append(out, commentWords[rng.Intn(len(commentWords))]...)
+		}
+	}
+	return string(out)
+}
+
+func genRegion(pageSize int64) *storage.Table {
+	rng := rand.New(rand.NewSource(101))
+	n := len(regionNames)
+	key := make([]int64, n)
+	name := make([]string, n)
+	com := make([]string, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i)
+		name[i] = regionNames[i]
+		com[i] = comment(rng, 6, 0, "", "")
+	}
+	return storage.MustNewTable("region", pageSize,
+		storage.NewInt64Column("r_regionkey", key),
+		storage.NewStringColumn("r_name", name),
+		storage.NewStringColumn("r_comment", com))
+}
+
+func genNation(pageSize int64) *storage.Table {
+	rng := rand.New(rand.NewSource(102))
+	n := len(nationNames)
+	key := make([]int64, n)
+	name := make([]string, n)
+	region := make([]int64, n)
+	com := make([]string, n)
+	for i := 0; i < n; i++ {
+		key[i] = int64(i)
+		name[i] = nationNames[i]
+		region[i] = nationRegions[i]
+		com[i] = comment(rng, 8, 0, "", "")
+	}
+	return storage.MustNewTable("nation", pageSize,
+		storage.NewInt64Column("n_nationkey", key),
+		storage.NewStringColumn("n_name", name),
+		storage.NewInt64Column("n_regionkey", region),
+		storage.NewStringColumn("n_comment", com))
+}
+
+func genSupplier(pageSize int64, n int) *storage.Table {
+	rng := rand.New(rand.NewSource(103))
+	key := make([]int64, n)
+	name := make([]string, n)
+	addr := make([]string, n)
+	nation := make([]int64, n)
+	phone := make([]string, n)
+	bal := make([]float64, n)
+	com := make([]string, n)
+	for i := 0; i < n; i++ {
+		k := int64(i + 1)
+		key[i] = k
+		name[i] = fmt.Sprintf("Supplier#%09d", k)
+		addr[i] = fmt.Sprintf("addr s%d %s", k, commentWords[rng.Intn(len(commentWords))])
+		nk := rng.Int63n(25)
+		nation[i] = nk
+		phone[i] = genPhone(rng, nk)
+		bal[i] = float64(rng.Intn(1100000)-100000) / 100
+		// The spec plants "Customer ... Complaints" in 5 of 10000 suppliers.
+		com[i] = comment(rng, 10, 0.0005, "Customer", "Complaints")
+	}
+	return storage.MustNewTable("supplier", pageSize,
+		storage.NewInt64Column("s_suppkey", key),
+		storage.NewStringColumn("s_name", name),
+		storage.NewStringColumn("s_address", addr),
+		storage.NewInt64Column("s_nationkey", nation),
+		storage.NewStringColumn("s_phone", phone),
+		storage.NewFloat64Column("s_acctbal", bal),
+		storage.NewStringColumn("s_comment", com))
+}
+
+func genPhone(rng *rand.Rand, nationkey int64) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nationkey,
+		100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
+}
+
+// genPart returns the part table and p_retailprice by part index (needed to
+// derive l_extendedprice).
+func genPart(pageSize int64, n int) (*storage.Table, []float64) {
+	rng := rand.New(rand.NewSource(104))
+	key := make([]int64, n)
+	name := make([]string, n)
+	mfgr := make([]string, n)
+	brand := make([]string, n)
+	ptype := make([]string, n)
+	size := make([]int64, n)
+	container := make([]string, n)
+	retail := make([]float64, n)
+	com := make([]string, n)
+	for i := 0; i < n; i++ {
+		k := int64(i + 1)
+		key[i] = k
+		// Five distinct color words, as in the spec's P_NAME.
+		perm := rng.Perm(len(colors))[:5]
+		nm := ""
+		for j, ci := range perm {
+			if j > 0 {
+				nm += " "
+			}
+			nm += colors[ci]
+		}
+		name[i] = nm
+		m := 1 + rng.Intn(5)
+		mfgr[i] = fmt.Sprintf("Manufacturer#%d", m)
+		brand[i] = fmt.Sprintf("Brand#%d%d", m, 1+rng.Intn(5))
+		ptype[i] = typeSyl1[rng.Intn(6)] + " " + typeSyl2[rng.Intn(5)] + " " + typeSyl3[rng.Intn(5)]
+		size[i] = int64(1 + rng.Intn(50))
+		container[i] = containerSyl1[rng.Intn(5)] + " " + containerSyl2[rng.Intn(8)]
+		retail[i] = float64(90000+((k/10)%20001)+100*(k%1000)) / 100
+		com[i] = comment(rng, 4, 0, "", "")
+	}
+	t := storage.MustNewTable("part", pageSize,
+		storage.NewInt64Column("p_partkey", key),
+		storage.NewStringColumn("p_name", name),
+		storage.NewStringColumn("p_mfgr", mfgr),
+		storage.NewStringColumn("p_brand", brand),
+		storage.NewStringColumn("p_type", ptype),
+		storage.NewInt64Column("p_size", size),
+		storage.NewStringColumn("p_container", container),
+		storage.NewFloat64Column("p_retailprice", retail),
+		storage.NewStringColumn("p_comment", com))
+	return t, retail
+}
+
+// psSupplierFor reproduces the spec's supplier assignment: the i-th (0..3)
+// supplier of part p among s suppliers.
+func psSupplierFor(p int64, i int, s int64) int64 {
+	return (p+int64(i)*(s/4+(p-1)/s))%s + 1
+}
+
+func genPartsupp(pageSize int64, nPart, nSupp int) *storage.Table {
+	rng := rand.New(rand.NewSource(105))
+	n := nPart * 4
+	pk := make([]int64, 0, n)
+	sk := make([]int64, 0, n)
+	avail := make([]int64, 0, n)
+	cost := make([]float64, 0, n)
+	com := make([]string, 0, n)
+	for p := int64(1); p <= int64(nPart); p++ {
+		for i := 0; i < 4; i++ {
+			pk = append(pk, p)
+			sk = append(sk, psSupplierFor(p, i, int64(nSupp)))
+			avail = append(avail, int64(1+rng.Intn(9999)))
+			cost = append(cost, float64(100+rng.Intn(99901))/100)
+			com = append(com, comment(rng, 12, 0, "", ""))
+		}
+	}
+	return storage.MustNewTable("partsupp", pageSize,
+		storage.NewInt64Column("ps_partkey", pk),
+		storage.NewInt64Column("ps_suppkey", sk),
+		storage.NewInt64Column("ps_availqty", avail),
+		storage.NewFloat64Column("ps_supplycost", cost),
+		storage.NewStringColumn("ps_comment", com))
+}
+
+func genCustomer(pageSize int64, n int) *storage.Table {
+	rng := rand.New(rand.NewSource(106))
+	key := make([]int64, n)
+	name := make([]string, n)
+	addr := make([]string, n)
+	nation := make([]int64, n)
+	phone := make([]string, n)
+	bal := make([]float64, n)
+	seg := make([]string, n)
+	com := make([]string, n)
+	for i := 0; i < n; i++ {
+		k := int64(i + 1)
+		key[i] = k
+		name[i] = fmt.Sprintf("Customer#%09d", k)
+		addr[i] = fmt.Sprintf("addr c%d", k)
+		nk := rng.Int63n(25)
+		nation[i] = nk
+		phone[i] = genPhone(rng, nk)
+		bal[i] = float64(rng.Intn(1100000)-100000) / 100
+		seg[i] = segments[rng.Intn(len(segments))]
+		com[i] = comment(rng, 10, 0, "", "")
+	}
+	return storage.MustNewTable("customer", pageSize,
+		storage.NewInt64Column("c_custkey", key),
+		storage.NewStringColumn("c_name", name),
+		storage.NewStringColumn("c_address", addr),
+		storage.NewInt64Column("c_nationkey", nation),
+		storage.NewStringColumn("c_phone", phone),
+		storage.NewFloat64Column("c_acctbal", bal),
+		storage.NewStringColumn("c_mktsegment", seg),
+		storage.NewStringColumn("c_comment", com))
+}
+
+func genOrdersLineitem(pageSize int64, nOrd, nCust, nPart, nSupp int, retail []float64) (*storage.Table, *storage.Table) {
+	rng := rand.New(rand.NewSource(107))
+	dateLo := vector.ParseDate("1992-01-01")
+	dateHi := vector.ParseDate("1998-08-02")
+	statusCut := vector.ParseDate("1995-06-17")
+
+	oKey := make([]int64, nOrd)
+	oCust := make([]int64, nOrd)
+	oStatus := make([]string, nOrd)
+	oTotal := make([]float64, nOrd)
+	oDate := make([]int64, nOrd)
+	oPrio := make([]string, nOrd)
+	oClerk := make([]string, nOrd)
+	oShipPrio := make([]int64, nOrd)
+	oCom := make([]string, nOrd)
+
+	var lOrd, lPart, lSupp, lNum []int64
+	var lQty, lExt, lDisc, lTax []float64
+	var lRet, lStat []string
+	var lShip, lCommit, lRcpt []int64
+	var lInstr, lMode, lCom []string
+
+	for i := 0; i < nOrd; i++ {
+		ok := int64(i + 1)
+		oKey[i] = ok
+		// A third of customers place no orders (custkey % 3 == 0 skipped).
+		var ck int64
+		for {
+			ck = 1 + rng.Int63n(int64(nCust))
+			if ck%3 != 0 || nCust < 3 {
+				break
+			}
+		}
+		oCust[i] = ck
+		od := dateLo + rng.Int63n(dateHi-dateLo+1)
+		oDate[i] = od
+		oPrio[i] = priorities[rng.Intn(5)]
+		oClerk[i] = fmt.Sprintf("Clerk#%09d", 1+rng.Intn(1000))
+		oShipPrio[i] = 0
+		// The spec plants "special ... requests" so Q13 excludes a small
+		// fraction of orders.
+		oCom[i] = comment(rng, 8, 0.02, "special", "requests")
+
+		items := 1 + rng.Intn(7)
+		var total float64
+		allF, allO := true, true
+		for ln := 1; ln <= items; ln++ {
+			pk := 1 + rng.Int63n(int64(nPart))
+			si := rng.Intn(4)
+			sk := psSupplierFor(pk, si, int64(nSupp))
+			qty := float64(1 + rng.Intn(50))
+			ext := qty * retail[pk-1]
+			disc := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			ship := od + 1 + rng.Int63n(121)
+			commit := od + 30 + rng.Int63n(61)
+			rcpt := ship + 1 + rng.Int63n(30)
+			rf := "N"
+			if rcpt <= statusCut {
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			}
+			ls := "F"
+			if ship > statusCut {
+				ls = "O"
+			}
+			if ls == "F" {
+				allO = false
+			} else {
+				allF = false
+			}
+			lOrd = append(lOrd, ok)
+			lPart = append(lPart, pk)
+			lSupp = append(lSupp, sk)
+			lNum = append(lNum, int64(ln))
+			lQty = append(lQty, qty)
+			lExt = append(lExt, ext)
+			lDisc = append(lDisc, disc)
+			lTax = append(lTax, tax)
+			lRet = append(lRet, rf)
+			lStat = append(lStat, ls)
+			lShip = append(lShip, ship)
+			lCommit = append(lCommit, commit)
+			lRcpt = append(lRcpt, rcpt)
+			lInstr = append(lInstr, instructs[rng.Intn(4)])
+			lMode = append(lMode, shipModes[rng.Intn(7)])
+			lCom = append(lCom, comment(rng, 5, 0, "", ""))
+			total += ext * (1 + tax) * (1 - disc)
+		}
+		switch {
+		case allF:
+			oStatus[i] = "F"
+		case allO:
+			oStatus[i] = "O"
+		default:
+			oStatus[i] = "P"
+		}
+		oTotal[i] = total
+	}
+
+	orders := storage.MustNewTable("orders", pageSize,
+		storage.NewInt64Column("o_orderkey", oKey),
+		storage.NewInt64Column("o_custkey", oCust),
+		storage.NewStringColumn("o_orderstatus", oStatus),
+		storage.NewFloat64Column("o_totalprice", oTotal),
+		storage.NewInt64Column("o_orderdate", oDate),
+		storage.NewStringColumn("o_orderpriority", oPrio),
+		storage.NewStringColumn("o_clerk", oClerk),
+		storage.NewInt64Column("o_shippriority", oShipPrio),
+		storage.NewStringColumn("o_comment", oCom))
+	lineitem := storage.MustNewTable("lineitem", pageSize,
+		storage.NewInt64Column("l_orderkey", lOrd),
+		storage.NewInt64Column("l_partkey", lPart),
+		storage.NewInt64Column("l_suppkey", lSupp),
+		storage.NewInt64Column("l_linenumber", lNum),
+		storage.NewFloat64Column("l_quantity", lQty),
+		storage.NewFloat64Column("l_extendedprice", lExt),
+		storage.NewFloat64Column("l_discount", lDisc),
+		storage.NewFloat64Column("l_tax", lTax),
+		storage.NewStringColumn("l_returnflag", lRet),
+		storage.NewStringColumn("l_linestatus", lStat),
+		storage.NewInt64Column("l_shipdate", lShip),
+		storage.NewInt64Column("l_commitdate", lCommit),
+		storage.NewInt64Column("l_receiptdate", lRcpt),
+		storage.NewStringColumn("l_shipinstruct", lInstr),
+		storage.NewStringColumn("l_shipmode", lMode),
+		storage.NewStringColumn("l_comment", lCom))
+	return orders, lineitem
+}

@@ -1,0 +1,96 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDateRoundTrip(t *testing.T) {
+	cases := []string{"1970-01-01", "1992-01-01", "1995-06-17", "1998-08-02", "2000-02-29"}
+	for _, s := range cases {
+		if got := FormatDate(ParseDate(s)); got != s {
+			t.Errorf("round trip %s -> %s", s, got)
+		}
+	}
+	if ParseDate("1970-01-01") != 0 {
+		t.Error("epoch should be day 0")
+	}
+	if ParseDate("1970-01-02") != 1 {
+		t.Error("day arithmetic off")
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	d := ParseDate("1995-03-15")
+	if DateYear(d) != 1995 {
+		t.Errorf("year = %d", DateYear(d))
+	}
+	if MakeDate(1995, 3, 15) != d {
+		t.Error("MakeDate mismatch")
+	}
+	if FormatDate(AddMonths(d, 3)) != "1995-06-15" {
+		t.Errorf("AddMonths = %s", FormatDate(AddMonths(d, 3)))
+	}
+	if FormatDate(AddYears(d, 1)) != "1996-03-15" {
+		t.Errorf("AddYears = %s", FormatDate(AddYears(d, 1)))
+	}
+}
+
+func TestVectorAppendAndCompare(t *testing.T) {
+	v := NewVector(Int64, 4)
+	v.AppendInt64(3)
+	v.AppendInt64(1)
+	if v.Len() != 2 || v.Compare(0, v, 1) != 1 || v.Compare(1, v, 0) != -1 || v.Compare(0, v, 0) != 0 {
+		t.Error("int compare broken")
+	}
+	s := NewVector(String, 2)
+	s.AppendString("a")
+	s.AppendString("b")
+	if s.Compare(0, s, 1) != -1 {
+		t.Error("string compare broken")
+	}
+	f := NewVector(Float64, 2)
+	f.AppendFloat64(1.5)
+	f.AppendFrom(f, 0)
+	if f.Len() != 2 || f.F64[1] != 1.5 {
+		t.Error("AppendFrom broken")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := NewBatch([]Kind{Int64, String})
+	b.Cols[0].AppendInt64(7)
+	b.Cols[1].AppendString("x")
+	c := NewBatch(b.Kinds())
+	c.AppendRow(b, 0)
+	if c.Len() != 1 || c.Cols[0].I64[0] != 7 || c.Cols[1].Str[0] != "x" {
+		t.Error("AppendRow broken")
+	}
+	c.GroupID, c.Grouped = 5, true
+	c.Reset()
+	if c.Len() != 0 || c.Grouped || c.GroupID != 0 {
+		t.Error("Reset must clear rows and group tag")
+	}
+}
+
+// TestDateMonotone: parse preserves calendar order.
+func TestDateMonotone(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		d1 := MakeDate(1992+int(a%7), 1+int(a%12), 1+int(a%28))
+		d2 := MakeDate(1992+int(b%7), 1+int(b%12), 1+int(b%28))
+		s1, s2 := FormatDate(d1), FormatDate(d2)
+		return (d1 < d2) == (s1 < s2) || d1 == d2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Int64.String() != "int64" || Float64.String() != "float64" || String.String() != "string" {
+		t.Error("kind names")
+	}
+	if Int64.Width() != 8 || String.Width() != 0 {
+		t.Error("widths")
+	}
+}
