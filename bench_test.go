@@ -22,6 +22,8 @@ import (
 	"testing"
 
 	"bdcc/internal/core"
+	"bdcc/internal/engine"
+	"bdcc/internal/expr"
 	"bdcc/internal/plan"
 	"bdcc/internal/tpch"
 )
@@ -151,6 +153,65 @@ func BenchmarkAlg1SelfTuning(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkHashJoinBuildProbe measures the raw hash-join hot path —
+// building a table over ORDERS and probing it with every LINEITEM row —
+// isolated from planning and I/O modeling. Throughput is reported as
+// probe-side Mrows/s.
+func BenchmarkHashJoinBuildProbe(b *testing.B) {
+	bench := fixture(b)
+	li := bench.Data.Tables["lineitem"]
+	ord := bench.Data.Tables["orders"]
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		ctx := &engine.Context{Mem: &engine.MemTracker{}}
+		j := &engine.HashJoin{
+			Left:     &engine.TableScan{Table: li, Cols: []string{"l_orderkey", "l_quantity"}},
+			Right:    &engine.TableScan{Table: ord, Cols: []string{"o_orderkey", "o_custkey"}},
+			LeftKeys: []string{"l_orderkey"}, RightKeys: []string{"o_orderkey"},
+			Type: engine.InnerJoin,
+		}
+		res, err := engine.Run(ctx, j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = res.Rows()
+	}
+	if rows != li.Rows() {
+		b.Fatalf("join produced %d rows, want %d", rows, li.Rows())
+	}
+	b.ReportMetric(float64(li.Rows())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}
+
+// BenchmarkHashAgg measures the raw hash-aggregation hot path: grouping
+// LINEITEM by l_orderkey (high cardinality) with COUNT and SUM, isolated
+// from planning and I/O modeling. Throughput is input Mrows/s.
+func BenchmarkHashAgg(b *testing.B) {
+	bench := fixture(b)
+	li := bench.Data.Tables["lineitem"]
+	ord := bench.Data.Tables["orders"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := &engine.Context{Mem: &engine.MemTracker{}}
+		a := &engine.HashAggregate{
+			Child:   &engine.TableScan{Table: li, Cols: []string{"l_orderkey", "l_quantity"}},
+			GroupBy: []string{"l_orderkey"},
+			Aggs: []engine.AggSpec{
+				{Name: "c", Func: engine.AggCount},
+				{Name: "s", Func: engine.AggSum, Arg: expr.C("l_quantity")},
+			},
+		}
+		res, err := engine.Run(ctx, a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows() != ord.Rows() {
+			b.Fatalf("agg produced %d groups, want %d", res.Rows(), ord.Rows())
+		}
+	}
+	b.ReportMetric(float64(li.Rows())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
 }
 
 // BenchmarkSandwichAblation contrasts the sandwiched and unsandwiched

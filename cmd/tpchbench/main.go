@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	tpchbench [-sf 0.05] [-explain] [-orderings]
+//	tpchbench [-sf 0.05] [-explain] [-orderings] [-json BENCH_tpch.json]
+//
+// The -json flag additionally writes the full measurement grid (per-query
+// device-ms, MB-read, peak-MB per scheme) as machine-readable JSON so the
+// performance trajectory can be tracked across changes; pass -json "" to
+// disable.
 package main
 
 import (
@@ -22,6 +27,7 @@ func main() {
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
+	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
 	flag.Parse()
 
 	fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes...\n", *sf)
@@ -39,6 +45,21 @@ func main() {
 	rep.WriteFig3(os.Stdout)
 	fmt.Println()
 	rep.WriteIO(os.Stdout)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 
 	if *explain {
 		fmt.Println("\nBDCC planner decisions:")

@@ -1,0 +1,3 @@
+module bdcc
+
+go 1.24

@@ -52,13 +52,13 @@ type aggState struct {
 	f64      float64
 	str      string
 	count    int64
-	distinct map[string]struct{}
+	distinct *distinctSet
 }
 
-// group is one hash-aggregate entry.
-type group struct {
-	states []aggState
-}
+// aggStateBytes is the in-memory size of one aggState (four 8-byte fields
+// plus the 16-byte string header), charged to the memory tracker per
+// (group, aggregate) pair.
+const aggStateBytes = 48
 
 // HashAggregate groups its input by the GroupBy columns and computes the
 // aggregates. With FlushOnGroup set the operator becomes the sandwich
@@ -77,11 +77,18 @@ type HashAggregate struct {
 	schema   expr.Schema
 	ctx      *Context
 	keyIdx   []int
-	enc      *keyEncoder
-	groups   map[string]*group
-	order    []string // emission order (first-seen)
-	keyBuf   *Buffer  // one row per group, in first-seen order
+	table    oaTable    // key hash -> group id
+	states   []aggState // flat, group g's states at [g*len(Aggs) : (g+1)*len(Aggs)]
+	nGroups  int        // group count (keyBuf.Len() is 0 for zero-column keys)
+	keyBuf   *Buffer    // one row per group, in first-seen (emission) order
 	memBytes int64
+
+	hashes        []uint64 // per-batch key hash scratch
+	distinctBytes int64    // footprint of all COUNT(DISTINCT) sets
+	keyBufCols    []int
+	eqBatch       *vector.Batch
+	eqRow         int
+	groupEq       func(int32) bool
 
 	argVecs []*vector.Vector
 	out     *vector.Batch
@@ -122,9 +129,11 @@ func (h *HashAggregate) Open(ctx *Context) error {
 		}
 		h.schema = append(h.schema, expr.ColMeta{Name: a.Name, Kind: a.resultKind()})
 	}
-	h.enc = newKeyEncoder(h.keyIdx)
-	h.groups = make(map[string]*group)
 	h.keyBuf = NewBuffer(keySchema)
+	h.keyBufCols = identityCols(len(h.keyIdx))
+	h.groupEq = func(g int32) bool {
+		return keysEqualBatchBuf(h.eqBatch, h.keyIdx, h.eqRow, h.keyBuf, h.keyBufCols, int(g))
+	}
 	h.argVecs = make([]*vector.Vector, len(h.Aggs))
 	for i, a := range h.Aggs {
 		if a.Arg != nil {
@@ -135,7 +144,10 @@ func (h *HashAggregate) Open(ctx *Context) error {
 	return nil
 }
 
-// accumulate folds one batch into the hash table.
+// accumulate folds one batch into the hash table: the key columns are
+// hashed vector-at-a-time, then each row resolves (or claims) its group id
+// in the open-addressing table, with collisions verified against the
+// materialized group keys in keyBuf.
 func (h *HashAggregate) accumulate(b *vector.Batch) {
 	for i, a := range h.Aggs {
 		if a.Arg != nil {
@@ -147,34 +159,36 @@ func (h *HashAggregate) accumulate(b *vector.Batch) {
 	for c, ki := range h.keyIdx {
 		keyBatch.Cols[c] = b.Cols[ki]
 	}
+	h.hashes = vector.HashKeys(b, h.keyIdx, h.hashes)
+	h.eqBatch = b
+	nAggs := len(h.Aggs)
 	for r := 0; r < b.Len(); r++ {
-		key := string(h.enc.encode(b, r))
-		g, ok := h.groups[key]
-		if !ok {
-			g = &group{states: make([]aggState, len(h.Aggs))}
-			h.groups[key] = g
-			h.order = append(h.order, key)
-			prev := h.keyBuf.Bytes()
+		h.eqRow = r
+		h.table.Reserve()
+		slot, found := h.table.FindSlot(h.hashes[r], h.groupEq)
+		var g int32
+		if found {
+			g = h.table.Payload(slot)
+		} else {
+			g = int32(h.nGroups)
+			h.nGroups++
+			h.table.Insert(slot, h.hashes[r], g)
 			h.keyBuf.AppendRow(&keyBatch, r)
-			grow := (h.keyBuf.Bytes() - prev) + int64(len(key)) + 64 + int64(len(h.Aggs))*48
-			h.memBytes += grow
-			h.ctx.Mem.Grow(grow)
+			for i := 0; i < nAggs; i++ {
+				h.states = append(h.states, aggState{})
+			}
 		}
+		states := h.states[int(g)*nAggs : (int(g)+1)*nAggs]
 		for i, a := range h.Aggs {
-			st := &g.states[i]
+			st := &states[i]
 			switch a.Func {
 			case AggCount:
 				st.count++
 			case AggCountDistinct:
 				if st.distinct == nil {
-					st.distinct = make(map[string]struct{})
+					st.distinct = newDistinctSet(h.argVecs[i].Kind)
 				}
-				dk := distinctKey(h.argVecs[i], r)
-				if _, seen := st.distinct[dk]; !seen {
-					st.distinct[dk] = struct{}{}
-					h.memBytes += int64(len(dk)) + 32
-					h.ctx.Mem.Grow(int64(len(dk)) + 32)
-				}
+				h.distinctBytes += st.distinct.Add(h.argVecs[i], r)
 			case AggSum, AggAvg:
 				switch h.argVecs[i].Kind {
 				case vector.Int64:
@@ -189,16 +203,12 @@ func (h *HashAggregate) accumulate(b *vector.Batch) {
 			}
 		}
 	}
-}
-
-func distinctKey(v *vector.Vector, r int) string {
-	switch v.Kind {
-	case vector.Int64:
-		return fmt.Sprintf("i%d", v.I64[r])
-	case vector.Float64:
-		return fmt.Sprintf("f%g", v.F64[r])
-	default:
-		return v.Str[r]
+	// Charge the footprint growth once per batch; every term is the exact
+	// size of a flat allocation.
+	foot := h.keyBuf.Bytes() + h.table.Bytes() + int64(cap(h.states))*aggStateBytes + h.distinctBytes
+	if d := foot - h.memBytes; d > 0 {
+		h.memBytes = foot
+		h.ctx.Mem.Grow(d)
 	}
 }
 
@@ -229,7 +239,7 @@ func updateMinMax(st *aggState, v *vector.Vector, r int, isMin bool) {
 // sandwich aggregation's output remains a group stream and enclosing
 // sandwich operators can align on it.
 func (h *HashAggregate) flush() {
-	if len(h.order) == 0 {
+	if h.nGroups == 0 {
 		return
 	}
 	nk := len(h.keyIdx)
@@ -247,17 +257,18 @@ func (h *HashAggregate) flush() {
 			out = vector.NewBatch(h.schema.Kinds())
 		}
 	}
-	for gi, key := range h.order {
-		g := h.groups[key]
+	nAggs := len(h.Aggs)
+	for gi := 0; gi < h.nGroups; gi++ {
+		states := h.states[gi*nAggs : (gi+1)*nAggs]
 		h.keyBuf.WriteRow(out, gi, 0)
 		for i, a := range h.Aggs {
 			col := out.Cols[nk+i]
-			st := g.states[i]
+			st := states[i]
 			switch a.Func {
 			case AggCount:
 				col.AppendInt64(st.count)
 			case AggCountDistinct:
-				col.AppendInt64(int64(len(st.distinct)))
+				col.AppendInt64(int64(st.distinct.Len()))
 			case AggAvg:
 				if st.count == 0 {
 					col.AppendFloat64(0)
@@ -288,8 +299,10 @@ func (h *HashAggregate) flush() {
 	emit()
 	h.ctx.Mem.Shrink(h.memBytes)
 	h.memBytes = 0
-	h.groups = make(map[string]*group)
-	h.order = h.order[:0]
+	h.distinctBytes = 0
+	h.table.Reset()
+	h.states = h.states[:0]
+	h.nGroups = 0
 	h.keyBuf.Reset()
 }
 
@@ -405,7 +418,7 @@ func (s *StreamAggregate) emitGroup() {
 		case AggCount:
 			col.AppendInt64(st.count)
 		case AggCountDistinct:
-			col.AppendInt64(int64(len(st.distinct)))
+			col.AppendInt64(int64(st.distinct.Len()))
 		case AggAvg:
 			if st.count == 0 {
 				col.AppendFloat64(0)
@@ -481,9 +494,9 @@ func (s *StreamAggregate) Next() (*vector.Batch, error) {
 					st.count++
 				case AggCountDistinct:
 					if st.distinct == nil {
-						st.distinct = make(map[string]struct{})
+						st.distinct = newDistinctSet(s.argVecs[i].Kind)
 					}
-					st.distinct[distinctKey(s.argVecs[i], r)] = struct{}{}
+					st.distinct.Add(s.argVecs[i], r)
 				case AggSum, AggAvg:
 					switch s.argVecs[i].Kind {
 					case vector.Int64:

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"encoding/binary"
-	"math"
 
 	"bdcc/internal/expr"
 	"bdcc/internal/vector"
@@ -142,7 +141,8 @@ func (k *keyEncoder) encode(b *vector.Batch, i int) []byte {
 		case vector.Int64:
 			k.scratch = binary.LittleEndian.AppendUint64(k.scratch, uint64(col.I64[i]))
 		case vector.Float64:
-			k.scratch = binary.LittleEndian.AppendUint64(k.scratch, math.Float64bits(col.F64[i]))
+			// Normalized bits so -0.0 and +0.0 encode as the same key.
+			k.scratch = binary.LittleEndian.AppendUint64(k.scratch, vector.FloatKeyBits(col.F64[i]))
 		case vector.String:
 			k.scratch = binary.LittleEndian.AppendUint32(k.scratch, uint32(len(col.Str[i])))
 			k.scratch = append(k.scratch, col.Str[i]...)

@@ -1,0 +1,357 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bdcc/internal/expr"
+	"bdcc/internal/vector"
+)
+
+// mkResult builds a materialized result from parallel column slices.
+func mkResult(names []string, cols ...*vector.Vector) *Result {
+	schema := make(expr.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = expr.ColMeta{Name: names[i], Kind: c.Kind}
+	}
+	return &Result{Schema: schema, Cols: cols}
+}
+
+func i64Vec(xs ...int64) *vector.Vector {
+	v := vector.NewVector(vector.Int64, len(xs))
+	v.I64 = append(v.I64, xs...)
+	return v
+}
+
+func f64Vec(xs ...float64) *vector.Vector {
+	v := vector.NewVector(vector.Float64, len(xs))
+	v.F64 = append(v.F64, xs...)
+	return v
+}
+
+func strVec(xs ...string) *vector.Vector {
+	v := vector.NewVector(vector.String, len(xs))
+	v.Str = append(v.Str, xs...)
+	return v
+}
+
+// trickyStringKeys is a set of pairwise-distinct two-column string keys
+// whose parts embed length-prefix lookalike bytes, empty strings, and
+// boundary shuffles that a sloppy concatenating encoder would conflate.
+var trickyStringKeys = [][2]string{
+	{"", ""},
+	{"", "\x00"},
+	{"\x00", ""},
+	{"\x01\x00\x00\x00", ""},
+	{"", "\x01\x00\x00\x00"},
+	{"a\x02\x00\x00\x00b", "c"},
+	{"a", "\x02\x00\x00\x00bc"},
+	{"ab", "c"},
+	{"a", "bc"},
+	{"abc", ""},
+	{"", "abc"},
+}
+
+// TestKeyIdentityStrings verifies that hash aggregation and hash join agree
+// on multi-column string key identity for adversarial keys: each distinct
+// key tuple is one group, and a self-join matches exactly within tuples.
+func TestKeyIdentityStrings(t *testing.T) {
+	// Duplicate tuple i exactly i+1 times.
+	var k1, k2 []string
+	for i, kv := range trickyStringKeys {
+		for n := 0; n <= i; n++ {
+			k1 = append(k1, kv[0])
+			k2 = append(k2, kv[1])
+		}
+	}
+	data := mkResult([]string{"k1", "k2"}, strVec(k1...), strVec(k2...))
+
+	agg := &HashAggregate{
+		Child:   &Values{Rows: data},
+		GroupBy: []string{"k1", "k2"},
+		Aggs:    []AggSpec{{Name: "c", Func: AggCount}},
+	}
+	res, err := Run(testCtx(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != len(trickyStringKeys) {
+		t.Fatalf("agg found %d groups, want %d distinct key tuples", res.Rows(), len(trickyStringKeys))
+	}
+	counts := map[string]int64{}
+	for i := 0; i < res.Rows(); i++ {
+		counts[res.Cols[0].Str[i]+"\xff"+res.Cols[1].Str[i]] = res.Cols[2].I64[i]
+	}
+	for i, kv := range trickyStringKeys {
+		if got := counts[kv[0]+"\xff"+kv[1]]; got != int64(i+1) {
+			t.Errorf("key %q|%q: count %d, want %d", kv[0], kv[1], got, i+1)
+		}
+	}
+
+	// Self-join must match exactly within tuples: sum of multiplicity^2 rows.
+	join := &HashJoin{
+		Left:     &Values{Rows: data},
+		Right:    &Values{Rows: data},
+		LeftKeys: []string{"k1", "k2"}, RightKeys: []string{"k1", "k2"},
+		Type: InnerJoin,
+	}
+	jres, err := Run(testCtx(), join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := range trickyStringKeys {
+		want += (i + 1) * (i + 1)
+	}
+	if jres.Rows() != want {
+		t.Fatalf("self-join produced %d rows, want %d", jres.Rows(), want)
+	}
+}
+
+// TestKeyIdentityIntsAndFloats verifies negative ints hash/compare
+// correctly and that -0.0 and +0.0 are one grouping key for both the
+// aggregation and join paths.
+func TestKeyIdentityIntsAndFloats(t *testing.T) {
+	ints := []int64{-1, 1, math.MinInt64, math.MaxInt64, 0, -1, math.MinInt64}
+	data := mkResult([]string{"k"}, i64Vec(ints...))
+	agg := &HashAggregate{
+		Child:   &Values{Rows: data},
+		GroupBy: []string{"k"},
+		Aggs:    []AggSpec{{Name: "c", Func: AggCount}},
+	}
+	res, err := Run(testCtx(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 5 {
+		t.Fatalf("int agg found %d groups, want 5", res.Rows())
+	}
+
+	negZero := math.Copysign(0, -1)
+	floats := mkResult([]string{"f"}, f64Vec(negZero, 0.0, 1.5, negZero))
+	fagg := &HashAggregate{
+		Child:   &Values{Rows: floats},
+		GroupBy: []string{"f"},
+		Aggs:    []AggSpec{{Name: "c", Func: AggCount}},
+	}
+	fres, err := Run(testCtx(), fagg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Rows() != 2 {
+		t.Fatalf("float agg found %d groups, want 2 (-0.0 must equal +0.0)", fres.Rows())
+	}
+	for i := 0; i < fres.Rows(); i++ {
+		if fres.Cols[0].F64[i] == 0 && fres.Cols[1].I64[i] != 3 {
+			t.Errorf("zero group count = %d, want 3", fres.Cols[1].I64[i])
+		}
+	}
+
+	// Join probe +0.0 against build -0.0: must match.
+	join := &HashJoin{
+		Left:     &Values{Rows: mkResult([]string{"f"}, f64Vec(0.0))},
+		Right:    &Values{Rows: mkResult([]string{"f"}, f64Vec(negZero))},
+		LeftKeys: []string{"f"}, RightKeys: []string{"f"},
+		Type: InnerJoin,
+	}
+	jres, err := Run(testCtx(), join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jres.Rows() != 1 {
+		t.Fatalf("+0.0 probe against -0.0 build matched %d rows, want 1", jres.Rows())
+	}
+}
+
+// TestJoinAggGroupingAgree cross-checks the two hash consumers: the number
+// of distinct join keys seen by a semi-join self-match must equal the hash
+// aggregation's group count over mixed-type multi-column keys.
+func TestJoinAggGroupingAgree(t *testing.T) {
+	n := 500
+	ks := make([]int64, n)
+	kf := make([]float64, n)
+	kstr := make([]string, n)
+	for i := range ks {
+		ks[i] = int64(i % 37)
+		kf[i] = float64(i%11) - 5
+		if i%22 == 0 {
+			kf[i] = math.Copysign(0, -1) // collides with +0.0 keys below
+		}
+		kstr[i] = fmt.Sprintf("s%d", i%7)
+	}
+	mk := func() *Result {
+		return mkResult([]string{"a", "b", "c"}, i64Vec(ks...), f64Vec(kf...), strVec(kstr...))
+	}
+	agg := &HashAggregate{
+		Child:   &Values{Rows: mk()},
+		GroupBy: []string{"a", "b", "c"},
+		Aggs:    []AggSpec{{Name: "c", Func: AggCount}},
+	}
+	ares, err := Run(testCtx(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semi := &HashJoin{
+		Left:     &Values{Rows: mk()},
+		Right:    &Values{Rows: mk()},
+		LeftKeys: []string{"a", "b", "c"}, RightKeys: []string{"a", "b", "c"},
+		Type: SemiJoin,
+	}
+	sres, err := Run(testCtx(), semi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Rows() != n {
+		t.Fatalf("self semi-join kept %d of %d rows", sres.Rows(), n)
+	}
+	// Anti-join against the distinct groups must eliminate everything.
+	anti := &HashJoin{
+		Left:     &Values{Rows: mk()},
+		Right:    &Values{Rows: mkResult([]string{"a", "b", "c"}, ares.Cols[0], ares.Cols[1], ares.Cols[2])},
+		LeftKeys: []string{"a", "b", "c"}, RightKeys: []string{"a", "b", "c"},
+		Type: AntiJoin,
+	}
+	antres, err := Run(testCtx(), anti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if antres.Rows() != 0 {
+		t.Fatalf("anti-join against own distinct keys kept %d rows, want 0", antres.Rows())
+	}
+}
+
+// TestOATableGrowth drives the open-addressing core through several
+// doublings and checks every key stays reachable.
+func TestOATableGrowth(t *testing.T) {
+	var table oaTable
+	keys := make([]int64, 10000)
+	for i := range keys {
+		keys[i] = int64(i * 7)
+	}
+	hash := func(k int64) uint64 { return vector.Mix64(uint64(k)) }
+	for i, k := range keys {
+		k := k
+		table.Reserve()
+		slot, found := table.FindSlot(hash(k), func(v int32) bool { return keys[v] == k })
+		if found {
+			t.Fatalf("key %d found before insert", k)
+		}
+		table.Insert(slot, hash(k), int32(i))
+	}
+	if table.Len() != len(keys) {
+		t.Fatalf("table holds %d keys, want %d", table.Len(), len(keys))
+	}
+	for i, k := range keys {
+		k := k
+		slot, found := table.FindSlot(hash(k), func(v int32) bool { return keys[v] == k })
+		if !found || table.Payload(slot) != int32(i) {
+			t.Fatalf("key %d: found=%v payload=%d, want %d", k, found, table.Payload(slot), i)
+		}
+	}
+	if table.Bytes() <= 0 {
+		t.Fatal("table reports non-positive footprint")
+	}
+}
+
+// TestJoinTableCollisionChains forces every key onto one hash value so
+// distinct keys must be separated by the equality predicate alone, and
+// duplicate keys must chain in insertion order.
+func TestJoinTableCollisionChains(t *testing.T) {
+	var jt joinTable
+	const h = uint64(0xDEADBEEF)
+	// Row r holds key r/3: three duplicate rows per key, 100 distinct keys.
+	key := func(r int32) int32 { return r / 3 }
+	for r := int32(0); r < 300; r++ {
+		r := r
+		jt.Insert(h, r, func(head int32) bool { return key(head) == key(r) })
+	}
+	var scratch []int32
+	for k := int32(0); k < 100; k++ {
+		k := k
+		head := jt.Lookup(h, func(head int32) bool { return key(head) == k })
+		if head < 0 {
+			t.Fatalf("key %d not found", k)
+		}
+		scratch = jt.Matches(head, scratch[:0])
+		if len(scratch) != 3 {
+			t.Fatalf("key %d: %d matches, want 3", k, len(scratch))
+		}
+		for i, r := range scratch {
+			if r != k*3+int32(i) {
+				t.Fatalf("key %d: match %d = row %d, want %d (insertion order)", k, i, r, k*3+int32(i))
+			}
+		}
+	}
+	if jt.Lookup(h, func(int32) bool { return false }) != -1 {
+		t.Fatal("lookup of absent key did not return -1")
+	}
+}
+
+// TestDistinctSet checks the COUNT(DISTINCT) set: duplicates are ignored,
+// -0.0 and +0.0 are one value, and the footprint only grows on inserts.
+func TestDistinctSet(t *testing.T) {
+	d := newDistinctSet(vector.Float64)
+	vals := f64Vec(1, 2, 1, math.Copysign(0, -1), 0, 2, 3)
+	var grew int64
+	for r := 0; r < vals.Len(); r++ {
+		grew += d.Add(vals, r)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("distinct float count %d, want 4 (1, 2, 0, 3)", d.Len())
+	}
+	if grew <= 0 {
+		t.Fatal("distinct set reported no footprint growth")
+	}
+
+	s := newDistinctSet(vector.String)
+	svals := strVec("", "a", "", "b", "a", "\x00")
+	for r := 0; r < svals.Len(); r++ {
+		s.Add(svals, r)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("distinct string count %d, want 4", s.Len())
+	}
+
+	// Growth through many distinct values.
+	big := newDistinctSet(vector.Int64)
+	xs := vector.NewVector(vector.Int64, 0)
+	for i := int64(0); i < 5000; i++ {
+		xs.AppendInt64(i % 1000)
+	}
+	for r := 0; r < xs.Len(); r++ {
+		big.Add(xs, r)
+	}
+	if big.Len() != 1000 {
+		t.Fatalf("distinct int count %d, want 1000", big.Len())
+	}
+}
+
+// TestCountDistinctOperator exercises AggCountDistinct end-to-end through
+// the aggregation operator on string and float arguments.
+func TestCountDistinctOperator(t *testing.T) {
+	g := []int64{1, 1, 1, 2, 2, 2, 2}
+	s := []string{"x", "y", "x", "p", "q", "p", "r"}
+	f := []float64{0, math.Copysign(0, -1), 1, 2, 2, 3, 4}
+	data := mkResult([]string{"g", "s", "f"}, i64Vec(g...), strVec(s...), f64Vec(f...))
+	agg := &HashAggregate{
+		Child:   &Values{Rows: data},
+		GroupBy: []string{"g"},
+		Aggs: []AggSpec{
+			{Name: "ds", Func: AggCountDistinct, Arg: expr.C("s")},
+			{Name: "df", Func: AggCountDistinct, Arg: expr.C("f")},
+		},
+	}
+	res, err := Run(testCtx(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64][2]int64{1: {2, 2}, 2: {3, 3}} // g=1: {x,y}, {0,1}; g=2: {p,q,r}, {2,3,4}
+	for i := 0; i < res.Rows(); i++ {
+		w := want[res.Cols[0].I64[i]]
+		if res.Cols[1].I64[i] != w[0] || res.Cols[2].I64[i] != w[1] {
+			t.Errorf("group %d: distinct (%d, %d), want (%d, %d)",
+				res.Cols[0].I64[i], res.Cols[1].I64[i], res.Cols[2].I64[i], w[0], w[1])
+		}
+	}
+}

@@ -43,18 +43,23 @@ type HashJoin struct {
 	ctx      *Context
 	built    bool
 	buf      *Buffer
-	table    map[string][]int32
+	table    *joinTable
 	mapBytes int64
 
-	leftKeyIdx []int
-	enc        *keyEncoder
-	out        *vector.Batch
+	leftKeyIdx  []int
+	rightKeyIdx []int
+	out         *vector.Batch
 
 	// probe iteration state
-	cur      *vector.Batch
-	curRow   int
-	matches  []int32
-	matchPos int
+	cur         *vector.Batch
+	curRow      int
+	probeHashes []uint64
+	looked      bool
+	matches     []int32 // reused scratch, valid while looked
+	matchPos    int
+	probeEq     func(int32) bool
+	buildEq     func(int32) bool
+	buildRow    int32
 
 	// residual scratch
 	combined *vector.Batch
@@ -99,7 +104,16 @@ func (j *HashJoin) Open(ctx *Context) error {
 		j.combined = vector.NewBatch(combined.Kinds())
 		j.resVec = expr.NewScratch(vector.Int64)
 	}
-	j.enc = newKeyEncoder(j.leftKeyIdx)
+	j.rightKeyIdx, err = keyIndexes(rs, j.RightKeys)
+	if err != nil {
+		return errOp("hash join build keys", err)
+	}
+	j.probeEq = func(head int32) bool {
+		return keysEqualBatchBuf(j.cur, j.leftKeyIdx, j.curRow, j.buf, j.rightKeyIdx, int(head))
+	}
+	j.buildEq = func(head int32) bool {
+		return keysEqualBufBuf(j.buf, j.rightKeyIdx, int(j.buildRow), int(head))
+	}
 	j.out = vector.NewBatch(j.schema.Kinds())
 	return nil
 }
@@ -116,16 +130,13 @@ func keyIndexes(s expr.Schema, names []string) ([]int, error) {
 	return idx, nil
 }
 
-// build materializes the right child into the hash table.
+// build materializes the right child into the hash table, hashing each
+// batch's key columns vector-at-a-time. The charged footprint is exact: the
+// buffered rows plus the table's flat slot and chain arrays.
 func (j *HashJoin) build() error {
-	rs := j.Right.Schema()
-	rightKeyIdx, err := keyIndexes(rs, j.RightKeys)
-	if err != nil {
-		return errOp("hash join build keys", err)
-	}
-	j.buf = NewBuffer(rs)
-	j.table = make(map[string][]int32)
-	enc := newKeyEncoder(rightKeyIdx)
+	j.buf = NewBuffer(j.Right.Schema())
+	j.table = &joinTable{}
+	var hashes []uint64
 	var prevBytes int64
 	for {
 		b, err := j.Right.Next()
@@ -137,14 +148,12 @@ func (j *HashJoin) build() error {
 		}
 		base := int32(j.buf.Len())
 		j.buf.AppendBatch(b)
+		hashes = vector.HashKeys(b, j.rightKeyIdx, hashes)
 		for i := 0; i < b.Len(); i++ {
-			key := string(enc.encode(b, i))
-			if _, ok := j.table[key]; !ok {
-				j.mapBytes += int64(len(key)) + 48
-			}
-			j.table[key] = append(j.table[key], base+int32(i))
-			j.mapBytes += 4
+			j.buildRow = base + int32(i)
+			j.table.Insert(hashes[i], j.buildRow, j.buildEq)
 		}
+		j.mapBytes = j.table.Bytes()
 		if grow := j.buf.Bytes() + j.mapBytes - prevBytes; grow > 0 {
 			j.ctx.Mem.Grow(grow)
 			prevBytes += grow
@@ -200,38 +209,45 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 			// Group boundary: flush so output batches stay group-pure.
 			if j.out.Len() > 0 && (b.Grouped != j.out.Grouped || b.GroupID != j.out.GroupID) {
 				j.cur, j.curRow, j.matchPos = b, 0, 0
-				j.matches = nil
+				j.looked = false
+				j.probeHashes = vector.HashKeys(b, j.leftKeyIdx, j.probeHashes)
 				return j.out, nil
 			}
 			j.cur, j.curRow, j.matchPos = b, 0, 0
-			j.matches = nil
+			j.looked = false
+			j.probeHashes = vector.HashKeys(b, j.leftKeyIdx, j.probeHashes)
 			j.out.Grouped = b.Grouped
 			j.out.GroupID = b.GroupID
 		}
 		for j.curRow < j.cur.Len() {
-			if j.matches == nil {
-				j.matches = j.table[string(j.enc.encode(j.cur, j.curRow))]
-				j.matchPos = 0
+			if !j.looked {
+				head := j.table.Lookup(j.probeHashes[j.curRow], j.probeEq)
+				// Semi/anti (and the outer-join miss test) only need
+				// existence: walk the chain directly, short-circuiting on
+				// the first row that passes the residual.
 				switch j.Type {
 				case SemiJoin:
-					if j.anyMatch() {
+					if j.chainAnyMatch(head) {
 						j.out.AppendRow(j.cur, j.curRow)
 					}
 					j.advanceRow()
 					continue
 				case AntiJoin:
-					if !j.anyMatch() {
+					if !j.chainAnyMatch(head) {
 						j.out.AppendRow(j.cur, j.curRow)
 					}
 					j.advanceRow()
 					continue
 				case LeftOuterJoin:
-					if len(j.matches) == 0 || !j.anyMatch() {
+					if !j.chainAnyMatch(head) {
 						j.emitOuter()
 						j.advanceRow()
 						continue
 					}
 				}
+				j.matches = j.table.Matches(head, j.matches[:0])
+				j.looked = true
+				j.matchPos = 0
 			}
 			// Inner (and matched outer): emit remaining matches.
 			for j.matchPos < len(j.matches) {
@@ -264,9 +280,10 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 	}
 }
 
-// anyMatch reports whether any current match passes the residual.
-func (j *HashJoin) anyMatch() bool {
-	for _, bi := range j.matches {
+// chainAnyMatch reports whether any build row in head's chain passes the
+// residual for the current probe row.
+func (j *HashJoin) chainAnyMatch(head int32) bool {
+	for bi := head; bi >= 0; bi = j.table.ChainNext(bi) {
 		if j.residualOK(j.cur, j.curRow, bi) {
 			return true
 		}
@@ -301,7 +318,7 @@ func appendZero(v *vector.Vector) {
 // advanceRow moves to the next probe row.
 func (j *HashJoin) advanceRow() {
 	j.curRow++
-	j.matches = nil
+	j.looked = false
 }
 
 // Close implements Operator.

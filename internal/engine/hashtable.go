@@ -1,0 +1,253 @@
+package engine
+
+import "bdcc/internal/vector"
+
+// This file is the engine's shared vectorized hashing subsystem. Key
+// columns are hashed batch-at-a-time into reusable []uint64 scratch
+// (vector.HashKeys) and looked up in flat open-addressing tables instead of
+// Go string maps: no per-row key encoding, no per-row allocation, and an
+// exact byte footprint (a few flat slices) for the memory tracker behind
+// the paper's Figure 3. Collisions are verified against the materialized
+// build rows through a caller-supplied equality predicate.
+
+// oaTable is a linear-probing open-addressing index from 64-bit key hashes
+// to int32 payloads. Slots with payload -1 are empty; equal stored hashes
+// are verified with the caller's equality predicate before a slot counts as
+// a match. The table grows by doubling at ~70% load.
+type oaTable struct {
+	hashes []uint64
+	vals   []int32
+	mask   uint64
+	used   int
+}
+
+// oaMinSlots is the initial slot count (power of two).
+const oaMinSlots = 64
+
+// Len returns the number of occupied slots (distinct keys).
+func (t *oaTable) Len() int { return t.used }
+
+// Bytes returns the exact footprint of the slot arrays.
+func (t *oaTable) Bytes() int64 { return int64(len(t.hashes))*8 + int64(len(t.vals))*4 }
+
+// Reset empties the table, keeping its slot capacity.
+func (t *oaTable) Reset() {
+	for i := range t.vals {
+		t.vals[i] = -1
+	}
+	t.used = 0
+}
+
+// grow doubles (or initializes) the slot arrays and re-places the occupied
+// slots. Equal keys share one slot, so re-placement needs no key equality:
+// stored hashes alone resolve to distinct keys.
+func (t *oaTable) grow() {
+	n := 2 * len(t.vals)
+	if n == 0 {
+		n = oaMinSlots
+	}
+	oldHashes, oldVals := t.hashes, t.vals
+	t.hashes = make([]uint64, n)
+	t.vals = make([]int32, n)
+	for i := range t.vals {
+		t.vals[i] = -1
+	}
+	t.mask = uint64(n - 1)
+	for i, v := range oldVals {
+		if v < 0 {
+			continue
+		}
+		h := oldHashes[i]
+		j := h & t.mask
+		for t.vals[j] >= 0 {
+			j = (j + 1) & t.mask
+		}
+		t.hashes[j], t.vals[j] = h, v
+	}
+}
+
+// Reserve makes room for one more distinct key. It must be called before a
+// FindSlot whose result may be inserted into: growth rehashes and
+// invalidates previously returned slots.
+func (t *oaTable) Reserve() {
+	if (t.used+1)*10 > len(t.vals)*7 {
+		t.grow()
+	}
+}
+
+// FindSlot probes for hash h. eq verifies a hash-equal slot's payload
+// against the sought key. It returns the slot holding an equal key
+// (found=true), or the empty slot where the key belongs (found=false).
+func (t *oaTable) FindSlot(h uint64, eq func(int32) bool) (slot int, found bool) {
+	j := h & t.mask
+	for {
+		v := t.vals[j]
+		if v < 0 {
+			return int(j), false
+		}
+		if t.hashes[j] == h && eq(v) {
+			return int(j), true
+		}
+		j = (j + 1) & t.mask
+	}
+}
+
+// Insert claims the empty slot returned by FindSlot for (h, v).
+func (t *oaTable) Insert(slot int, h uint64, v int32) {
+	t.hashes[slot] = h
+	t.vals[slot] = v
+	t.used++
+}
+
+// Payload returns the payload stored in slot.
+func (t *oaTable) Payload(slot int) int32 { return t.vals[slot] }
+
+// SetPayload overwrites the payload of an occupied slot.
+func (t *oaTable) SetPayload(slot int, v int32) { t.vals[slot] = v }
+
+// joinTable indexes the build side of a hash join: key hashes map to chains
+// of build row numbers (rows inserted in order 0,1,2,...), duplicates
+// linked through a flat next array.
+type joinTable struct {
+	oa   oaTable
+	next []int32
+}
+
+// Bytes returns the exact footprint of the table's slot and chain arrays.
+func (t *joinTable) Bytes() int64 { return t.oa.Bytes() + int64(cap(t.next))*4 }
+
+// Len returns the number of indexed build rows.
+func (t *joinTable) Len() int { return len(t.next) }
+
+// Reset empties the table, keeping capacity (sandwich joins rebuild it once
+// per co-clustering group).
+func (t *joinTable) Reset() {
+	t.oa.Reset()
+	t.next = t.next[:0]
+}
+
+// Insert indexes build row r (which must be len(next), i.e. rows arrive in
+// order) under hash h. eq compares r's key against a chain head's.
+func (t *joinTable) Insert(h uint64, r int32, eq func(int32) bool) {
+	t.oa.Reserve()
+	slot, found := t.oa.FindSlot(h, eq)
+	if found {
+		t.next = append(t.next, t.oa.Payload(slot))
+		t.oa.SetPayload(slot, r)
+	} else {
+		t.next = append(t.next, -1)
+		t.oa.Insert(slot, h, r)
+	}
+}
+
+// Lookup returns the chain head row for hash h, or -1. eq compares the
+// probe key against a candidate head row's key.
+func (t *joinTable) Lookup(h uint64, eq func(int32) bool) int32 {
+	if t.oa.used == 0 {
+		return -1
+	}
+	slot, found := t.oa.FindSlot(h, eq)
+	if !found {
+		return -1
+	}
+	return t.oa.Payload(slot)
+}
+
+// ChainNext returns the chain successor of build row r (-1 ends the
+// chain). Semi/anti probes walk chains directly instead of materializing
+// them, short-circuiting on the first qualifying row.
+func (t *joinTable) ChainNext(r int32) int32 { return t.next[r] }
+
+// Matches appends the chain of head to dst (callers pass scratch[:0]) in
+// build insertion order and returns it.
+func (t *joinTable) Matches(head int32, dst []int32) []int32 {
+	for r := head; r >= 0; r = t.next[r] {
+		dst = append(dst, r)
+	}
+	for i, j := 0, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// distinctSet is an open-addressing set of scalar values backing
+// COUNT(DISTINCT ...) states, replacing per-value map[string]struct{} and
+// its fmt.Sprintf keys.
+type distinctSet struct {
+	oa       oaTable
+	vals     *vector.Vector
+	valBytes int64
+	bytes    int64
+	eq       func(int32) bool
+	pv       *vector.Vector
+	pr       int
+}
+
+// newDistinctSet returns an empty set for values of kind k.
+func newDistinctSet(k vector.Kind) *distinctSet {
+	d := &distinctSet{vals: vector.NewVector(k, 0)}
+	d.eq = func(i int32) bool { return d.vals.KeyEqual(int(i), d.pv, d.pr) }
+	return d
+}
+
+// Len returns the number of distinct values.
+func (d *distinctSet) Len() int {
+	if d == nil {
+		return 0
+	}
+	return d.vals.Len()
+}
+
+// Add inserts value r of v if absent and returns the set's footprint growth
+// in bytes (0 when the value was already present).
+func (d *distinctSet) Add(v *vector.Vector, r int) int64 {
+	d.pv, d.pr = v, r
+	h := v.HashValue(r)
+	d.oa.Reserve()
+	slot, found := d.oa.FindSlot(h, d.eq)
+	if found {
+		return 0
+	}
+	d.oa.Insert(slot, h, int32(d.vals.Len()))
+	d.vals.AppendFrom(v, r)
+	before := d.bytes
+	if d.vals.Kind == vector.String {
+		d.valBytes += 16 + int64(len(v.Str[r]))
+	} else {
+		d.valBytes += 8
+	}
+	d.bytes = d.oa.Bytes() + d.valBytes
+	return d.bytes - before
+}
+
+// keysEqualBatchBuf reports whether the key columns bCols of batch row i
+// equal the key columns fCols of buffer row j.
+func keysEqualBatchBuf(b *vector.Batch, bCols []int, i int, f *Buffer, fCols []int, j int) bool {
+	for c := range bCols {
+		if !b.Cols[bCols[c]].KeyEqual(i, f.Col(fCols[c]), j) {
+			return false
+		}
+	}
+	return true
+}
+
+// keysEqualBufBuf reports whether buffer rows i and j agree on the key
+// columns cols.
+func keysEqualBufBuf(f *Buffer, cols []int, i, j int) bool {
+	for _, c := range cols {
+		if !f.Col(c).KeyEqual(i, f.Col(c), j) {
+			return false
+		}
+	}
+	return true
+}
+
+// identityCols returns [0, 1, ..., n-1], the column selection of a buffer
+// that stores exactly the key columns.
+func identityCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

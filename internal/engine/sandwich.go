@@ -36,11 +36,21 @@ type SandwichHashJoin struct {
 	ctx    *Context
 
 	buf      *Buffer
-	table    map[string][]int32
+	table    *joinTable
 	memBytes int64
 
-	enc        *keyEncoder
-	leftKeyIdx []int
+	leftKeyIdx  []int
+	rightKeyIdx []int
+
+	// per-batch hash scratch and collision-verification closures
+	probeHashes []uint64
+	buildHashes []uint64
+	matches     []int32
+	probeBatch  *vector.Batch
+	probeRow    int
+	buildRow    int32
+	probeEq     func(int32) bool
+	buildEq     func(int32) bool
 
 	// right lookahead
 	rb     *vector.Batch // buffered copy of the lookahead batch
@@ -90,9 +100,18 @@ func (j *SandwichHashJoin) Open(ctx *Context) error {
 		j.combined = vector.NewBatch(combined.Kinds())
 		j.resVec = expr.NewScratch(vector.Int64)
 	}
-	j.enc = newKeyEncoder(j.leftKeyIdx)
+	j.rightKeyIdx, err = keyIndexes(rs, j.RightKeys)
+	if err != nil {
+		return errOp("sandwich join build keys", err)
+	}
+	j.probeEq = func(head int32) bool {
+		return keysEqualBatchBuf(j.probeBatch, j.leftKeyIdx, j.probeRow, j.buf, j.rightKeyIdx, int(head))
+	}
+	j.buildEq = func(head int32) bool {
+		return keysEqualBufBuf(j.buf, j.rightKeyIdx, int(j.buildRow), int(head))
+	}
 	j.buf = NewBuffer(rs)
-	j.table = make(map[string][]int32)
+	j.table = &joinTable{}
 	j.rb = vector.NewBatch(rs.Kinds())
 	j.out = vector.NewBatch(j.schema.Kinds())
 	return nil
@@ -136,14 +155,9 @@ func (j *SandwichHashJoin) buildGroup(gid uint64) error {
 	j.ctx.Mem.Shrink(j.memBytes)
 	j.memBytes = 0
 	j.buf.Reset()
-	j.table = make(map[string][]int32)
+	j.table.Reset()
 	j.haveG = true
 	j.curGID = gid
-	rightKeyIdx, err := keyIndexes(j.Right.Schema(), j.RightKeys)
-	if err != nil {
-		return err
-	}
-	enc := newKeyEncoder(rightKeyIdx)
 	for {
 		if !j.rbOK {
 			if j.rEOF {
@@ -163,13 +177,14 @@ func (j *SandwichHashJoin) buildGroup(gid uint64) error {
 		}
 		base := int32(j.buf.Len())
 		j.buf.AppendBatch(j.rb)
+		j.buildHashes = vector.HashKeys(j.rb, j.rightKeyIdx, j.buildHashes)
 		for i := 0; i < j.rb.Len(); i++ {
-			key := string(enc.encode(j.rb, i))
-			j.table[key] = append(j.table[key], base+int32(i))
+			j.buildRow = base + int32(i)
+			j.table.Insert(j.buildHashes[i], j.buildRow, j.buildEq)
 		}
 		j.rbOK = false
 	}
-	j.memBytes = j.buf.Bytes() + int64(len(j.table))*64
+	j.memBytes = j.buf.Bytes() + j.table.Bytes()
 	j.ctx.Mem.Grow(j.memBytes)
 	if n := int64(j.buf.Len()); n > j.maxGroup {
 		j.maxGroup = n
@@ -222,12 +237,16 @@ func (j *SandwichHashJoin) Next() (*vector.Batch, error) {
 		j.out.Grouped = true
 		j.out.GroupID = b.GroupID
 		nl := len(b.Cols)
+		j.probeBatch = b
+		j.probeHashes = vector.HashKeys(b, j.leftKeyIdx, j.probeHashes)
 		for r := 0; r < b.Len(); r++ {
-			matches := j.table[string(j.enc.encode(b, r))]
+			j.probeRow = r
+			head := j.table.Lookup(j.probeHashes[r], j.probeEq)
 			switch j.Type {
 			case SemiJoin, AntiJoin:
+				// Existence only: walk the chain without materializing it.
 				hit := false
-				for _, bi := range matches {
+				for bi := head; bi >= 0; bi = j.table.ChainNext(bi) {
 					if j.residualOK(b, r, bi) {
 						hit = true
 						break
@@ -237,8 +256,9 @@ func (j *SandwichHashJoin) Next() (*vector.Batch, error) {
 					j.out.AppendRow(b, r)
 				}
 			case LeftOuterJoin, InnerJoin:
+				j.matches = j.table.Matches(head, j.matches[:0])
 				emitted := false
-				for _, bi := range matches {
+				for _, bi := range j.matches {
 					if !j.residualOK(b, r, bi) {
 						continue
 					}

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -146,6 +147,50 @@ func (r *Report) WriteIO(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// JSONQueryRun is one (scheme, query) record of the machine-readable
+// benchmark report, units chosen to match the bench_test metrics
+// (device-ms, MB-read, peak-MB) so the perf trajectory can be diffed
+// PR-over-PR by tooling.
+type JSONQueryRun struct {
+	Scheme   string  `json:"scheme"`
+	Query    string  `json:"query"`
+	Rows     int     `json:"rows"`
+	DeviceMS float64 `json:"device_ms"`
+	MBRead   float64 `json:"mb_read"`
+	PeakMB   float64 `json:"peak_mb"`
+	ColdMS   float64 `json:"cold_ms"`
+	WallMS   float64 `json:"wall_ms"`
+}
+
+// JSONReport is the machine-readable form of the full measurement grid.
+type JSONReport struct {
+	SF      float64        `json:"sf"`
+	Queries []JSONQueryRun `json:"queries"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := JSONReport{SF: r.SF}
+	for _, scheme := range r.Schemes {
+		for _, run := range r.Runs[scheme] {
+			st := run.Stats
+			out.Queries = append(out.Queries, JSONQueryRun{
+				Scheme:   scheme.String(),
+				Query:    run.Query,
+				Rows:     st.Rows,
+				DeviceMS: float64(st.IO.Time.Microseconds()) / 1000,
+				MBRead:   float64(st.IO.Bytes) / (1 << 20),
+				PeakMB:   PeakMB(st),
+				ColdMS:   float64(st.Cold.Microseconds()) / 1000,
+				WallMS:   float64(st.Wall.Microseconds()) / 1000,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // OrderingComparison reproduces the paper's "Other Orderings" experiment:
