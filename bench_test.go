@@ -16,6 +16,7 @@
 package bdcc_test
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -41,6 +42,22 @@ func benchSF() float64 {
 		}
 	}
 	return 0.02
+}
+
+// benchWorkers returns the parallel worker count of the workers=N
+// sub-benchmarks: BDCC_BENCH_WORKERS, defaulting to all cores but at least
+// 4 so the partitioned code paths are exercised even on small machines
+// (where the wall-clock gain is bounded by the actual core count).
+func benchWorkers() int {
+	if s := os.Getenv("BDCC_BENCH_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	if w := engine.DefaultWorkers(); w > 4 {
+		return w
+	}
+	return 4
 }
 
 func fixture(b *testing.B) *tpch.Benchmark {
@@ -157,61 +174,72 @@ func BenchmarkAlg1SelfTuning(b *testing.B) {
 
 // BenchmarkHashJoinBuildProbe measures the raw hash-join hot path —
 // building a table over ORDERS and probing it with every LINEITEM row —
-// isolated from planning and I/O modeling. Throughput is reported as
+// isolated from planning and I/O modeling, serial vs morsel-parallel (the
+// two runs return byte-identical results). Throughput is reported as
 // probe-side Mrows/s.
 func BenchmarkHashJoinBuildProbe(b *testing.B) {
 	bench := fixture(b)
 	li := bench.Data.Tables["lineitem"]
 	ord := bench.Data.Tables["orders"]
-	b.ResetTimer()
-	var rows int
-	for i := 0; i < b.N; i++ {
-		ctx := &engine.Context{Mem: &engine.MemTracker{}}
-		j := &engine.HashJoin{
-			Left:     &engine.TableScan{Table: li, Cols: []string{"l_orderkey", "l_quantity"}},
-			Right:    &engine.TableScan{Table: ord, Cols: []string{"o_orderkey", "o_custkey"}},
-			LeftKeys: []string{"l_orderkey"}, RightKeys: []string{"o_orderkey"},
-			Type: engine.InnerJoin,
-		}
-		res, err := engine.Run(ctx, j)
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows = res.Rows()
+	for _, workers := range []int{1, benchWorkers()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rows int
+			for i := 0; i < b.N; i++ {
+				ctx := &engine.Context{Mem: &engine.MemTracker{}, Workers: workers}
+				j := &engine.HashJoin{
+					Left:     &engine.TableScan{Table: li, Cols: []string{"l_orderkey", "l_quantity"}},
+					Right:    &engine.TableScan{Table: ord, Cols: []string{"o_orderkey", "o_custkey"}},
+					LeftKeys: []string{"l_orderkey"}, RightKeys: []string{"o_orderkey"},
+					Type: engine.InnerJoin, Parallel: workers > 1,
+				}
+				res, err := engine.Run(ctx, j)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = res.Rows()
+			}
+			if rows != li.Rows() {
+				b.Fatalf("join produced %d rows, want %d", rows, li.Rows())
+			}
+			b.ReportMetric(float64(li.Rows())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
 	}
-	if rows != li.Rows() {
-		b.Fatalf("join produced %d rows, want %d", rows, li.Rows())
-	}
-	b.ReportMetric(float64(li.Rows())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
 }
 
 // BenchmarkHashAgg measures the raw hash-aggregation hot path: grouping
 // LINEITEM by l_orderkey (high cardinality) with COUNT and SUM, isolated
-// from planning and I/O modeling. Throughput is input Mrows/s.
+// from planning and I/O modeling, serial vs partition-parallel. Throughput
+// is input Mrows/s.
 func BenchmarkHashAgg(b *testing.B) {
 	bench := fixture(b)
 	li := bench.Data.Tables["lineitem"]
 	ord := bench.Data.Tables["orders"]
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ctx := &engine.Context{Mem: &engine.MemTracker{}}
-		a := &engine.HashAggregate{
-			Child:   &engine.TableScan{Table: li, Cols: []string{"l_orderkey", "l_quantity"}},
-			GroupBy: []string{"l_orderkey"},
-			Aggs: []engine.AggSpec{
-				{Name: "c", Func: engine.AggCount},
-				{Name: "s", Func: engine.AggSum, Arg: expr.C("l_quantity")},
-			},
-		}
-		res, err := engine.Run(ctx, a)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Rows() != ord.Rows() {
-			b.Fatalf("agg produced %d groups, want %d", res.Rows(), ord.Rows())
-		}
+	for _, workers := range []int{1, benchWorkers()} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := &engine.Context{Mem: &engine.MemTracker{}, Workers: workers}
+				a := &engine.HashAggregate{
+					Child:   &engine.TableScan{Table: li, Cols: []string{"l_orderkey", "l_quantity"}},
+					GroupBy: []string{"l_orderkey"},
+					Aggs: []engine.AggSpec{
+						{Name: "c", Func: engine.AggCount},
+						{Name: "s", Func: engine.AggSum, Arg: expr.C("l_quantity")},
+					},
+					Parallel: workers > 1,
+				}
+				res, err := engine.Run(ctx, a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rows() != ord.Rows() {
+					b.Fatalf("agg produced %d groups, want %d", res.Rows(), ord.Rows())
+				}
+			}
+			b.ReportMetric(float64(li.Rows())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
 	}
-	b.ReportMetric(float64(li.Rows())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
 }
 
 // BenchmarkSandwichAblation contrasts the sandwiched and unsandwiched

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	tpchbench [-sf 0.05] [-explain] [-orderings] [-json BENCH_tpch.json]
+//	tpchbench [-sf 0.05] [-workers N] [-explain] [-orderings] [-json BENCH_tpch.json]
 //
-// The -json flag additionally writes the full measurement grid (per-query
-// device-ms, MB-read, peak-MB per scheme) as machine-readable JSON so the
-// performance trajectory can be tracked across changes; pass -json "" to
-// disable.
+// The -workers knob (default: all cores) runs every query morsel-parallel;
+// -workers 1 reproduces the paper's single-threaded setup. Results are
+// byte-identical across worker counts. The -json flag additionally writes
+// the full measurement grid (per-query device-ms, MB-read, peak-MB per
+// scheme) as machine-readable JSON so the performance trajectory can be
+// tracked across changes; pass -json "" to disable.
 package main
 
 import (
@@ -19,22 +21,25 @@ import (
 	"fmt"
 	"os"
 
+	"bdcc/internal/engine"
 	"bdcc/internal/plan"
 	"bdcc/internal/tpch"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
+	workers := flag.Int("workers", engine.DefaultWorkers(), "morsel-parallel workers per query (1 = serial)")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
 	flag.Parse()
 
-	fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes...\n", *sf)
+	fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d)...\n", *sf, *workers)
 	b, err := tpch.NewBenchmark(*sf)
 	if err != nil {
 		fatal(err)
 	}
+	b.Workers = *workers
 	rep, err := b.RunAll()
 	if err != nil {
 		fatal(err)

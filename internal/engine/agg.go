@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"bdcc/internal/expr"
 	"bdcc/internal/vector"
@@ -60,6 +62,168 @@ type aggState struct {
 // (group, aggregate) pair.
 const aggStateBytes = 48
 
+// aggTable is one hash-aggregation state: the open-addressing group index,
+// the flat state array, the materialized group keys, and per-row scratch.
+// The serial operator owns one; each parallel worker owns its own (workers
+// aggregate disjoint key partitions, so tables never share mutable state).
+type aggTable struct {
+	aggs       []AggSpec
+	keyIdx     []int
+	table      oaTable    // key hash -> group id
+	states     []aggState // flat, group g's states at [g*len(aggs) : (g+1)*len(aggs)]
+	nGroups    int        // group count (keyBuf.Len() is 0 for zero-column keys)
+	keyBuf     *Buffer    // one row per group, in first-seen (emission) order
+	firstRows  []int64    // per group: global row index of the first-seen row
+	memBytes   int64      // bytes charged to the memory tracker
+	hashes     []uint64   // per-batch key hash scratch
+	distBytes  int64      // footprint of all COUNT(DISTINCT) sets
+	keyBufCols []int
+	eqBatch    *vector.Batch
+	eqRow      int
+	groupEq    func(int32) bool
+	argVecs    []*vector.Vector
+}
+
+func newAggTable(aggs []AggSpec, keyIdx []int, keySchema expr.Schema) *aggTable {
+	t := &aggTable{aggs: aggs, keyIdx: keyIdx}
+	t.keyBuf = NewBuffer(keySchema)
+	t.keyBufCols = identityCols(len(keyIdx))
+	t.groupEq = func(g int32) bool {
+		return keysEqualBatchBuf(t.eqBatch, t.keyIdx, t.eqRow, t.keyBuf, t.keyBufCols, int(g))
+	}
+	t.argVecs = make([]*vector.Vector, len(aggs))
+	for i, a := range aggs {
+		if a.Arg != nil {
+			t.argVecs[i] = expr.NewScratch(a.Arg.Kind())
+		}
+	}
+	return t
+}
+
+// accumulate folds one batch into the table: the key columns are hashed
+// vector-at-a-time (or taken pre-hashed from a routing feeder), then each
+// row resolves (or claims) its group id in the open-addressing table, with
+// collisions verified against the materialized group keys in keyBuf.
+// rowIdx, when non-nil, carries each row's global input row index so
+// parallel workers can reconstruct the serial first-seen emission order.
+func (t *aggTable) accumulate(b *vector.Batch, hashes []uint64, rowIdx []int64) {
+	for i, a := range t.aggs {
+		if a.Arg != nil {
+			t.argVecs[i].Reset()
+			a.Arg.Eval(b, t.argVecs[i])
+		}
+	}
+	keyBatch := vector.Batch{Cols: make([]*vector.Vector, len(t.keyIdx))}
+	for c, ki := range t.keyIdx {
+		keyBatch.Cols[c] = b.Cols[ki]
+	}
+	if hashes == nil {
+		t.hashes = vector.HashKeys(b, t.keyIdx, t.hashes)
+		hashes = t.hashes
+	}
+	t.eqBatch = b
+	nAggs := len(t.aggs)
+	for r := 0; r < b.Len(); r++ {
+		t.eqRow = r
+		t.table.Reserve()
+		slot, found := t.table.FindSlot(hashes[r], t.groupEq)
+		var g int32
+		if found {
+			g = t.table.Payload(slot)
+		} else {
+			g = int32(t.nGroups)
+			t.nGroups++
+			t.table.Insert(slot, hashes[r], g)
+			t.keyBuf.AppendRow(&keyBatch, r)
+			if rowIdx != nil {
+				t.firstRows = append(t.firstRows, rowIdx[r])
+			}
+			for i := 0; i < nAggs; i++ {
+				t.states = append(t.states, aggState{})
+			}
+		}
+		states := t.states[int(g)*nAggs : (int(g)+1)*nAggs]
+		for i, a := range t.aggs {
+			st := &states[i]
+			switch a.Func {
+			case AggCount:
+				st.count++
+			case AggCountDistinct:
+				if st.distinct == nil {
+					st.distinct = newDistinctSet(t.argVecs[i].Kind)
+				}
+				t.distBytes += st.distinct.Add(t.argVecs[i], r)
+			case AggSum, AggAvg:
+				switch t.argVecs[i].Kind {
+				case vector.Int64:
+					st.i64 += t.argVecs[i].I64[r]
+					st.f64 += float64(t.argVecs[i].I64[r])
+				case vector.Float64:
+					st.f64 += t.argVecs[i].F64[r]
+				}
+				st.count++
+			case AggMin, AggMax:
+				updateMinMax(st, t.argVecs[i], r, a.Func == AggMin)
+			}
+		}
+	}
+}
+
+// bytes returns the exact footprint of the table's flat allocations.
+func (t *aggTable) bytes() int64 {
+	return t.keyBuf.Bytes() + t.table.Bytes() +
+		int64(cap(t.states))*aggStateBytes + t.distBytes +
+		int64(cap(t.firstRows))*8
+}
+
+// charge reconciles the accounted bytes with the current footprint; mem is
+// mutex-protected, so parallel workers charge concurrently.
+func (t *aggTable) charge(mem *MemTracker) {
+	foot := t.bytes()
+	switch d := foot - t.memBytes; {
+	case d > 0:
+		mem.Grow(d)
+	case d < 0:
+		mem.Shrink(-d)
+	}
+	t.memBytes = foot
+}
+
+// release returns the charged bytes to the tracker and clears the table,
+// keeping capacity.
+func (t *aggTable) release(mem *MemTracker) {
+	mem.Shrink(t.memBytes)
+	t.memBytes = 0
+	t.distBytes = 0
+	t.table.Reset()
+	t.states = t.states[:0]
+	t.firstRows = t.firstRows[:0]
+	t.nGroups = 0
+	t.keyBuf.Reset()
+}
+
+func updateMinMax(st *aggState, v *vector.Vector, r int, isMin bool) {
+	first := st.count == 0
+	st.count++
+	switch v.Kind {
+	case vector.Int64:
+		x := v.I64[r]
+		if first || (isMin && x < st.i64) || (!isMin && x > st.i64) {
+			st.i64 = x
+		}
+	case vector.Float64:
+		x := v.F64[r]
+		if first || (isMin && x < st.f64) || (!isMin && x > st.f64) {
+			st.f64 = x
+		}
+	case vector.String:
+		x := v.Str[r]
+		if first || (isMin && x < st.str) || (!isMin && x > st.str) {
+			st.str = x
+		}
+	}
+}
+
 // HashAggregate groups its input by the GroupBy columns and computes the
 // aggregates. With FlushOnGroup set the operator becomes the sandwich
 // aggregation of the paper's reference [3]: the input stream must be
@@ -68,30 +232,27 @@ const aggStateBytes = 48
 // stream's group identifier, the hash table can be emitted and cleared at
 // every group boundary — peak memory is one co-clustering group instead of
 // the whole input (the paper's Q13/Q16/Q18 memory effect).
+//
+// With Parallel set and a multi-worker context (and FlushOnGroup unset),
+// input rows are routed to workers by key-hash partition: every group is
+// accumulated entirely by one worker in global row order, so even float
+// sums are bit-identical to the serial run, and the merged output emits
+// groups in the serial first-seen order.
 type HashAggregate struct {
 	Child        Operator
 	GroupBy      []string
 	Aggs         []AggSpec
 	FlushOnGroup bool
+	// Parallel permits partition-parallel aggregation (planner-injected);
+	// it takes effect when the context's Workers knob exceeds one and
+	// FlushOnGroup is unset (the sandwich aggregation is already bounded by
+	// one co-clustering group and flushes on a serial group cursor).
+	Parallel bool
 
-	schema   expr.Schema
-	ctx      *Context
-	keyIdx   []int
-	table    oaTable    // key hash -> group id
-	states   []aggState // flat, group g's states at [g*len(Aggs) : (g+1)*len(Aggs)]
-	nGroups  int        // group count (keyBuf.Len() is 0 for zero-column keys)
-	keyBuf   *Buffer    // one row per group, in first-seen (emission) order
-	memBytes int64
-
-	hashes        []uint64 // per-batch key hash scratch
-	distinctBytes int64    // footprint of all COUNT(DISTINCT) sets
-	keyBufCols    []int
-	eqBatch       *vector.Batch
-	eqRow         int
-	groupEq       func(int32) bool
-
-	argVecs []*vector.Vector
-	out     *vector.Batch
+	schema expr.Schema
+	ctx    *Context
+	keyIdx []int
+	agg    *aggTable
 
 	pending []*vector.Batch // flushed output waiting to be returned
 	done    bool
@@ -129,120 +290,26 @@ func (h *HashAggregate) Open(ctx *Context) error {
 		}
 		h.schema = append(h.schema, expr.ColMeta{Name: a.Name, Kind: a.resultKind()})
 	}
-	h.keyBuf = NewBuffer(keySchema)
-	h.keyBufCols = identityCols(len(h.keyIdx))
-	h.groupEq = func(g int32) bool {
-		return keysEqualBatchBuf(h.eqBatch, h.keyIdx, h.eqRow, h.keyBuf, h.keyBufCols, int(g))
-	}
-	h.argVecs = make([]*vector.Vector, len(h.Aggs))
-	for i, a := range h.Aggs {
-		if a.Arg != nil {
-			h.argVecs[i] = expr.NewScratch(a.Arg.Kind())
-		}
-	}
-	h.out = vector.NewBatch(h.schema.Kinds())
+	h.agg = newAggTable(h.Aggs, h.keyIdx, keySchema)
 	return nil
 }
 
-// accumulate folds one batch into the hash table: the key columns are
-// hashed vector-at-a-time, then each row resolves (or claims) its group id
-// in the open-addressing table, with collisions verified against the
-// materialized group keys in keyBuf.
-func (h *HashAggregate) accumulate(b *vector.Batch) {
-	for i, a := range h.Aggs {
-		if a.Arg != nil {
-			h.argVecs[i].Reset()
-			a.Arg.Eval(b, h.argVecs[i])
-		}
+// workers resolves the effective worker count of this aggregation.
+func (h *HashAggregate) workers() int {
+	if !h.Parallel || h.FlushOnGroup {
+		return 1
 	}
-	keyBatch := vector.Batch{Cols: make([]*vector.Vector, len(h.keyIdx))}
-	for c, ki := range h.keyIdx {
-		keyBatch.Cols[c] = b.Cols[ki]
-	}
-	h.hashes = vector.HashKeys(b, h.keyIdx, h.hashes)
-	h.eqBatch = b
-	nAggs := len(h.Aggs)
-	for r := 0; r < b.Len(); r++ {
-		h.eqRow = r
-		h.table.Reserve()
-		slot, found := h.table.FindSlot(h.hashes[r], h.groupEq)
-		var g int32
-		if found {
-			g = h.table.Payload(slot)
-		} else {
-			g = int32(h.nGroups)
-			h.nGroups++
-			h.table.Insert(slot, h.hashes[r], g)
-			h.keyBuf.AppendRow(&keyBatch, r)
-			for i := 0; i < nAggs; i++ {
-				h.states = append(h.states, aggState{})
-			}
-		}
-		states := h.states[int(g)*nAggs : (int(g)+1)*nAggs]
-		for i, a := range h.Aggs {
-			st := &states[i]
-			switch a.Func {
-			case AggCount:
-				st.count++
-			case AggCountDistinct:
-				if st.distinct == nil {
-					st.distinct = newDistinctSet(h.argVecs[i].Kind)
-				}
-				h.distinctBytes += st.distinct.Add(h.argVecs[i], r)
-			case AggSum, AggAvg:
-				switch h.argVecs[i].Kind {
-				case vector.Int64:
-					st.i64 += h.argVecs[i].I64[r]
-					st.f64 += float64(h.argVecs[i].I64[r])
-				case vector.Float64:
-					st.f64 += h.argVecs[i].F64[r]
-				}
-				st.count++
-			case AggMin, AggMax:
-				updateMinMax(st, h.argVecs[i], r, a.Func == AggMin)
-			}
-		}
-	}
-	// Charge the footprint growth once per batch; every term is the exact
-	// size of a flat allocation.
-	foot := h.keyBuf.Bytes() + h.table.Bytes() + int64(cap(h.states))*aggStateBytes + h.distinctBytes
-	if d := foot - h.memBytes; d > 0 {
-		h.memBytes = foot
-		h.ctx.Mem.Grow(d)
-	}
+	return h.ctx.workerCount()
 }
 
-func updateMinMax(st *aggState, v *vector.Vector, r int, isMin bool) {
-	first := st.count == 0
-	st.count++
-	switch v.Kind {
-	case vector.Int64:
-		x := v.I64[r]
-		if first || (isMin && x < st.i64) || (!isMin && x > st.i64) {
-			st.i64 = x
-		}
-	case vector.Float64:
-		x := v.F64[r]
-		if first || (isMin && x < st.f64) || (!isMin && x > st.f64) {
-			st.f64 = x
-		}
-	case vector.String:
-		x := v.Str[r]
-		if first || (isMin && x < st.str) || (!isMin && x > st.str) {
-			st.str = x
-		}
-	}
-}
-
-// flush converts the hash table into pending output batches and clears it.
-// Flushed batches of a FlushOnGroup aggregation keep the group tag, so a
-// sandwich aggregation's output remains a group stream and enclosing
-// sandwich operators can align on it.
-func (h *HashAggregate) flush() {
-	if h.nGroups == 0 {
-		return
-	}
+// emitGroups renders groups of src (in the given order) into pending
+// batches; order nil means src's insertion order. Flushed batches of a
+// FlushOnGroup aggregation keep the group tag, so a sandwich aggregation's
+// output remains a group stream and enclosing sandwich operators can align
+// on it.
+func (h *HashAggregate) emitGroups(tables []*aggTable, order []groupRef) {
 	nk := len(h.keyIdx)
+	nAggs := len(h.Aggs)
 	tag := func(b *vector.Batch) {
 		if h.FlushOnGroup && h.haveGID {
 			b.Grouped = true
@@ -257,10 +324,10 @@ func (h *HashAggregate) flush() {
 			out = vector.NewBatch(h.schema.Kinds())
 		}
 	}
-	nAggs := len(h.Aggs)
-	for gi := 0; gi < h.nGroups; gi++ {
-		states := h.states[gi*nAggs : (gi+1)*nAggs]
-		h.keyBuf.WriteRow(out, gi, 0)
+	for _, ref := range order {
+		t := tables[ref.table]
+		states := t.states[ref.group*nAggs : (ref.group+1)*nAggs]
+		t.keyBuf.WriteRow(out, ref.group, 0)
 		for i, a := range h.Aggs {
 			col := out.Cols[nk+i]
 			st := states[i]
@@ -297,13 +364,178 @@ func (h *HashAggregate) flush() {
 		}
 	}
 	emit()
-	h.ctx.Mem.Shrink(h.memBytes)
-	h.memBytes = 0
-	h.distinctBytes = 0
-	h.table.Reset()
-	h.states = h.states[:0]
-	h.nGroups = 0
-	h.keyBuf.Reset()
+}
+
+// groupRef addresses one group of one aggTable during emission.
+type groupRef struct {
+	table    int
+	group    int
+	firstRow int64
+}
+
+// flush converts the hash table into pending output batches and clears it.
+func (h *HashAggregate) flush() {
+	if h.agg.nGroups == 0 {
+		return
+	}
+	order := make([]groupRef, h.agg.nGroups)
+	for g := range order {
+		order[g] = groupRef{group: g}
+	}
+	h.emitGroups([]*aggTable{h.agg}, order)
+	h.agg.release(h.ctx.Mem)
+}
+
+// aggJob is one routed unit of the parallel aggregation: up to aggJobRows
+// rows of one worker's key partition with pre-computed key hashes and
+// global row indexes. Jobs are recycled through a free list once a worker
+// has folded them in.
+type aggJob struct {
+	b      *vector.Batch
+	hashes []uint64
+	rowIdx []int64
+	bytes  int64 // charged while in flight
+}
+
+func (j *aggJob) reset() {
+	j.b.Reset()
+	j.hashes = j.hashes[:0]
+	j.rowIdx = j.rowIdx[:0]
+	j.bytes = 0
+}
+
+// aggJobRows is the target row count of one routed job: the feeder buffers
+// each worker's rows across input batches up to this size, so per-job
+// synchronization amortizes over several batches of table work.
+const aggJobRows = 4 * vector.BatchSize
+
+// runParallel drains the child on the caller goroutine, routing each row to
+// a worker by key-hash partition (so each group lives on exactly one worker
+// and accumulates in global row order), then emits all groups sorted by
+// their global first-seen row — exactly the serial emission order.
+func (h *HashAggregate) runParallel() error {
+	workers := h.ctx.workerCount()
+	cs := h.Child.Schema()
+	var keySchema expr.Schema
+	for _, i := range h.keyIdx {
+		keySchema = append(keySchema, cs[i])
+	}
+	tables := make([]*aggTable, workers)
+	chans := make([]chan *aggJob, workers)
+	recycle := make(chan *aggJob, 4*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		tables[w] = newAggTable(h.Aggs, h.keyIdx, keySchema)
+		chans[w] = make(chan *aggJob, 2)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range chans[w] {
+				tables[w].accumulate(job.b, job.hashes, job.rowIdx)
+				tables[w].charge(h.ctx.Mem)
+				h.ctx.Mem.Shrink(job.bytes)
+				job.reset()
+				select {
+				case recycle <- job:
+				default:
+				}
+			}
+		}()
+	}
+	closeAll := func() {
+		for _, c := range chans {
+			close(c)
+		}
+		wg.Wait()
+	}
+
+	// Route: hash each input batch once, gather each worker's rows with a
+	// selection vector (one type dispatch per column, not per row), and
+	// hand off jobs once they reach aggJobRows. The partition uses high
+	// hash bits (the group index uses the low bits).
+	kinds := cs.Kinds()
+	newJob := func() *aggJob {
+		select {
+		case j := <-recycle:
+			return j
+		default:
+			return &aggJob{b: vector.NewBatch(kinds)}
+		}
+	}
+	var hashes []uint64
+	parts := make([]*aggJob, workers)
+	sels := make([][]int32, workers)
+	var rowBase int64
+	send := func(w int) {
+		job := parts[w]
+		parts[w] = nil
+		job.bytes = batchBytes(job.b)
+		h.ctx.Mem.Grow(job.bytes)
+		chans[w] <- job
+	}
+	for {
+		b, err := h.Child.Next()
+		if err != nil {
+			closeAll()
+			for _, t := range tables {
+				t.release(h.ctx.Mem)
+			}
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		hashes = vector.HashKeys(b, h.keyIdx, hashes)
+		for w := range sels {
+			sels[w] = sels[w][:0]
+		}
+		for r, hv := range hashes {
+			w := int((hv >> 32) % uint64(workers))
+			sels[w] = append(sels[w], int32(r))
+		}
+		for w, sel := range sels {
+			if len(sel) == 0 {
+				continue
+			}
+			if parts[w] == nil {
+				parts[w] = newJob()
+			}
+			job := parts[w]
+			job.b.AppendSelected(b, sel)
+			for _, r := range sel {
+				job.hashes = append(job.hashes, hashes[r])
+				job.rowIdx = append(job.rowIdx, rowBase+int64(r))
+			}
+			if job.b.Len() >= aggJobRows {
+				send(w)
+			}
+		}
+		rowBase += int64(b.Len())
+	}
+	for w := range parts {
+		if parts[w] != nil && parts[w].b.Len() > 0 {
+			send(w)
+		}
+	}
+	closeAll()
+
+	// Merge: emit every worker's groups in global first-seen order.
+	var order []groupRef
+	for w, t := range tables {
+		for g := 0; g < t.nGroups; g++ {
+			order = append(order, groupRef{table: w, group: g, firstRow: t.firstRows[g]})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].firstRow < order[j].firstRow })
+	h.emitGroups(tables, order)
+	for _, t := range tables {
+		t.release(h.ctx.Mem)
+	}
+	return nil
 }
 
 // Next implements Operator.
@@ -311,11 +543,19 @@ func (h *HashAggregate) Next() (*vector.Batch, error) {
 	for {
 		if len(h.pending) > 0 {
 			b := h.pending[0]
+			h.pending[0] = nil
 			h.pending = h.pending[1:]
 			return b, nil
 		}
 		if h.done {
 			return nil, nil
+		}
+		if h.workers() > 1 {
+			h.done = true
+			if err := h.runParallel(); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		b, err := h.Child.Next()
 		if err != nil {
@@ -336,14 +576,17 @@ func (h *HashAggregate) Next() (*vector.Batch, error) {
 			h.haveGID = true
 			h.curGID = b.GroupID
 		}
-		h.accumulate(b)
+		h.agg.accumulate(b, nil, nil)
+		h.agg.charge(h.ctx.Mem)
 	}
 }
 
 // Close implements Operator.
 func (h *HashAggregate) Close() error {
-	h.ctx.Mem.Shrink(h.memBytes)
-	h.memBytes = 0
+	if h.agg != nil {
+		h.ctx.Mem.Shrink(h.agg.memBytes)
+		h.agg.memBytes = 0
+	}
 	return h.Child.Close()
 }
 

@@ -10,6 +10,28 @@
 // accountant and its materialized state (hash tables, sort buffers) to the
 // memory tracker; the paper's Figure 2 (cold time) and Figure 3 (peak query
 // memory) series are produced from exactly these two meters.
+//
+// # Morsel-driven parallelism
+//
+// Operators the planner marks Parallel execute morsel-driven when the
+// context's Workers knob exceeds one: scans split their row ranges into
+// fixed-size morsels, hash joins probe input batches on a worker pool, and
+// hash aggregations route rows to workers by key-hash partition. The
+// threading contract is strict:
+//
+//   - Build state is frozen before fan-out: a hash join's buffered rows and
+//     slot/chain arrays are written only during build and are read-only
+//     while probe workers run. Aggregation workers own disjoint key
+//     partitions and never share mutable state.
+//   - Each worker owns its scratch (probe hashes, match lists, output
+//     batches, expression scratch). Bound expressions are safe to share —
+//     Eval allocates per-call scratch and nodes are immutable after Bind.
+//   - Every parallel operator merges worker output order-preservingly
+//     (morsel order for scans, input-batch order for joins, global
+//     first-seen group order for aggregations), so workers=1 and workers=N
+//     produce byte-identical results.
+//   - Worker-held batches and per-worker state are charged to the shared
+//     MemTracker (which is mutex-protected) with exact Grow/Shrink pairs.
 package engine
 
 import (
@@ -27,6 +49,11 @@ type Context struct {
 	Acct *iosim.Accountant
 	// Mem tracks operator memory; nil disables memory accounting.
 	Mem *MemTracker
+	// Workers is the morsel-parallelism knob: operators the planner marked
+	// Parallel fan out over this many workers. Values below 2 (including the
+	// zero value) mean serial execution, preserving the paper's
+	// single-threaded measurement setup; DefaultWorkers() uses all cores.
+	Workers int
 }
 
 // NewContext returns a context with fresh meters for the given device.

@@ -256,9 +256,9 @@ func TestOATableGrowth(t *testing.T) {
 
 // TestJoinTableCollisionChains forces every key onto one hash value so
 // distinct keys must be separated by the equality predicate alone, and
-// duplicate keys must chain in insertion order.
+// duplicate keys must chain in insertion order (single-partition build).
 func TestJoinTableCollisionChains(t *testing.T) {
-	var jt joinTable
+	jt := newPartJoinTable(1)
 	const h = uint64(0xDEADBEEF)
 	// Row r holds key r/3: three duplicate rows per key, 100 distinct keys.
 	key := func(r int32) int32 { return r / 3 }

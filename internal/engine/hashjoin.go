@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"bdcc/internal/expr"
 	"bdcc/internal/vector"
@@ -33,24 +34,34 @@ const MatchedColName = "__matched"
 // variant avoids. An optional Residual predicate over the combined row
 // filters matches (used for decorrelated EXISTS subqueries with extra
 // conditions, e.g. TPC-H Q21).
+//
+// With Parallel set and a multi-worker context, the build side is inserted
+// partition-parallel (each worker owns a slice of the hash space) and probe
+// batches fan out to a worker pool where each worker holds its own hash,
+// match and output scratch; the buffered build rows and slot/chain arrays
+// are read-only during probe, and output merges in probe-batch order, so
+// results are byte-identical to the serial execution.
 type HashJoin struct {
 	Left, Right         Operator
 	LeftKeys, RightKeys []string
 	Type                JoinType
 	Residual            expr.Expr
+	// Parallel permits morsel-parallel build and probe (planner-injected);
+	// it takes effect when the context's Workers knob exceeds one.
+	Parallel bool
 
 	schema   expr.Schema
 	ctx      *Context
 	built    bool
 	buf      *Buffer
-	table    *joinTable
-	mapBytes int64
+	table    *partJoinTable
+	memBytes int64 // bytes charged to ctx.Mem for buf + table (+ staged hashes)
 
 	leftKeyIdx  []int
 	rightKeyIdx []int
 	out         *vector.Batch
 
-	// probe iteration state
+	// probe iteration state (serial path)
 	cur         *vector.Batch
 	curRow      int
 	probeHashes []uint64
@@ -61,9 +72,11 @@ type HashJoin struct {
 	buildEq     func(int32) bool
 	buildRow    int32
 
-	// residual scratch
+	// residual scratch (serial path)
 	combined *vector.Batch
 	resVec   *vector.Vector
+
+	ex *exchange // parallel probe, nil on the serial path
 }
 
 // Schema implements Operator.
@@ -130,14 +143,47 @@ func keyIndexes(s expr.Schema, names []string) ([]int, error) {
 	return idx, nil
 }
 
+// workers resolves the effective worker count of this join.
+func (j *HashJoin) workers() int {
+	if !j.Parallel {
+		return 1
+	}
+	return j.ctx.workerCount()
+}
+
+// charge reconciles the accounted bytes with the current footprint of the
+// buffered build rows, the hash table, and extra (staged build hashes).
+// Grow/Shrink stay symmetric: whatever was charged is released again, so a
+// closed join leaves the tracker exactly where it found it.
+func (j *HashJoin) charge(extra int64) {
+	foot := extra
+	if j.buf != nil {
+		foot += j.buf.Bytes()
+	}
+	if j.table != nil {
+		foot += j.table.Bytes()
+	}
+	switch d := foot - j.memBytes; {
+	case d > 0:
+		j.ctx.Mem.Grow(d)
+	case d < 0:
+		j.ctx.Mem.Shrink(-d)
+	}
+	j.memBytes = foot
+}
+
 // build materializes the right child into the hash table, hashing each
 // batch's key columns vector-at-a-time. The charged footprint is exact: the
-// buffered rows plus the table's flat slot and chain arrays.
+// buffered rows plus the table's flat slot and chain arrays. With more than
+// one worker the drained rows are staged with their hashes and the
+// partition-parallel insert runs afterwards; each partition is owned by
+// exactly one worker, so insertion needs no locks.
 func (j *HashJoin) build() error {
+	workers := j.workers()
 	j.buf = NewBuffer(j.Right.Schema())
-	j.table = &joinTable{}
+	j.table = newPartJoinTable(workers)
+	var stage []uint64
 	var hashes []uint64
-	var prevBytes int64
 	for {
 		b, err := j.Right.Next()
 		if err != nil {
@@ -149,15 +195,41 @@ func (j *HashJoin) build() error {
 		base := int32(j.buf.Len())
 		j.buf.AppendBatch(b)
 		hashes = vector.HashKeys(b, j.rightKeyIdx, hashes)
-		for i := 0; i < b.Len(); i++ {
-			j.buildRow = base + int32(i)
-			j.table.Insert(hashes[i], j.buildRow, j.buildEq)
+		if workers == 1 {
+			for i := 0; i < b.Len(); i++ {
+				j.buildRow = base + int32(i)
+				j.table.Insert(hashes[i], j.buildRow, j.buildEq)
+			}
+			j.charge(0)
+			continue
 		}
-		j.mapBytes = j.table.Bytes()
-		if grow := j.buf.Bytes() + j.mapBytes - prevBytes; grow > 0 {
-			j.ctx.Mem.Grow(grow)
-			prevBytes += grow
+		stage = append(stage, hashes...)
+		j.charge(8 * int64(cap(stage)))
+	}
+	if workers > 1 {
+		j.table.GrowChains(len(stage))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Worker w owns partitions p ≡ w (mod workers): one pass over
+				// the staged hashes, inserting only its own rows.
+				var row int32
+				eq := func(head int32) bool {
+					return keysEqualBufBuf(j.buf, j.rightKeyIdx, int(row), int(head))
+				}
+				for r, h := range stage {
+					if p := j.table.PartOf(h); p%workers == w {
+						row = int32(r)
+						j.table.InsertPresized(h, row, eq)
+					}
+				}
+			}()
 		}
+		wg.Wait()
+		j.charge(0) // staged hashes released
 	}
 	j.built = true
 	return nil
@@ -168,15 +240,21 @@ func (j *HashJoin) residualOK(left *vector.Batch, li int, bi int32) bool {
 	if j.Residual == nil {
 		return true
 	}
-	j.combined.Reset()
+	return j.residualOKScratch(left, li, bi, j.combined, j.resVec)
+}
+
+// residualOKScratch is residualOK over caller-owned scratch, shared by the
+// serial path and the per-worker probe states.
+func (j *HashJoin) residualOKScratch(left *vector.Batch, li int, bi int32, combined *vector.Batch, resVec *vector.Vector) bool {
+	combined.Reset()
 	nl := len(left.Cols)
 	for c := 0; c < nl; c++ {
-		j.combined.Cols[c].AppendFrom(left.Cols[c], li)
+		combined.Cols[c].AppendFrom(left.Cols[c], li)
 	}
-	j.buf.WriteRow(j.combined, int(bi), nl)
-	j.resVec.Reset()
-	j.Residual.Eval(j.combined, j.resVec)
-	return j.resVec.I64[0] != 0
+	j.buf.WriteRow(combined, int(bi), nl)
+	resVec.Reset()
+	j.Residual.Eval(combined, resVec)
+	return resVec.I64[0] != 0
 }
 
 // Next implements Operator.
@@ -185,6 +263,12 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 		if err := j.build(); err != nil {
 			return nil, err
 		}
+	}
+	if j.workers() > 1 {
+		if j.ex == nil {
+			j.startParallelProbe()
+		}
+		return j.ex.nextBatch()
 	}
 	j.out.Reset()
 	if j.cur != nil {
@@ -280,6 +364,131 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 	}
 }
 
+// probeWorker is the per-worker probe state of the parallel path: hash and
+// match scratch, an equality closure over the worker's current row, and
+// residual scratch. The shared build table and buffer are read-only here.
+type probeWorker struct {
+	j        *HashJoin
+	hashes   []uint64
+	matches  []int32
+	cur      *vector.Batch
+	curRow   int
+	eq       func(int32) bool
+	combined *vector.Batch
+	resVec   *vector.Vector
+}
+
+func (j *HashJoin) newProbeWorker() *probeWorker {
+	w := &probeWorker{j: j}
+	w.eq = func(head int32) bool {
+		return keysEqualBatchBuf(w.cur, j.leftKeyIdx, w.curRow, j.buf, j.rightKeyIdx, int(head))
+	}
+	if j.Residual != nil {
+		combined := append(append(expr.Schema{}, j.Left.Schema()...), j.Right.Schema()...)
+		w.combined = vector.NewBatch(combined.Kinds())
+		w.resVec = expr.NewScratch(vector.Int64)
+	}
+	return w
+}
+
+func (w *probeWorker) residualOK(bi int32) bool {
+	if w.j.Residual == nil {
+		return true
+	}
+	return w.j.residualOKScratch(w.cur, w.curRow, bi, w.combined, w.resVec)
+}
+
+func (w *probeWorker) chainAnyMatch(head int32) bool {
+	for bi := head; bi >= 0; bi = w.j.table.ChainNext(bi) {
+		if w.residualOK(bi) {
+			return true
+		}
+	}
+	return false
+}
+
+// probeBatch probes one input batch completely, emitting output batches of
+// at most BatchSize rows. Output batches inherit the input batch's group
+// tags, so grouped streams stay group-pure.
+func (w *probeWorker) probeBatch(in *vector.Batch, emit func(*vector.Batch)) {
+	j := w.j
+	w.cur = in
+	w.hashes = vector.HashKeys(in, j.leftKeyIdx, w.hashes)
+	kinds := j.schema.Kinds()
+	newOut := func() *vector.Batch {
+		out := vector.NewBatch(kinds)
+		out.GroupID = in.GroupID
+		out.Grouped = in.Grouped
+		return out
+	}
+	out := newOut()
+	nl := len(in.Cols)
+	for r := 0; r < in.Len(); r++ {
+		w.curRow = r
+		head := j.table.Lookup(w.hashes[r], w.eq)
+		switch j.Type {
+		case SemiJoin:
+			if w.chainAnyMatch(head) {
+				out.AppendRow(in, r)
+			}
+		case AntiJoin:
+			if !w.chainAnyMatch(head) {
+				out.AppendRow(in, r)
+			}
+		case LeftOuterJoin, InnerJoin:
+			if j.Type == LeftOuterJoin && !w.chainAnyMatch(head) {
+				for c := 0; c < nl; c++ {
+					out.Cols[c].AppendFrom(in.Cols[c], r)
+				}
+				for i := 0; i < len(j.schema)-nl-1; i++ {
+					appendZero(out.Cols[nl+i])
+				}
+				out.Cols[len(out.Cols)-1].AppendInt64(0)
+				break
+			}
+			w.matches = j.table.Matches(head, w.matches[:0])
+			for _, bi := range w.matches {
+				if !w.residualOK(bi) {
+					continue
+				}
+				for c := 0; c < nl; c++ {
+					out.Cols[c].AppendFrom(in.Cols[c], r)
+				}
+				j.buf.WriteRow(out, int(bi), nl)
+				if j.Type == LeftOuterJoin {
+					out.Cols[len(out.Cols)-1].AppendInt64(1)
+				}
+				if out.Len() >= vector.BatchSize {
+					emit(out)
+					out = newOut()
+				}
+			}
+		}
+		if out.Len() >= vector.BatchSize {
+			emit(out)
+			out = newOut()
+		}
+	}
+	if out.Len() > 0 {
+		emit(out)
+	}
+}
+
+// startParallelProbe fans probe batches out to the worker pool through the
+// order-preserving exchange.
+func (j *HashJoin) startParallelProbe() {
+	workers := j.workers()
+	states := make([]*probeWorker, workers)
+	for w := range states {
+		states[w] = j.newProbeWorker()
+	}
+	j.ex = newExchange(j.ctx.Mem, 2*workers)
+	j.ex.runStream(workers, j.Left.Next, func(in *vector.Batch, w int, emit func(*vector.Batch)) error {
+		states[w].probeBatch(in, emit)
+		return nil
+	})
+}
+
 // chainAnyMatch reports whether any build row in head's chain passes the
 // residual for the current probe row.
 func (j *HashJoin) chainAnyMatch(head int32) bool {
@@ -323,11 +532,14 @@ func (j *HashJoin) advanceRow() {
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
-	if j.buf != nil {
-		j.ctx.Mem.Shrink(j.buf.Bytes() + j.mapBytes)
-		j.buf = nil
-		j.table = nil
+	if j.ex != nil {
+		j.ex.close()
+		j.ex = nil
 	}
+	j.ctx.Mem.Shrink(j.memBytes)
+	j.memBytes = 0
+	j.buf = nil
+	j.table = nil
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
 	if err1 != nil {

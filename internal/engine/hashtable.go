@@ -105,62 +105,108 @@ func (t *oaTable) Payload(slot int) int32 { return t.vals[slot] }
 // SetPayload overwrites the payload of an occupied slot.
 func (t *oaTable) SetPayload(slot int, v int32) { t.vals[slot] = v }
 
-// joinTable indexes the build side of a hash join: key hashes map to chains
-// of build row numbers (rows inserted in order 0,1,2,...), duplicates
-// linked through a flat next array.
-type joinTable struct {
-	oa   oaTable
-	next []int32
+// partJoinTable indexes the build side of a hash join: key hashes map to
+// chains of build row numbers (duplicates linked through a flat next
+// array), with the hash space split by the top hash bits into a
+// power-of-two number of partitions, each an independent open-addressing
+// table over one shared chain array. Partitioning makes the build phase
+// parallel (each partition is owned by exactly one worker, and chain slots
+// next[r] are written only by the owner of row r's partition) while probes
+// stay lock-free single lookups. Serial users (SandwichHashJoin's per-group
+// builds) run it with a single partition.
+type partJoinTable struct {
+	parts []oaTable
+	next  []int32
+	shift uint // partition index of hash h is h >> shift
 }
 
-// Bytes returns the exact footprint of the table's slot and chain arrays.
-func (t *joinTable) Bytes() int64 { return t.oa.Bytes() + int64(cap(t.next))*4 }
+// newPartJoinTable returns an empty table with the smallest power-of-two
+// partition count ≥ workers.
+func newPartJoinTable(workers int) *partJoinTable {
+	p := 1
+	bits := uint(0)
+	for p < workers {
+		p <<= 1
+		bits++
+	}
+	return &partJoinTable{parts: make([]oaTable, p), shift: 64 - bits}
+}
 
-// Len returns the number of indexed build rows.
-func (t *joinTable) Len() int { return len(t.next) }
-
-// Reset empties the table, keeping capacity (sandwich joins rebuild it once
-// per co-clustering group).
-func (t *joinTable) Reset() {
-	t.oa.Reset()
+// Reset empties the table, keeping slot capacity (sandwich joins rebuild it
+// once per co-clustering group).
+func (t *partJoinTable) Reset() {
+	for i := range t.parts {
+		t.parts[i].Reset()
+	}
 	t.next = t.next[:0]
 }
 
-// Insert indexes build row r (which must be len(next), i.e. rows arrive in
-// order) under hash h. eq compares r's key against a chain head's.
-func (t *joinTable) Insert(h uint64, r int32, eq func(int32) bool) {
-	t.oa.Reserve()
-	slot, found := t.oa.FindSlot(h, eq)
+// PartOf returns the partition index of hash h.
+func (t *partJoinTable) PartOf(h uint64) int { return int(h >> t.shift) }
+
+// Bytes returns the exact footprint of all slot arrays plus the chain array.
+func (t *partJoinTable) Bytes() int64 {
+	n := int64(cap(t.next)) * 4
+	for i := range t.parts {
+		n += t.parts[i].Bytes()
+	}
+	return n
+}
+
+// Len returns the number of indexed build rows.
+func (t *partJoinTable) Len() int { return len(t.next) }
+
+// Insert indexes build row r (which must be len(next): rows arrive in
+// order) under hash h — the serial, incremental build path.
+func (t *partJoinTable) Insert(h uint64, r int32, eq func(int32) bool) {
+	t.next = append(t.next, -1)
+	t.insertChained(h, r, eq)
+}
+
+// GrowChains presizes the chain array for n build rows so that parallel
+// partition owners can insert without appends (disjoint writes only).
+func (t *partJoinTable) GrowChains(n int) { t.next = make([]int32, n) }
+
+// InsertPresized indexes build row r into its partition after GrowChains;
+// only the owner of r's partition may call it for r.
+func (t *partJoinTable) InsertPresized(h uint64, r int32, eq func(int32) bool) {
+	t.next[r] = -1
+	t.insertChained(h, r, eq)
+}
+
+func (t *partJoinTable) insertChained(h uint64, r int32, eq func(int32) bool) {
+	oa := &t.parts[h>>t.shift]
+	oa.Reserve()
+	slot, found := oa.FindSlot(h, eq)
 	if found {
-		t.next = append(t.next, t.oa.Payload(slot))
-		t.oa.SetPayload(slot, r)
+		t.next[r] = oa.Payload(slot)
+		oa.SetPayload(slot, r)
 	} else {
-		t.next = append(t.next, -1)
-		t.oa.Insert(slot, h, r)
+		oa.Insert(slot, h, r)
 	}
 }
 
 // Lookup returns the chain head row for hash h, or -1. eq compares the
-// probe key against a candidate head row's key.
-func (t *joinTable) Lookup(h uint64, eq func(int32) bool) int32 {
-	if t.oa.used == 0 {
+// probe key against a candidate head row's key. Lookups are read-only and
+// safe to run concurrently once the build is complete.
+func (t *partJoinTable) Lookup(h uint64, eq func(int32) bool) int32 {
+	oa := &t.parts[h>>t.shift]
+	if oa.used == 0 {
 		return -1
 	}
-	slot, found := t.oa.FindSlot(h, eq)
+	slot, found := oa.FindSlot(h, eq)
 	if !found {
 		return -1
 	}
-	return t.oa.Payload(slot)
+	return oa.Payload(slot)
 }
 
-// ChainNext returns the chain successor of build row r (-1 ends the
-// chain). Semi/anti probes walk chains directly instead of materializing
-// them, short-circuiting on the first qualifying row.
-func (t *joinTable) ChainNext(r int32) int32 { return t.next[r] }
+// ChainNext returns the chain successor of build row r (-1 ends the chain).
+func (t *partJoinTable) ChainNext(r int32) int32 { return t.next[r] }
 
 // Matches appends the chain of head to dst (callers pass scratch[:0]) in
 // build insertion order and returns it.
-func (t *joinTable) Matches(head int32, dst []int32) []int32 {
+func (t *partJoinTable) Matches(head int32, dst []int32) []int32 {
 	for r := head; r >= 0; r = t.next[r] {
 		dst = append(dst, r)
 	}

@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"bdcc/internal/vector"
+)
+
+// This file is the engine's morsel-driven parallel execution core: an
+// order-preserving exchange that fans work out to a pool of workers and
+// merges their output batches back in job order. Scans use the morsel form
+// (the job list — split row ranges — is known up front), hash joins use the
+// streaming form (a feeder pulls probe batches from the serial child and
+// hands them to workers by sequence number). Because delivery order equals
+// job order, a parallel plan produces byte-identical results to its serial
+// counterpart; see the package comment for the full threading contract.
+
+// DefaultWorkers is the default of the workers knob: one worker per
+// available core.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// workerCount resolves the context's Workers knob; values below 2 mean
+// serial.
+func (c *Context) workerCount() int {
+	if c == nil || c.Workers < 2 {
+		return 1
+	}
+	return c.Workers
+}
+
+// morselRows is the number of rows per scan morsel (a multiple of the batch
+// size, so morsel cuts preserve batch boundaries).
+const morselRows = 16 * vector.BatchSize
+
+// batchBytes returns the exact footprint of a batch's column data, matching
+// the Buffer accounting convention (8 bytes per scalar, 16 bytes plus
+// payload per string).
+func batchBytes(b *vector.Batch) int64 {
+	var n int64
+	for _, c := range b.Cols {
+		switch c.Kind {
+		case vector.String:
+			n += 16 * int64(len(c.Str))
+			for _, s := range c.Str {
+				n += int64(len(s))
+			}
+		default:
+			n += 8 * int64(c.Len())
+		}
+	}
+	return n
+}
+
+// copyBatch clones src (including group tags) into a fresh batch, detaching
+// it from the producing operator's reuse cycle.
+func copyBatch(src *vector.Batch) *vector.Batch {
+	out := vector.NewBatch(src.Kinds())
+	out.AppendBatch(src)
+	out.GroupID = src.GroupID
+	out.Grouped = src.Grouped
+	return out
+}
+
+// exchange is the order-preserving merge at the top of every parallel
+// operator. Jobs are claimed (or fed) in sequence; workers post their output
+// batches under the job's index; the consumer drains batches strictly in
+// job order, inside a job in posting order. A window bounds how far job
+// claiming may run ahead of consumption, bounding buffered memory.
+type exchange struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	mem  *MemTracker
+	wg   sync.WaitGroup
+
+	window  int
+	results [][]*vector.Batch // posted output batches, indexed by job
+	done    []bool            // job fully produced
+	jobs    int               // total jobs; -1 while streaming input is open
+	claimed int               // next job index to claim
+	next    int               // next job to consume
+	pos     int               // batches of job `next` already consumed
+	charged int64             // bytes of buffered batches charged to mem
+	err     error
+	closed  bool
+}
+
+func newExchange(mem *MemTracker, window int) *exchange {
+	e := &exchange{mem: mem, window: window, jobs: -1}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// claim hands out the next job index, blocking while the in-flight window is
+// full. ok is false once all jobs are claimed or the exchange shut down.
+func (e *exchange) claim() (job int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for !e.closed && e.err == nil && e.claimed >= e.next+e.window && (e.jobs < 0 || e.claimed < e.jobs) {
+		e.cond.Wait()
+	}
+	if e.closed || e.err != nil || (e.jobs >= 0 && e.claimed >= e.jobs) {
+		return 0, false
+	}
+	job = e.claimed
+	e.claimed++
+	for len(e.results) <= job {
+		e.results = append(e.results, nil)
+		e.done = append(e.done, false)
+	}
+	return job, true
+}
+
+// exchangeBufferCap bounds the bytes of produced-but-unconsumed output
+// batches an exchange will buffer before posting workers block — the
+// backpressure that keeps a high-fanout join's parallel peak memory within
+// a constant of its serial peak. The worker holding the lowest in-flight
+// job never blocks (jobs are claimed and handed out in order), so the
+// consumer can always drain forward and blocked posters always wake.
+const exchangeBufferCap = 4 << 20
+
+// post publishes one output batch of job; the consumer may pick it up before
+// the job finishes. Posting blocks while the buffer cap is exceeded, unless
+// this job is the one the consumer is currently draining.
+func (e *exchange) post(job int, b *vector.Batch) {
+	e.mu.Lock()
+	for !e.closed && e.err == nil && job != e.next && e.charged > exchangeBufferCap {
+		e.cond.Wait()
+	}
+	if !e.closed {
+		e.results[job] = append(e.results[job], b)
+		n := batchBytes(b)
+		e.charged += n
+		e.mem.Grow(n)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// finish marks job complete, recording the first error.
+func (e *exchange) finish(job int, err error) {
+	e.mu.Lock()
+	e.done[job] = true
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// seal fixes the total job count (streaming feeders call it at end of
+// input; the morsel form seals up front).
+func (e *exchange) seal(jobs int) {
+	e.mu.Lock()
+	e.jobs = jobs
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// setErr records an error raised outside a job (e.g. by the feeder).
+func (e *exchange) setErr(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// next returns the next output batch in job order, nil at end of stream.
+func (e *exchange) nextBatch() (*vector.Batch, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.err != nil {
+			return nil, e.err
+		}
+		if e.next < len(e.results) && e.pos < len(e.results[e.next]) {
+			b := e.results[e.next][e.pos]
+			e.results[e.next][e.pos] = nil
+			e.pos++
+			n := batchBytes(b)
+			e.charged -= n
+			e.mem.Shrink(n)
+			e.cond.Broadcast() // wakes posters blocked on the buffer cap
+			return b, nil
+		}
+		if e.next < len(e.results) && e.done[e.next] && e.pos >= len(e.results[e.next]) {
+			e.results[e.next] = nil
+			e.next++
+			e.pos = 0
+			e.cond.Broadcast() // frees window room for claimers
+			continue
+		}
+		if e.jobs >= 0 && e.next >= e.jobs {
+			return nil, nil
+		}
+		if e.closed {
+			return nil, nil
+		}
+		e.cond.Wait()
+	}
+}
+
+// close shuts the exchange down: claimers stop, workers drain, and any
+// still-buffered batches are released from the memory tracker. It is safe
+// to call close before, during, or after consumption.
+func (e *exchange) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.mu.Lock()
+	e.mem.Shrink(e.charged)
+	e.charged = 0
+	e.results = nil
+	e.mu.Unlock()
+}
+
+// runMorsels starts workers goroutines that claim jobs 0..jobs-1 and run
+// run(job, worker, emit), posting emitted batches order-preservingly. The
+// emitted batches must be freshly allocated (the consumer takes ownership).
+func (e *exchange) runMorsels(jobs, workers int, run func(job, worker int, emit func(*vector.Batch)) error) {
+	e.seal(jobs)
+	for w := 0; w < workers; w++ {
+		w := w
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for {
+				job, ok := e.claim()
+				if !ok {
+					return
+				}
+				err := run(job, w, func(b *vector.Batch) { e.post(job, b) })
+				e.finish(job, err)
+			}
+		}()
+	}
+}
+
+// streamJob is one unit handed from a streaming feeder to a worker.
+type streamJob struct {
+	job int
+	in  *vector.Batch
+}
+
+// streamJobRows is the target row count of one streaming job: the feeder
+// coalesces consecutive same-group input batches up to this size, so the
+// per-job synchronization (claim, channel hand-off, merge) amortizes over
+// several batches of probe work.
+const streamJobRows = 4 * vector.BatchSize
+
+// runStream starts a feeder that serially pulls input batches (copying
+// them, since producers reuse their output batch, and coalescing same-group
+// neighbors into jobs of up to streamJobRows rows) plus workers running
+// work per job. Input copies are charged to the memory tracker while in
+// flight. pull must not be called concurrently — only the feeder calls it.
+func (e *exchange) runStream(workers int, pull func() (*vector.Batch, error), work func(in *vector.Batch, worker int, emit func(*vector.Batch)) error) {
+	inputs := make(chan streamJob, e.window)
+	e.wg.Add(1)
+	go func() { // feeder
+		defer e.wg.Done()
+		defer close(inputs)
+		var pending *vector.Batch // copied lookahead that broke coalescing
+		for {
+			job, ok := e.claim()
+			if !ok {
+				return
+			}
+			cur := pending
+			pending = nil
+			for cur == nil {
+				b, err := pull()
+				if err != nil {
+					e.setErr(err)
+					return
+				}
+				if b == nil {
+					e.seal(job)
+					return
+				}
+				if b.Len() > 0 {
+					cur = copyBatch(b)
+				}
+			}
+			eof := false
+			for cur.Len() < streamJobRows {
+				b, err := pull()
+				if err != nil {
+					e.setErr(err)
+					return
+				}
+				if b == nil {
+					eof = true
+					break
+				}
+				if b.Len() == 0 {
+					continue
+				}
+				// Jobs stay group-pure so probe output batches keep exact
+				// group tags.
+				if b.Grouped != cur.Grouped || b.GroupID != cur.GroupID {
+					pending = copyBatch(b)
+					break
+				}
+				cur.AppendBatch(b)
+			}
+			e.mem.Grow(batchBytes(cur))
+			inputs <- streamJob{job: job, in: cur}
+			if eof {
+				e.seal(job + 1)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		w := w
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for sj := range inputs {
+				var err error
+				if !e.isClosed() {
+					err = work(sj.in, w, func(b *vector.Batch) { e.post(sj.job, b) })
+				}
+				e.mem.Shrink(batchBytes(sj.in))
+				e.finish(sj.job, err)
+			}
+		}()
+	}
+}
+
+func (e *exchange) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}

@@ -36,7 +36,7 @@ type SandwichHashJoin struct {
 	ctx    *Context
 
 	buf      *Buffer
-	table    *joinTable
+	table    *partJoinTable
 	memBytes int64
 
 	leftKeyIdx  []int
@@ -46,6 +46,9 @@ type SandwichHashJoin struct {
 	probeHashes []uint64
 	buildHashes []uint64
 	matches     []int32
+	matchPos    int
+	looked      bool
+	emitted     bool
 	probeBatch  *vector.Batch
 	probeRow    int
 	buildRow    int32
@@ -111,7 +114,7 @@ func (j *SandwichHashJoin) Open(ctx *Context) error {
 		return keysEqualBufBuf(j.buf, j.rightKeyIdx, int(j.buildRow), int(head))
 	}
 	j.buf = NewBuffer(rs)
-	j.table = &joinTable{}
+	j.table = newPartJoinTable(1)
 	j.rb = vector.NewBatch(rs.Kinds())
 	j.out = vector.NewBatch(j.schema.Kinds())
 	return nil
@@ -136,12 +139,7 @@ func (j *SandwichHashJoin) fetchRight() error {
 			return fmt.Errorf("engine: sandwich join build input is not a group stream")
 		}
 		j.rb.Reset()
-		for c := range j.rb.Cols {
-			j.rb.Cols[c].Reset()
-		}
-		for i := 0; i < b.Len(); i++ {
-			j.rb.AppendRow(b, i)
-		}
+		j.rb.AppendBatch(b)
 		j.rb.GroupID = b.GroupID
 		j.rb.Grouped = true
 		j.rbOK = true
@@ -208,80 +206,115 @@ func (j *SandwichHashJoin) residualOK(left *vector.Batch, li int, bi int32) bool
 	return j.resVec.I64[0] != 0
 }
 
-// Next implements Operator.
+// Next implements Operator. Output batches never exceed BatchSize rows: a
+// probe row whose match list would overflow the batch flushes mid-row and
+// resumes from the recorded match position on the following call — without
+// this, one large build group with many matches per probe row would grow the
+// output without bound, breaking the batch-size invariant downstream
+// operators size their scratch by. Flushed batches stay group-pure (they
+// always derive from a single probe batch).
 func (j *SandwichHashJoin) Next() (*vector.Batch, error) {
+	j.out.Reset()
+	if j.probeBatch != nil {
+		// Resuming mid-batch after a flush: restore the group tag.
+		j.out.Grouped = true
+		j.out.GroupID = j.probeBatch.GroupID
+	}
 	for {
-		b, err := j.Left.Next()
-		if err != nil {
-			return nil, err
-		}
-		if b == nil {
-			return nil, nil
-		}
-		if b.Len() == 0 {
-			continue
-		}
-		if !b.Grouped {
-			return nil, fmt.Errorf("engine: sandwich join probe input is not a group stream")
-		}
-		gid := b.GroupID >> j.ProbeShift
-		if !j.haveG || j.curGID != gid {
-			if j.haveG && gid < j.curGID {
-				return nil, fmt.Errorf("engine: sandwich join probe groups not ascending (%d after %d)", gid, j.curGID)
-			}
-			if err := j.buildGroup(gid); err != nil {
+		if j.probeBatch == nil {
+			b, err := j.Left.Next()
+			if err != nil {
 				return nil, err
 			}
-		}
-		j.out.Reset()
-		j.out.Grouped = true
-		j.out.GroupID = b.GroupID
-		nl := len(b.Cols)
-		j.probeBatch = b
-		j.probeHashes = vector.HashKeys(b, j.leftKeyIdx, j.probeHashes)
-		for r := 0; r < b.Len(); r++ {
-			j.probeRow = r
-			head := j.table.Lookup(j.probeHashes[r], j.probeEq)
-			switch j.Type {
-			case SemiJoin, AntiJoin:
-				// Existence only: walk the chain without materializing it.
-				hit := false
-				for bi := head; bi >= 0; bi = j.table.ChainNext(bi) {
-					if j.residualOK(b, r, bi) {
-						hit = true
-						break
-					}
+			if b == nil {
+				return nil, nil
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			if !b.Grouped {
+				return nil, fmt.Errorf("engine: sandwich join probe input is not a group stream")
+			}
+			gid := b.GroupID >> j.ProbeShift
+			if !j.haveG || j.curGID != gid {
+				if j.haveG && gid < j.curGID {
+					return nil, fmt.Errorf("engine: sandwich join probe groups not ascending (%d after %d)", gid, j.curGID)
 				}
-				if hit == (j.Type == SemiJoin) {
-					j.out.AppendRow(b, r)
-				}
-			case LeftOuterJoin, InnerJoin:
-				j.matches = j.table.Matches(head, j.matches[:0])
-				emitted := false
-				for _, bi := range j.matches {
-					if !j.residualOK(b, r, bi) {
-						continue
-					}
-					for c := 0; c < nl; c++ {
-						j.out.Cols[c].AppendFrom(b.Cols[c], r)
-					}
-					j.buf.WriteRow(j.out, int(bi), nl)
-					if j.Type == LeftOuterJoin {
-						j.out.Cols[len(j.out.Cols)-1].AppendInt64(1)
-					}
-					emitted = true
-				}
-				if !emitted && j.Type == LeftOuterJoin {
-					for c := 0; c < nl; c++ {
-						j.out.Cols[c].AppendFrom(b.Cols[c], r)
-					}
-					for c := range j.Right.Schema() {
-						appendZero(j.out.Cols[nl+c])
-					}
-					j.out.Cols[len(j.out.Cols)-1].AppendInt64(0)
+				if err := j.buildGroup(gid); err != nil {
+					return nil, err
 				}
 			}
+			j.probeBatch = b
+			j.probeRow = 0
+			j.looked = false
+			j.probeHashes = vector.HashKeys(b, j.leftKeyIdx, j.probeHashes)
+			j.out.Reset()
+			j.out.Grouped = true
+			j.out.GroupID = b.GroupID
 		}
+		b := j.probeBatch
+		nl := len(b.Cols)
+		for j.probeRow < b.Len() {
+			r := j.probeRow
+			if !j.looked {
+				head := j.table.Lookup(j.probeHashes[r], j.probeEq)
+				if j.Type == SemiJoin || j.Type == AntiJoin {
+					// Existence only: walk the chain without materializing it.
+					hit := false
+					for bi := head; bi >= 0; bi = j.table.ChainNext(bi) {
+						if j.residualOK(b, r, bi) {
+							hit = true
+							break
+						}
+					}
+					if hit == (j.Type == SemiJoin) {
+						j.out.AppendRow(b, r)
+					}
+					j.probeRow++
+					if j.out.Len() >= vector.BatchSize {
+						return j.out, nil
+					}
+					continue
+				}
+				j.matches = j.table.Matches(head, j.matches[:0])
+				j.matchPos = 0
+				j.emitted = false
+				j.looked = true
+			}
+			for j.matchPos < len(j.matches) {
+				bi := j.matches[j.matchPos]
+				j.matchPos++
+				if !j.residualOK(b, r, bi) {
+					continue
+				}
+				for c := 0; c < nl; c++ {
+					j.out.Cols[c].AppendFrom(b.Cols[c], r)
+				}
+				j.buf.WriteRow(j.out, int(bi), nl)
+				if j.Type == LeftOuterJoin {
+					j.out.Cols[len(j.out.Cols)-1].AppendInt64(1)
+				}
+				j.emitted = true
+				if j.out.Len() >= vector.BatchSize {
+					return j.out, nil
+				}
+			}
+			if !j.emitted && j.Type == LeftOuterJoin {
+				for c := 0; c < nl; c++ {
+					j.out.Cols[c].AppendFrom(b.Cols[c], r)
+				}
+				for c := range j.Right.Schema() {
+					appendZero(j.out.Cols[nl+c])
+				}
+				j.out.Cols[len(j.out.Cols)-1].AppendInt64(0)
+			}
+			j.probeRow++
+			j.looked = false
+			if j.out.Len() >= vector.BatchSize {
+				return j.out, nil
+			}
+		}
+		j.probeBatch = nil
 		if j.out.Len() > 0 {
 			return j.out, nil
 		}

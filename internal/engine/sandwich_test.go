@@ -9,6 +9,7 @@ import (
 	"bdcc/internal/core"
 	"bdcc/internal/expr"
 	"bdcc/internal/storage"
+	"bdcc/internal/vector"
 )
 
 // coClusteredPair builds two tables clustered on a shared dimension "g"
@@ -246,5 +247,147 @@ func TestGroupedScanStreamContract(t *testing.T) {
 	}
 	if rows != left.Data.Rows() {
 		t.Fatalf("grouped scan produced %d of %d rows", rows, left.Data.Rows())
+	}
+}
+
+// TestSandwichJoinFlushesLargeGroups locks in the batch-size invariant: a
+// build group larger than one batch joined against duplicate probe keys
+// produces a match fanout far beyond BatchSize per probe batch, and the
+// sandwich join must flush mid-loop instead of growing its output without
+// bound — every emitted batch stays at most BatchSize rows and group-pure.
+func TestSandwichJoinFlushesLargeGroups(t *testing.T) {
+	// One co-clustering group (gid 0): build side has 3*BatchSize rows under
+	// a single key, probe has 5 rows of that key => 5 * 3 * BatchSize
+	// result rows, all from one group.
+	nBuild := 3 * vector.BatchSize
+	rKey := make([]int64, nBuild)
+	rPay := make([]int64, nBuild)
+	rG := make([]int64, nBuild)
+	for i := range rKey {
+		rKey[i] = 7
+		rPay[i] = int64(i)
+	}
+	lKey := []int64{7, 7, 7, 7, 7}
+	lID := []int64{0, 1, 2, 3, 4}
+	lG := []int64{0, 0, 0, 0, 0}
+	var obs []core.WeightedKey
+	for g := int64(0); g < 4; g++ {
+		obs = append(obs, core.WeightedKey{Val: core.IntKey(g), Weight: 1})
+	}
+	dim, err := core.CreateDimension("d_g", "r", []string{"g"}, obs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, cols []*storage.Column, gs []int64) *core.BDCCTable {
+		tab := storage.MustNewTable(name, 4096, cols...)
+		bins := make([]uint64, len(gs))
+		for i, g := range gs {
+			bins[i] = dim.BinOf(core.IntKey(g))
+		}
+		bt, err := core.BuildBDCCTable(name, tab, []core.UseBinding{{Dim: dim, BinNos: bins}},
+			core.BuildOptions{DisableRelocation: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bt
+	}
+	left := mk("lbig", []*storage.Column{
+		storage.NewInt64Column("lkey", lKey),
+		storage.NewInt64Column("lid", lID),
+	}, lG)
+	right := mk("rbig", []*storage.Column{
+		storage.NewInt64Column("rkey", rKey),
+		storage.NewInt64Column("rpay", rPay),
+	}, rG)
+	sj := &SandwichHashJoin{
+		Left:     groupedScan(t, left, []string{"lkey", "lid"}),
+		Right:    groupedScan(t, right, []string{"rkey", "rpay"}),
+		LeftKeys: []string{"lkey"}, RightKeys: []string{"rkey"}, Type: InnerJoin,
+	}
+	if err := sj.Open(testCtx()); err != nil {
+		t.Fatal(err)
+	}
+	defer sj.Close()
+	rows := 0
+	for {
+		b, err := sj.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > vector.BatchSize {
+			t.Fatalf("sandwich join emitted a %d-row batch (max %d): mid-loop flush missing", b.Len(), vector.BatchSize)
+		}
+		if !b.Grouped {
+			t.Fatal("sandwich join emitted an untagged batch")
+		}
+		rows += b.Len()
+	}
+	if want := len(lKey) * nBuild; rows != want {
+		t.Fatalf("sandwich join produced %d rows, want %d", rows, want)
+	}
+}
+
+// TestParallelGroupedScanMatchesSerial checks the morsel-parallel grouped
+// scan: identical rows in identical order, group-pure batches with
+// non-decreasing identifiers.
+func TestParallelGroupedScanMatchesSerial(t *testing.T) {
+	left, _, _ := coClusteredPair(t, 40000, 512)
+	filter := expr.NewCmp(expr.LT, expr.C("lid"), expr.Int(30000))
+	run := func(workers int) ([]string, []uint64) {
+		scan := groupedScan(t, left, []string{"lkey", "lid"})
+		scan.Filter = filter
+		scan.Parallel = true
+		ctx := testCtx()
+		ctx.Workers = workers
+		if err := scan.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		defer scan.Close()
+		var rows []string
+		var gids []uint64
+		prev := uint64(0)
+		first := true
+		for {
+			b, err := scan.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			if !b.Grouped {
+				t.Fatal("parallel grouped scan emitted an untagged batch")
+			}
+			if !first && b.GroupID < prev {
+				t.Fatalf("group ids decreased: %d after %d", b.GroupID, prev)
+			}
+			prev, first = b.GroupID, false
+			gids = append(gids, b.GroupID)
+			for i := 0; i < b.Len(); i++ {
+				rows = append(rows, fmt.Sprintf("%d|%d", b.Cols[0].I64[i], b.Cols[1].I64[i]))
+			}
+		}
+		if cur := ctx.Mem.Current(); cur != 0 {
+			t.Fatalf("workers=%d: %d bytes still accounted", workers, cur)
+		}
+		return rows, gids
+	}
+	serialRows, _ := run(1)
+	if len(serialRows) == 0 {
+		t.Fatal("filter selects nothing — vacuous test")
+	}
+	for _, workers := range []int{2, 4} {
+		parRows, _ := run(workers)
+		if len(parRows) != len(serialRows) {
+			t.Fatalf("workers=%d: %d rows, serial has %d", workers, len(parRows), len(serialRows))
+		}
+		for i := range parRows {
+			if parRows[i] != serialRows[i] {
+				t.Fatalf("workers=%d: row %d = %s, serial has %s", workers, i, parRows[i], serialRows[i])
+			}
+		}
 	}
 }

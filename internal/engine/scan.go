@@ -24,13 +24,64 @@ type TableScan struct {
 	// Cols); the filter is still expressed over the original names. Used for
 	// self-joined table aliases.
 	Rename []string
+	// Parallel permits morsel-parallel execution (planner-injected); it
+	// takes effect when the context's Workers knob exceeds one and the scan
+	// has a filter to evaluate. The morsel merge is order-preserving, so the
+	// produced stream is byte-identical to the serial scan's.
+	Parallel bool
 
 	schema  expr.Schema
 	colIdx  []int
+	ctx     *Context
 	reader  *storage.Reader
 	out     *vector.Batch
 	raw     *vector.Batch
 	predVec *vector.Vector
+
+	morsels []scanMorsel
+	ex      *exchange
+}
+
+// scanMorsel is one parallel unit of a morsel scan: a batch-aligned slice
+// of row ranges, carrying the group tag of grouped scans.
+type scanMorsel struct {
+	ranges  storage.RowRanges
+	gid     uint64
+	grouped bool
+}
+
+// startMorselScan fans readers over the morsel list on the context's worker
+// pool: each worker owns a raw batch and predicate scratch, emitted batches
+// are fresh (consumer-owned), tagged per morsel, and merged in morsel order.
+func startMorselScan(ctx *Context, tab *storage.Table, colIdx []int, kinds []vector.Kind, filter expr.Expr, morsels []scanMorsel) *exchange {
+	workers := ctx.workerCount()
+	raws := make([]*vector.Batch, workers)
+	preds := make([]*vector.Vector, workers)
+	for w := range raws {
+		raws[w] = vector.NewBatch(kinds)
+		preds[w] = expr.NewScratch(vector.Int64)
+	}
+	ex := newExchange(ctx.Mem, 2*workers)
+	outs := make([]*vector.Batch, workers) // reused until non-empty, then owned by the consumer
+	ex.runMorsels(len(morsels), workers, func(job, w int, emit func(*vector.Batch)) error {
+		m := morsels[job]
+		r := storage.NewReader(tab, colIdx, m.ranges, nil)
+		for r.Next(raws[w]) {
+			if outs[w] == nil {
+				outs[w] = vector.NewBatch(kinds)
+			}
+			out := outs[w]
+			filterInto(filter, preds[w], raws[w], out)
+			if out.Len() > 0 {
+				out.GroupID = m.gid
+				out.Grouped = m.grouped
+				emit(out)
+				outs[w] = nil
+			}
+		}
+		return nil
+	})
+	return ex
 }
 
 // Schema implements Operator.
@@ -75,6 +126,22 @@ func (s *TableScan) Open(ctx *Context) error {
 		}
 		s.schema = renamed
 	}
+	s.ctx = ctx
+	if s.Parallel && ctx.workerCount() > 1 && s.Filter != nil {
+		ranges := s.Ranges
+		if ranges == nil {
+			ranges = storage.FullRange(s.Table.Rows())
+		}
+		if morsels := ranges.Morsels(morselRows, vector.BatchSize); len(morsels) > 1 {
+			// Charge device I/O for the whole range set once up front (as the
+			// serial reader would); per-morsel readers then run uncharged.
+			s.Table.ChargeIO(ctx.Acct, idx, ranges)
+			for _, m := range morsels {
+				s.morsels = append(s.morsels, scanMorsel{ranges: m})
+			}
+			return nil
+		}
+	}
 	s.reader = storage.NewReader(s.Table, idx, s.Ranges, ctx.Acct)
 	s.raw = vector.NewBatch(schema.Kinds())
 	return nil
@@ -82,6 +149,12 @@ func (s *TableScan) Open(ctx *Context) error {
 
 // Next implements Operator.
 func (s *TableScan) Next() (*vector.Batch, error) {
+	if s.morsels != nil {
+		if s.ex == nil {
+			s.ex = startMorselScan(s.ctx, s.Table, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels)
+		}
+		return s.ex.nextBatch()
+	}
 	for {
 		if !s.reader.Next(s.raw) {
 			return nil, nil
@@ -98,7 +171,13 @@ func (s *TableScan) Next() (*vector.Batch, error) {
 }
 
 // Close implements Operator.
-func (s *TableScan) Close() error { return nil }
+func (s *TableScan) Close() error {
+	if s.ex != nil {
+		s.ex.close()
+		s.ex = nil
+	}
+	return nil
+}
 
 // filterInto evaluates pred on in and appends passing rows to out.
 func filterInto(pred expr.Expr, scratch *vector.Vector, in *vector.Batch, out *vector.Batch) {
@@ -127,6 +206,12 @@ type GroupedScan struct {
 	Filter expr.Expr
 	// Rename optionally renames output columns (see TableScan.Rename).
 	Rename []string
+	// Parallel permits morsel-parallel execution (planner-injected; see
+	// TableScan.Parallel). Morsels never cross group boundaries and merge in
+	// (group, morsel) order, so the grouped stream keeps group-pure batches
+	// with non-decreasing identifiers — downstream sandwich operators are
+	// unaffected.
+	Parallel bool
 
 	schema  expr.Schema
 	colIdx  []int
@@ -136,6 +221,9 @@ type GroupedScan struct {
 	raw     *vector.Batch
 	out     *vector.Batch
 	predVec *vector.Vector
+
+	morsels []scanMorsel
+	ex      *exchange
 }
 
 // Schema implements Operator.
@@ -176,11 +264,27 @@ func (s *GroupedScan) Open(ctx *Context) error {
 	s.raw = vector.NewBatch(schema.Kinds())
 	s.out = vector.NewBatch(schema.Kinds())
 	s.gi = -1
+	if s.Parallel && ctx.workerCount() > 1 && s.Filter != nil {
+		for _, g := range s.Groups {
+			for _, m := range g.Ranges.Morsels(morselRows, vector.BatchSize) {
+				s.morsels = append(s.morsels, scanMorsel{ranges: m, gid: g.GroupID, grouped: true})
+			}
+		}
+		if len(s.morsels) <= 1 {
+			s.morsels = nil
+		}
+	}
 	return nil
 }
 
 // Next implements Operator.
 func (s *GroupedScan) Next() (*vector.Batch, error) {
+	if s.morsels != nil {
+		if s.ex == nil {
+			s.ex = startMorselScan(s.ctx, s.BDCC.Data, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels)
+		}
+		return s.ex.nextBatch()
+	}
 	for {
 		if s.reader == nil {
 			s.gi++
@@ -210,4 +314,10 @@ func (s *GroupedScan) Next() (*vector.Batch, error) {
 }
 
 // Close implements Operator.
-func (s *GroupedScan) Close() error { return nil }
+func (s *GroupedScan) Close() error {
+	if s.ex != nil {
+		s.ex.close()
+		s.ex = nil
+	}
+	return nil
+}

@@ -83,6 +83,54 @@ func (rs RowRanges) Union(other RowRanges) RowRanges {
 	return all.Normalize()
 }
 
+// Morsels splits the set into consecutive sub-sets ("morsels") of roughly
+// rows rows each, for morsel-driven parallel scans: each morsel can be read
+// by an independent worker, and concatenating the morsels in order yields
+// exactly rs. Ranges are cut only at multiples of align rows from their
+// start, so a Reader over the morsel sequence reproduces the exact batch
+// boundaries of a Reader over rs (batches never span ranges, and within a
+// range they are cut every align rows) — parallel scans merged in morsel
+// order are byte-identical to the serial scan. rows is rounded up to a
+// multiple of align; align must be positive.
+func (rs RowRanges) Morsels(rows, align int) []RowRanges {
+	if rows < align {
+		rows = align
+	}
+	if rem := rows % align; rem != 0 {
+		rows += align - rem
+	}
+	var out []RowRanges
+	var cur RowRanges
+	curRows := 0
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, cur)
+			cur, curRows = nil, 0
+		}
+	}
+	for _, r := range rs {
+		for r.Len() > 0 {
+			room := rows - curRows
+			// Cut only at align multiples within the range so batch
+			// boundaries are preserved; a morsel that cannot fit one more
+			// aligned chunk is flushed instead of truncated unaligned.
+			if room < align {
+				flush()
+				room = rows
+			}
+			take := r.Len()
+			if take > room {
+				take = room - room%align
+			}
+			cur = append(cur, RowRange{r.Start, r.Start + take})
+			curRows += take
+			r.Start += take
+		}
+	}
+	flush()
+	return out
+}
+
 // Clamp restricts the set to [0, n).
 func (rs RowRanges) Clamp(n int) RowRanges {
 	var out RowRanges

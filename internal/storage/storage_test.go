@@ -244,3 +244,98 @@ func TestChargeIOCoalescesRuns(t *testing.T) {
 		t.Errorf("pages = %d, want 3", st.Pages)
 	}
 }
+
+// TestMorselsCoverAndAlign checks the morsel split: morsels concatenate back
+// to the original set, cuts within a range land only on align multiples from
+// the range start, and no morsel materially exceeds the row budget.
+func TestMorselsCoverAndAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var rs RowRanges
+		pos := 0
+		for len(rs) < 1+trial%5 {
+			pos += rng.Intn(3000)
+			n := 1 + rng.Intn(9000)
+			rs = append(rs, RowRange{pos, pos + n})
+			pos += n
+		}
+		align := 1 << uint(rng.Intn(11)) // 1..1024
+		rows := 1 + rng.Intn(5000)
+		morsels := rs.Morsels(rows, align)
+		var flat RowRanges
+		for _, m := range morsels {
+			flat = append(flat, m...)
+		}
+		// Concatenation (after merging adjacent cuts) must equal the input.
+		if got, want := flat.Normalize(), rs.Normalize(); len(got) != len(want) {
+			t.Fatalf("trial %d: morsels cover %v, want %v", trial, got, want)
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: morsels cover %v, want %v", trial, got, want)
+				}
+			}
+		}
+		// Cuts only at align multiples within each source range.
+		for _, m := range morsels {
+			for _, r := range m {
+				for _, src := range rs {
+					if r.Start > src.Start && r.Start < src.End {
+						if (r.Start-src.Start)%align != 0 {
+							t.Fatalf("trial %d: cut at %d inside [%d,%d) not aligned to %d",
+								trial, r.Start, src.Start, src.End, align)
+						}
+					}
+				}
+			}
+		}
+		// Budget: each morsel holds at most max(rows rounded up to align, align).
+		budget := rows
+		if rem := rows % align; rem != 0 {
+			budget += align - rem
+		}
+		for _, m := range morsels {
+			if m.Rows() > budget {
+				t.Fatalf("trial %d: morsel holds %d rows, budget %d", trial, m.Rows(), budget)
+			}
+		}
+	}
+}
+
+// TestMorselsPreserveReaderBatches checks the parallel-scan determinism
+// contract: reading the morsels in order produces exactly the batch
+// sequence of reading the full range set.
+func TestMorselsPreserveReaderBatches(t *testing.T) {
+	tab := testTable(t, 10000, 4096)
+	ranges := RowRanges{{100, 3000}, {3100, 3105}, {4000, 9500}}
+	read := func(sets []RowRanges) [][]int64 {
+		var out [][]int64
+		b := vector.NewBatch([]vector.Kind{vector.Int64, vector.String})
+		for _, rs := range sets {
+			r := NewReader(tab, []int{0, 1}, rs, nil)
+			for r.Next(b) {
+				out = append(out, append([]int64(nil), b.Cols[0].I64...))
+			}
+		}
+		return out
+	}
+	serial := read([]RowRanges{ranges})
+	morsels := ranges.Morsels(2*vector.BatchSize, vector.BatchSize)
+	if len(morsels) < 3 {
+		t.Fatalf("expected several morsels, got %d", len(morsels))
+	}
+	parallel := read(morsels)
+	if len(serial) != len(parallel) {
+		t.Fatalf("batch count %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if len(serial[i]) != len(parallel[i]) {
+			t.Fatalf("batch %d: %d rows vs %d", i, len(parallel[i]), len(serial[i]))
+		}
+		for k := range serial[i] {
+			if serial[i][k] != parallel[i][k] {
+				t.Fatalf("batch %d row %d differs", i, k)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ type QueryRun struct {
 // Report holds the full Figure 2 / Figure 3 measurement grid.
 type Report struct {
 	SF      float64
+	Workers int // morsel-parallelism knob the grid ran with (0/1 = serial)
 	Schemes []plan.Scheme
 	Runs    map[plan.Scheme][]QueryRun // indexed by query position
 	Explain map[string][]string        // per "scheme/query"
@@ -26,10 +27,11 @@ type Report struct {
 
 // RunAll executes every TPC-H query under every materialized scheme of the
 // benchmark, with fresh meters per run (cold execution, as in the paper's
-// Figure 2).
+// Figure 2). The benchmark's Workers knob applies to every run.
 func (b *Benchmark) RunAll() (*Report, error) {
 	rep := &Report{
 		SF:      b.SF,
+		Workers: b.Workers,
 		Runs:    make(map[plan.Scheme][]QueryRun),
 		Explain: make(map[string][]string),
 	}
@@ -40,7 +42,7 @@ func (b *Benchmark) RunAll() (*Report, error) {
 		}
 		rep.Schemes = append(rep.Schemes, scheme)
 		for _, q := range Queries {
-			_, st, explain, err := RunQuery(db, q)
+			_, st, explain, err := RunQueryWorkers(db, q, b.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("tpch: %s under %s: %w", q.Name, scheme, err)
 			}
@@ -167,12 +169,13 @@ type JSONQueryRun struct {
 // JSONReport is the machine-readable form of the full measurement grid.
 type JSONReport struct {
 	SF      float64        `json:"sf"`
+	Workers int            `json:"workers"`
 	Queries []JSONQueryRun `json:"queries"`
 }
 
 // WriteJSON renders the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
-	out := JSONReport{SF: r.SF}
+	out := JSONReport{SF: r.SF, Workers: r.Workers}
 	for _, scheme := range r.Schemes {
 		for _, run := range r.Runs[scheme] {
 			st := run.Stats

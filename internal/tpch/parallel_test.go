@@ -1,0 +1,76 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"bdcc/internal/plan"
+)
+
+// TestQ13ParallelMemoryEffect checks the paper's central memory claim
+// survives parallel execution: the sandwiched Q13 peak (serial per-group
+// build, parallel scans and aggregations) stays below the plain scheme's
+// full-materialization peak at every worker count.
+func TestQ13ParallelMemoryEffect(t *testing.T) {
+	b := benchmarkFixture(t)
+	for _, workers := range []int{1, 4} {
+		_, stB, _, err := RunQueryWorkers(b.DBs[plan.BDCC], Query(13), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stP, _, err := RunQueryWorkers(b.DBs[plan.Plain], Query(13), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stB.PeakMem >= stP.PeakMem {
+			t.Errorf("workers=%d: sandwiched Q13 peak %d not below plain %d", workers, stB.PeakMem, stP.PeakMem)
+		}
+	}
+}
+
+// TestWorkersEquivalence is the morsel-parallelism oracle: every TPC-H
+// query must return byte-identical results (same rows, same order, same
+// float bits) with workers=1 and workers=4 under every scheme. The engine
+// guarantees this by construction — order-preserving merges for scans and
+// join probes, and per-group single-worker accumulation for aggregates —
+// so the comparison is exact, with no float tolerance and no row sorting.
+func TestWorkersEquivalence(t *testing.T) {
+	b := benchmarkFixture(t)
+	const parWorkers = 4
+	for _, q := range Queries {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
+				serial, _, _, err := RunQueryWorkers(b.DBs[scheme], q, 1)
+				if err != nil {
+					t.Fatalf("%s under %s workers=1: %v", q.Name, scheme, err)
+				}
+				par, _, _, err := RunQueryWorkers(b.DBs[scheme], q, parWorkers)
+				if err != nil {
+					t.Fatalf("%s under %s workers=%d: %v", q.Name, scheme, parWorkers, err)
+				}
+				if par.Rows() != serial.Rows() {
+					t.Fatalf("%s under %s: workers=%d returns %d rows, workers=1 returns %d",
+						q.Name, scheme, parWorkers, par.Rows(), serial.Rows())
+				}
+				for i := 0; i < serial.Rows(); i++ {
+					if got, want := fmt.Sprint(par.Row(i)), fmt.Sprint(serial.Row(i)); got != want {
+						t.Fatalf("%s under %s: row %d = %s with workers=%d, %s with workers=1",
+							q.Name, scheme, i, got, parWorkers, want)
+					}
+				}
+				for c := range serial.Cols {
+					if serial.Cols[c].Kind != serial.Schema[c].Kind {
+						continue
+					}
+					for i, v := range serial.Cols[c].F64 {
+						if pv := par.Cols[c].F64[i]; pv != v {
+							t.Fatalf("%s under %s: col %d row %d = %v with workers=%d, %v serial — floats must be bit-identical",
+								q.Name, scheme, c, i, pv, parWorkers, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}

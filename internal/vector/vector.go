@@ -215,6 +215,45 @@ func (b *Batch) AppendRow(src *Batch, i int) {
 	}
 }
 
+// AppendBatch appends all rows of src to b column-at-a-time. Schemas must
+// match. Group tags are not copied; callers that need them set them
+// explicitly.
+func (b *Batch) AppendBatch(src *Batch) {
+	for c, col := range b.Cols {
+		s := src.Cols[c]
+		switch col.Kind {
+		case Int64:
+			col.I64 = append(col.I64, s.I64...)
+		case Float64:
+			col.F64 = append(col.F64, s.F64...)
+		case String:
+			col.Str = append(col.Str, s.Str...)
+		}
+	}
+}
+
+// AppendSelected appends the rows of src listed in sel to b, column-at-a-
+// time (one type dispatch per column, not per row). Schemas must match.
+func (b *Batch) AppendSelected(src *Batch, sel []int32) {
+	for c, col := range b.Cols {
+		s := src.Cols[c]
+		switch col.Kind {
+		case Int64:
+			for _, r := range sel {
+				col.I64 = append(col.I64, s.I64[r])
+			}
+		case Float64:
+			for _, r := range sel {
+				col.F64 = append(col.F64, s.F64[r])
+			}
+		case String:
+			for _, r := range sel {
+				col.Str = append(col.Str, s.Str[r])
+			}
+		}
+	}
+}
+
 // epoch is day zero of the engine's date representation.
 var epoch = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
 

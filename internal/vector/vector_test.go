@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -92,5 +93,39 @@ func TestKindString(t *testing.T) {
 	}
 	if Int64.Width() != 8 || String.Width() != 0 {
 		t.Error("widths")
+	}
+}
+
+// TestBatchAppendBatchAndSelected covers the bulk and gather copies the
+// parallel executor and the sandwich lookahead rely on.
+func TestBatchAppendBatchAndSelected(t *testing.T) {
+	src := NewBatch([]Kind{Int64, Float64, String})
+	for i := 0; i < 10; i++ {
+		src.Cols[0].AppendInt64(int64(i))
+		src.Cols[1].AppendFloat64(float64(i) / 2)
+		src.Cols[2].AppendString(fmt.Sprintf("s%d", i))
+	}
+	dst := NewBatch(src.Kinds())
+	dst.AppendBatch(src)
+	dst.AppendBatch(src)
+	if dst.Len() != 20 {
+		t.Fatalf("AppendBatch twice: %d rows, want 20", dst.Len())
+	}
+	for i := 0; i < 20; i++ {
+		if dst.Cols[0].I64[i] != int64(i%10) || dst.Cols[2].Str[i] != fmt.Sprintf("s%d", i%10) {
+			t.Fatalf("AppendBatch row %d corrupted", i)
+		}
+	}
+	sel := []int32{9, 0, 3, 3}
+	gathered := NewBatch(src.Kinds())
+	gathered.AppendSelected(src, sel)
+	if gathered.Len() != len(sel) {
+		t.Fatalf("AppendSelected: %d rows, want %d", gathered.Len(), len(sel))
+	}
+	for i, r := range sel {
+		if gathered.Cols[0].I64[i] != int64(r) || gathered.Cols[1].F64[i] != float64(r)/2 ||
+			gathered.Cols[2].Str[i] != fmt.Sprintf("s%d", r) {
+			t.Fatalf("AppendSelected row %d (src %d) corrupted", i, r)
+		}
 	}
 }
