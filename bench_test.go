@@ -191,7 +191,7 @@ func BenchmarkHashJoinBuildProbe(b *testing.B) {
 					Left:     &engine.TableScan{Table: li, Cols: []string{"l_orderkey", "l_quantity"}},
 					Right:    &engine.TableScan{Table: ord, Cols: []string{"o_orderkey", "o_custkey"}},
 					LeftKeys: []string{"l_orderkey"}, RightKeys: []string{"o_orderkey"},
-					Type: engine.InnerJoin, Parallel: workers > 1,
+					Type: engine.InnerJoin, Sched: ctx.Scheduler(),
 				}
 				res, err := engine.Run(ctx, j)
 				if err != nil {
@@ -227,7 +227,7 @@ func BenchmarkHashAgg(b *testing.B) {
 						{Name: "c", Func: engine.AggCount},
 						{Name: "s", Func: engine.AggSum, Arg: expr.C("l_quantity")},
 					},
-					Parallel: workers > 1,
+					Sched: ctx.Scheduler(),
 				}
 				res, err := engine.Run(ctx, a)
 				if err != nil {

@@ -6,13 +6,17 @@
 //
 // Usage:
 //
-//	tpchbench [-sf 0.05] [-workers N] [-explain] [-orderings] [-json BENCH_tpch.json]
+//	tpchbench [-sf 0.05] [-workers N] [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
 //
-// The -workers knob (default: all cores) runs every query morsel-parallel;
-// -workers 1 reproduces the paper's single-threaded setup. Results are
-// byte-identical across worker counts. The -json flag additionally writes
-// the full measurement grid (per-query device-ms, MB-read, peak-MB per
-// scheme) as machine-readable JSON so the performance trajectory can be
+// The -workers knob (default: all cores) runs every query on a shared
+// per-query scheduler of that many workers; -workers 1 reproduces the
+// paper's single-threaded setup. Results are byte-identical across worker
+// counts; with workers > 1, grouped scans overlap their modeled reads with
+// compute, so reported cold time is max(io, cpu) per overlap window instead
+// of their sum. The -v flag prints the per-scheme scheduler activity
+// (tasks, steals, idle time, hidden I/O). The -json flag additionally
+// writes the full measurement grid (per-query device-ms, MB-read, peak-MB
+// per scheme) as machine-readable JSON so the performance trajectory can be
 // tracked across changes; pass -json "" to disable.
 package main
 
@@ -29,6 +33,7 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
 	workers := flag.Int("workers", engine.DefaultWorkers(), "morsel-parallel workers per query (1 = serial)")
+	verbose := flag.Bool("v", false, "print scheduler stats (tasks, steals, idle time)")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
@@ -50,6 +55,10 @@ func main() {
 	rep.WriteFig3(os.Stdout)
 	fmt.Println()
 	rep.WriteIO(os.Stdout)
+	if *verbose {
+		fmt.Println()
+		rep.WriteSched(os.Stdout)
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)

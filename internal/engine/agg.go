@@ -233,21 +233,21 @@ func updateMinMax(st *aggState, v *vector.Vector, r int, isMin bool) {
 // every group boundary — peak memory is one co-clustering group instead of
 // the whole input (the paper's Q13/Q16/Q18 memory effect).
 //
-// With Parallel set and a multi-worker context (and FlushOnGroup unset),
-// input rows are routed to workers by key-hash partition: every group is
-// accumulated entirely by one worker in global row order, so even float
-// sums are bit-identical to the serial run, and the merged output emits
-// groups in the serial first-seen order.
+// With a scheduler handle injected (and FlushOnGroup unset), input rows are
+// routed to key-hash partitions whose jobs run as tasks on the query's
+// shared worker pool: every group is accumulated entirely by one partition
+// in global row order, so even float sums are bit-identical to the serial
+// run, and the merged output emits groups in the serial first-seen order.
 type HashAggregate struct {
 	Child        Operator
 	GroupBy      []string
 	Aggs         []AggSpec
 	FlushOnGroup bool
-	// Parallel permits partition-parallel aggregation (planner-injected);
-	// it takes effect when the context's Workers knob exceeds one and
-	// FlushOnGroup is unset (the sandwich aggregation is already bounded by
-	// one co-clustering group and flushes on a serial group cursor).
-	Parallel bool
+	// Sched is the planner-injected handle of the query's shared worker
+	// pool; it takes effect when FlushOnGroup is unset (the sandwich
+	// aggregation is already bounded by one co-clustering group and flushes
+	// on a serial group cursor). nil means serial aggregation.
+	Sched *Sched
 
 	schema expr.Schema
 	ctx    *Context
@@ -296,10 +296,10 @@ func (h *HashAggregate) Open(ctx *Context) error {
 
 // workers resolves the effective worker count of this aggregation.
 func (h *HashAggregate) workers() int {
-	if !h.Parallel || h.FlushOnGroup {
+	if h.Sched == nil || h.FlushOnGroup {
 		return 1
 	}
-	return h.ctx.workerCount()
+	return h.Sched.Workers()
 }
 
 // emitGroups renders groups of src (in the given order) into pending
@@ -409,59 +409,116 @@ func (j *aggJob) reset() {
 // synchronization amortizes over several batches of table work.
 const aggJobRows = 4 * vector.BatchSize
 
+// aggPart is one key-hash partition of the parallel aggregation: a private
+// table plus a queue of routed jobs. Jobs of one partition run strictly one
+// at a time in routing order — the enqueue path submits a drain task to the
+// shared scheduler only when none is active — so each group accumulates on
+// a single logical thread in global row order.
+type aggPart struct {
+	table  *aggTable
+	mu     sync.Mutex
+	queue  []*aggJob
+	active bool
+}
+
 // runParallel drains the child on the caller goroutine, routing each row to
-// a worker by key-hash partition (so each group lives on exactly one worker
-// and accumulates in global row order), then emits all groups sorted by
-// their global first-seen row — exactly the serial emission order.
+// a partition by key hash (so each group lives in exactly one partition and
+// accumulates in global row order) with partition jobs running as tasks on
+// the shared scheduler, then emits all groups sorted by their global
+// first-seen row — exactly the serial emission order.
 func (h *HashAggregate) runParallel() error {
-	workers := h.ctx.workerCount()
+	sched := h.Sched
+	workers := sched.Workers()
 	cs := h.Child.Schema()
 	var keySchema expr.Schema
 	for _, i := range h.keyIdx {
 		keySchema = append(keySchema, cs[i])
 	}
+	sched.retain()
+	defer sched.release()
+
+	aparts := make([]*aggPart, workers)
 	tables := make([]*aggTable, workers)
-	chans := make([]chan *aggJob, workers)
-	recycle := make(chan *aggJob, 4*workers)
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		w := w
 		tables[w] = newAggTable(h.Aggs, h.keyIdx, keySchema)
-		chans[w] = make(chan *aggJob, 2)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range chans[w] {
-				tables[w].accumulate(job.b, job.hashes, job.rowIdx)
-				tables[w].charge(h.ctx.Mem)
-				h.ctx.Mem.Shrink(job.bytes)
-				job.reset()
-				select {
-				case recycle <- job:
-				default:
-				}
-			}
-		}()
-	}
-	closeAll := func() {
-		for _, c := range chans {
-			close(c)
-		}
-		wg.Wait()
+		aparts[w] = &aggPart{table: tables[w]}
 	}
 
-	// Route: hash each input batch once, gather each worker's rows with a
-	// selection vector (one type dispatch per column, not per row), and
+	// inflight jobs are bounded so routing applies backpressure on the
+	// (blockable) caller goroutine; drain tasks never block.
+	var pmu sync.Mutex
+	pcond := sync.NewCond(&pmu)
+	inflight := 0
+	var recycle []*aggJob
+
+	drain := func(p *aggPart) {
+		for {
+			p.mu.Lock()
+			if len(p.queue) == 0 {
+				p.active = false
+				p.mu.Unlock()
+				return
+			}
+			job := p.queue[0]
+			p.queue[0] = nil
+			p.queue = p.queue[1:]
+			p.mu.Unlock()
+			p.table.accumulate(job.b, job.hashes, job.rowIdx)
+			p.table.charge(h.ctx.Mem)
+			h.ctx.Mem.Shrink(job.bytes)
+			job.reset()
+			pmu.Lock()
+			inflight--
+			if len(recycle) < 4*workers {
+				recycle = append(recycle, job)
+			}
+			// At most one goroutine ever waits on pcond (the router, in
+			// enqueue or settle — never both), so Signal suffices.
+			pcond.Signal()
+			pmu.Unlock()
+		}
+	}
+	enqueue := func(w int, job *aggJob) {
+		pmu.Lock()
+		for inflight >= 4*workers {
+			pcond.Wait()
+		}
+		inflight++
+		pmu.Unlock()
+		p := aparts[w]
+		p.mu.Lock()
+		p.queue = append(p.queue, job)
+		start := !p.active
+		p.active = true
+		p.mu.Unlock()
+		if start {
+			sched.submit(-1, func(int) { drain(p) })
+		}
+	}
+	// settle waits until every routed job has been folded in; partition
+	// tables are safe to read afterwards.
+	settle := func() {
+		pmu.Lock()
+		for inflight > 0 {
+			pcond.Wait()
+		}
+		pmu.Unlock()
+	}
+
+	// Route: hash each input batch once, gather each partition's rows with
+	// a selection vector (one type dispatch per column, not per row), and
 	// hand off jobs once they reach aggJobRows. The partition uses high
 	// hash bits (the group index uses the low bits).
 	kinds := cs.Kinds()
 	newJob := func() *aggJob {
-		select {
-		case j := <-recycle:
+		pmu.Lock()
+		defer pmu.Unlock()
+		if n := len(recycle); n > 0 {
+			j := recycle[n-1]
+			recycle = recycle[:n-1]
 			return j
-		default:
-			return &aggJob{b: vector.NewBatch(kinds)}
 		}
+		return &aggJob{b: vector.NewBatch(kinds)}
 	}
 	var hashes []uint64
 	parts := make([]*aggJob, workers)
@@ -470,14 +527,14 @@ func (h *HashAggregate) runParallel() error {
 	send := func(w int) {
 		job := parts[w]
 		parts[w] = nil
-		job.bytes = batchBytes(job.b)
+		job.bytes = job.b.Bytes()
 		h.ctx.Mem.Grow(job.bytes)
-		chans[w] <- job
+		enqueue(w, job)
 	}
 	for {
 		b, err := h.Child.Next()
 		if err != nil {
-			closeAll()
+			settle()
 			for _, t := range tables {
 				t.release(h.ctx.Mem)
 			}
@@ -521,9 +578,9 @@ func (h *HashAggregate) runParallel() error {
 			send(w)
 		}
 	}
-	closeAll()
+	settle()
 
-	// Merge: emit every worker's groups in global first-seen order.
+	// Merge: emit every partition's groups in global first-seen order.
 	var order []groupRef
 	for w, t := range tables {
 		for g := 0; g < t.nGroups; g++ {

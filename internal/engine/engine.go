@@ -13,25 +13,49 @@
 //
 // # Morsel-driven parallelism
 //
-// Operators the planner marks Parallel execute morsel-driven when the
-// context's Workers knob exceeds one: scans split their row ranges into
-// fixed-size morsels, hash joins probe input batches on a worker pool, and
-// hash aggregations route rows to workers by key-hash partition. The
-// threading contract is strict:
+// Parallel execution runs on one scheduler per query: the Context owns a
+// single pool of exactly Workers goroutines (Sched, created lazily by
+// Context.Scheduler when the Workers knob exceeds one) with per-worker
+// deques and task stealing. The planner injects the scheduler handle into
+// the operators it permits to parallelize; operators submit tasks — scan
+// morsels, join partition-builds and probe jobs, aggregation partitions,
+// sandwich per-group joins — instead of spawning goroutines, so a
+// scan→join→agg pipeline keeps total busy goroutines at Workers plus a
+// small constant of coordinators (stream feeders) rather than one pool per
+// operator. The threading contract is strict:
 //
+//   - Scheduler tasks never block on exchange or operator state. The
+//     order-preserving exchange applies backpressure by releasing jobs only
+//     while its consumption window and buffer cap allow; coordinator
+//     goroutines (feeders) may block, pool workers may not. This is what
+//     makes sharing one pool across pipeline stages deadlock-free.
 //   - Build state is frozen before fan-out: a hash join's buffered rows and
 //     slot/chain arrays are written only during build and are read-only
-//     while probe workers run. Aggregation workers own disjoint key
-//     partitions and never share mutable state.
-//   - Each worker owns its scratch (probe hashes, match lists, output
-//     batches, expression scratch). Bound expressions are safe to share —
-//     Eval allocates per-call scratch and nodes are immutable after Bind.
-//   - Every parallel operator merges worker output order-preservingly
-//     (morsel order for scans, input-batch order for joins, global
-//     first-seen group order for aggregations), so workers=1 and workers=N
-//     produce byte-identical results.
-//   - Worker-held batches and per-worker state are charged to the shared
-//     MemTracker (which is mutex-protected) with exact Grow/Shrink pairs.
+//     while probe tasks run. Aggregation partitions and sandwich group
+//     tasks own their hash state exclusively and never share mutable state;
+//     partition jobs of one aggregation partition run strictly one at a
+//     time, in routing order.
+//   - Each pool worker owns its per-worker scratch (probe hashes, match
+//     lists, output batches, expression scratch), indexed by the worker id
+//     the scheduler passes to every task. Bound expressions are safe to
+//     share — Eval allocates per-call scratch and nodes are immutable after
+//     Bind.
+//   - Every parallel operator merges task output order-preservingly through
+//     the exchange (morsel order for scans, input-batch order for joins,
+//     group order for sandwich pipelines, global first-seen group order for
+//     aggregations), so workers=1 and workers=N produce byte-identical
+//     results.
+//   - Task-held batches and per-task state are charged to the shared
+//     MemTracker (which is mutex-protected) with exact Grow/Shrink pairs;
+//     closing an exchange joins every in-flight task and feeder before
+//     releasing buffered bytes, so an abandoned consumer (early Limit,
+//     downstream error) leaves neither goroutines nor accounted memory
+//     behind.
+//
+// Grouped scans additionally overlap their modeled I/O with compute: with a
+// multi-worker scheduler they post each scatter group's read asynchronously
+// (iosim Submit/Wait) one group ahead of the morsel tasks, so the cold-time
+// model charges max(io, cpu) per overlap window instead of io + cpu.
 package engine
 
 import (
@@ -49,11 +73,29 @@ type Context struct {
 	Acct *iosim.Accountant
 	// Mem tracks operator memory; nil disables memory accounting.
 	Mem *MemTracker
-	// Workers is the morsel-parallelism knob: operators the planner marked
-	// Parallel fan out over this many workers. Values below 2 (including the
-	// zero value) mean serial execution, preserving the paper's
-	// single-threaded measurement setup; DefaultWorkers() uses all cores.
+	// Workers is the morsel-parallelism knob: the per-query scheduler runs
+	// this many pool goroutines, shared by every parallel operator of the
+	// plan. Values below 2 (including the zero value) mean serial execution,
+	// preserving the paper's single-threaded measurement setup;
+	// DefaultWorkers() uses all cores.
 	Workers int
+
+	sched *Sched
+}
+
+// Scheduler returns the context's shared worker pool, creating it on first
+// use, or nil when the Workers knob keeps execution serial. The planner
+// injects this one handle into every operator it permits to parallelize —
+// the scheduler abstraction is also the seam where future remote backends
+// plug in.
+func (c *Context) Scheduler() *Sched {
+	if c == nil || c.Workers < 2 {
+		return nil
+	}
+	if c.sched == nil {
+		c.sched = newSched(c.Workers)
+	}
+	return c.sched
 }
 
 // NewContext returns a context with fresh meters for the given device.

@@ -35,20 +35,21 @@ const MatchedColName = "__matched"
 // filters matches (used for decorrelated EXISTS subqueries with extra
 // conditions, e.g. TPC-H Q21).
 //
-// With Parallel set and a multi-worker context, the build side is inserted
-// partition-parallel (each worker owns a slice of the hash space) and probe
-// batches fan out to a worker pool where each worker holds its own hash,
-// match and output scratch; the buffered build rows and slot/chain arrays
-// are read-only during probe, and output merges in probe-batch order, so
-// results are byte-identical to the serial execution.
+// With a scheduler handle injected, the build side is inserted
+// partition-parallel (each build task owns a slice of the hash space) and
+// probe batches fan out as tasks on the query's shared worker pool, where
+// each pool worker holds its own hash, match and output scratch; the
+// buffered build rows and slot/chain arrays are read-only during probe, and
+// output merges in probe-batch order, so results are byte-identical to the
+// serial execution.
 type HashJoin struct {
 	Left, Right         Operator
 	LeftKeys, RightKeys []string
 	Type                JoinType
 	Residual            expr.Expr
-	// Parallel permits morsel-parallel build and probe (planner-injected);
-	// it takes effect when the context's Workers knob exceeds one.
-	Parallel bool
+	// Sched is the planner-injected handle of the query's shared worker
+	// pool; nil means serial build and probe.
+	Sched *Sched
 
 	schema   expr.Schema
 	ctx      *Context
@@ -145,10 +146,10 @@ func keyIndexes(s expr.Schema, names []string) ([]int, error) {
 
 // workers resolves the effective worker count of this join.
 func (j *HashJoin) workers() int {
-	if !j.Parallel {
+	if j.Sched == nil {
 		return 1
 	}
-	return j.ctx.workerCount()
+	return j.Sched.Workers()
 }
 
 // charge reconciles the accounted bytes with the current footprint of the
@@ -208,14 +209,18 @@ func (j *HashJoin) build() error {
 	}
 	if workers > 1 {
 		j.table.GrowChains(len(stage))
+		// One build task per partition stripe, on the shared scheduler.
+		// Stripe w owns partitions p ≡ w (mod workers): one pass over the
+		// staged hashes, inserting only its own rows — disjoint writes, no
+		// locks. Tasks never block, so waiting here (off the pool, on the
+		// consumer goroutine) cannot starve them.
+		j.Sched.retain()
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			w := w
 			wg.Add(1)
-			go func() {
+			j.Sched.submit(-1, func(int) {
 				defer wg.Done()
-				// Worker w owns partitions p ≡ w (mod workers): one pass over
-				// the staged hashes, inserting only its own rows.
 				var row int32
 				eq := func(head int32) bool {
 					return keysEqualBufBuf(j.buf, j.rightKeyIdx, int(row), int(head))
@@ -226,9 +231,10 @@ func (j *HashJoin) build() error {
 						j.table.InsertPresized(h, row, eq)
 					}
 				}
-			}()
+			})
 		}
 		wg.Wait()
+		j.Sched.release()
 		j.charge(0) // staged hashes released
 	}
 	j.built = true
@@ -474,16 +480,16 @@ func (w *probeWorker) probeBatch(in *vector.Batch, emit func(*vector.Batch)) {
 	}
 }
 
-// startParallelProbe fans probe batches out to the worker pool through the
-// order-preserving exchange.
+// startParallelProbe fans probe batches out as tasks on the shared
+// scheduler through the order-preserving exchange.
 func (j *HashJoin) startParallelProbe() {
 	workers := j.workers()
 	states := make([]*probeWorker, workers)
 	for w := range states {
 		states[w] = j.newProbeWorker()
 	}
-	j.ex = newExchange(j.ctx.Mem, 2*workers)
-	j.ex.runStream(workers, j.Left.Next, func(in *vector.Batch, w int, emit func(*vector.Batch)) error {
+	j.ex = newExchange(j.ctx.Mem, j.Sched, 2*workers)
+	j.ex.runStream(j.Left.Next, func(in *vector.Batch, w int, emit func(*vector.Batch)) error {
 		states[w].probeBatch(in, emit)
 		return nil
 	})

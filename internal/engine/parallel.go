@@ -8,128 +8,184 @@ import (
 )
 
 // This file is the engine's morsel-driven parallel execution core: an
-// order-preserving exchange that fans work out to a pool of workers and
-// merges their output batches back in job order. Scans use the morsel form
-// (the job list — split row ranges — is known up front), hash joins use the
-// streaming form (a feeder pulls probe batches from the serial child and
-// hands them to workers by sequence number). Because delivery order equals
-// job order, a parallel plan produces byte-identical results to its serial
-// counterpart; see the package comment for the full threading contract.
+// order-preserving exchange that fans work out to the query's shared
+// scheduler (see scheduler.go) and merges worker output batches back in job
+// order. Scans use the morsel form (the job list — split row ranges — is
+// known up front, and job tasks are released to the scheduler as the
+// consumption window allows), hash joins use the streaming form (a feeder
+// goroutine pulls probe batches from the serial child and submits one task
+// per job). Because delivery order equals job order, a parallel plan
+// produces byte-identical results to its serial counterpart; see the package
+// comment for the full threading contract.
+//
+// Tasks submitted to the shared scheduler never block: backpressure is
+// applied at release time (the exchange stops handing out jobs while the
+// window is full or the buffer cap is exceeded), not inside running tasks.
+// That invariant is what lets one pool serve a whole scan→join→agg pipeline
+// without cross-stage deadlock.
 
 // DefaultWorkers is the default of the workers knob: one worker per
 // available core.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// workerCount resolves the context's Workers knob; values below 2 mean
-// serial.
-func (c *Context) workerCount() int {
-	if c == nil || c.Workers < 2 {
-		return 1
-	}
-	return c.Workers
-}
-
 // morselRows is the number of rows per scan morsel (a multiple of the batch
 // size, so morsel cuts preserve batch boundaries).
 const morselRows = 16 * vector.BatchSize
 
-// batchBytes returns the exact footprint of a batch's column data, matching
-// the Buffer accounting convention (8 bytes per scalar, 16 bytes plus
-// payload per string).
-func batchBytes(b *vector.Batch) int64 {
-	var n int64
-	for _, c := range b.Cols {
-		switch c.Kind {
-		case vector.String:
-			n += 16 * int64(len(c.Str))
-			for _, s := range c.Str {
-				n += int64(len(s))
-			}
-		default:
-			n += 8 * int64(c.Len())
-		}
-	}
-	return n
-}
-
-// copyBatch clones src (including group tags) into a fresh batch, detaching
-// it from the producing operator's reuse cycle.
-func copyBatch(src *vector.Batch) *vector.Batch {
-	out := vector.NewBatch(src.Kinds())
-	out.AppendBatch(src)
-	out.GroupID = src.GroupID
-	out.Grouped = src.Grouped
-	return out
-}
+// exchangeBufferCap bounds the bytes of produced-but-unconsumed output
+// batches an exchange will buffer before it stops releasing further jobs —
+// the backpressure that keeps a high-fanout join's parallel peak memory
+// within a constant of its serial peak. Jobs already in flight keep posting
+// without blocking (their output is bounded by their input), so the cap can
+// overshoot by the in-flight window's output; the memory tracker accounts
+// the exact buffered bytes either way.
+const exchangeBufferCap = 4 << 20
 
 // exchange is the order-preserving merge at the top of every parallel
-// operator. Jobs are claimed (or fed) in sequence; workers post their output
-// batches under the job's index; the consumer drains batches strictly in
-// job order, inside a job in posting order. A window bounds how far job
-// claiming may run ahead of consumption, bounding buffered memory.
+// operator. Jobs are released (or fed) in sequence; workers post their
+// output batches under the job's index; the consumer drains batches strictly
+// in job order, inside a job in posting order. A window bounds how far job
+// release may run ahead of consumption, bounding both buffered memory and
+// the scheduler's in-flight task count.
 type exchange struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	mem  *MemTracker
-	wg   sync.WaitGroup
+	mu    sync.Mutex
+	cond  *sync.Cond
+	mem   *MemTracker
+	sched *Sched
+	wg    sync.WaitGroup // stream-form feeder goroutine
 
-	window  int
-	results [][]*vector.Batch // posted output batches, indexed by job
-	done    []bool            // job fully produced
-	jobs    int               // total jobs; -1 while streaming input is open
-	claimed int               // next job index to claim
-	next    int               // next job to consume
-	pos     int               // batches of job `next` already consumed
-	charged int64             // bytes of buffered batches charged to mem
-	err     error
-	closed  bool
+	window   int
+	results  [][]*vector.Batch // posted output batches, indexed by job
+	done     []bool            // job fully produced
+	jobs     int               // total jobs; -1 while streaming input is open
+	released int               // jobs handed to the scheduler (or claimed by the feeder)
+	next     int               // next job to consume
+	pos      int               // batches of job `next` already consumed
+	charged  int64             // bytes of buffered batches charged to mem
+	tasksOut int               // submitted-but-unfinished scheduler tasks
+	err      error
+	closed   bool
+
+	// run is the morsel-form job body; nil in the streaming form.
+	run func(job, worker int, emit func(*vector.Batch)) error
+	// onRelease/onFinish are I/O-overlap hooks: called (outside the exchange
+	// lock) right before a job's task is submitted and right after its body
+	// ran. Grouped scans use them to post the next group's modeled read
+	// ahead of the compute and close the overlap window when a group's last
+	// morsel completes.
+	onRelease func(job int)
+	onFinish  func(job int)
 }
 
-func newExchange(mem *MemTracker, window int) *exchange {
-	e := &exchange{mem: mem, window: window, jobs: -1}
+// newExchange creates an exchange over the context's shared scheduler; the
+// caller's parallel path must only run with a non-nil scheduler. The
+// exchange holds a scheduler retain until close.
+func newExchange(mem *MemTracker, sched *Sched, window int) *exchange {
+	e := &exchange{mem: mem, sched: sched, window: window, jobs: -1}
 	e.cond = sync.NewCond(&e.mu)
+	sched.retain()
 	return e
 }
 
-// claim hands out the next job index, blocking while the in-flight window is
-// full. ok is false once all jobs are claimed or the exchange shut down.
-func (e *exchange) claim() (job int, ok bool) {
+// runMorsels fixes the job count and starts releasing job tasks to the
+// scheduler. run(job, worker, emit) is the job body; emitted batches must be
+// freshly allocated (the consumer takes ownership).
+func (e *exchange) runMorsels(jobs int, run func(job, worker int, emit func(*vector.Batch)) error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	for !e.closed && e.err == nil && e.claimed >= e.next+e.window && (e.jobs < 0 || e.claimed < e.jobs) {
-		e.cond.Wait()
-	}
-	if e.closed || e.err != nil || (e.jobs >= 0 && e.claimed >= e.jobs) {
-		return 0, false
-	}
-	job = e.claimed
-	e.claimed++
+	e.jobs = jobs
+	e.run = run
+	e.mu.Unlock()
+	e.pump(-1)
+}
+
+// ensureJob grows the result arrays to cover job. Called with e.mu held.
+func (e *exchange) ensureJob(job int) {
 	for len(e.results) <= job {
 		e.results = append(e.results, nil)
 		e.done = append(e.done, false)
 	}
+}
+
+// pump releases morsel jobs to the scheduler while the consumption window
+// and the buffer cap allow, submitting one non-blocking task per job. It is
+// called from the consumer (window advanced), from finishing tasks (which
+// push the continuation onto their own deque), and once at start.
+func (e *exchange) pump(worker int) {
+	e.mu.Lock()
+	var release []int
+	for e.run != nil && !e.closed && e.err == nil &&
+		e.released < e.jobs && e.released < e.next+e.window &&
+		e.charged <= exchangeBufferCap {
+		j := e.released
+		e.released++
+		e.tasksOut++
+		e.ensureJob(j)
+		release = append(release, j)
+	}
+	e.mu.Unlock()
+	for _, j := range release {
+		if e.onRelease != nil {
+			e.onRelease(j)
+		}
+		j := j
+		e.sched.submit(worker, func(w int) {
+			var err error
+			if !e.isClosed() {
+				err = e.run(j, w, func(b *vector.Batch) { e.post(j, b) })
+			}
+			if e.onFinish != nil {
+				e.onFinish(j)
+			}
+			e.finish(j, err)
+			e.pump(w)
+		})
+	}
+}
+
+// claim hands the streaming feeder the next job index, blocking while the
+// in-flight window is full or the buffer cap is exceeded. Only the feeder
+// goroutine calls claim — never a scheduler task. ok is false once the input
+// is sealed or the exchange shut down.
+func (e *exchange) claim() (job int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for !e.closed && e.err == nil &&
+		(e.released >= e.next+e.window || e.charged > exchangeBufferCap) &&
+		(e.jobs < 0 || e.released < e.jobs) {
+		e.cond.Wait()
+	}
+	if e.closed || e.err != nil || (e.jobs >= 0 && e.released >= e.jobs) {
+		return 0, false
+	}
+	job = e.released
+	e.released++
+	e.ensureJob(job)
 	return job, true
 }
 
-// exchangeBufferCap bounds the bytes of produced-but-unconsumed output
-// batches an exchange will buffer before posting workers block — the
-// backpressure that keeps a high-fanout join's parallel peak memory within
-// a constant of its serial peak. The worker holding the lowest in-flight
-// job never blocks (jobs are claimed and handed out in order), so the
-// consumer can always drain forward and blocked posters always wake.
-const exchangeBufferCap = 4 << 20
+// submitJob schedules fn as the body of a claimed job: the task posts its
+// emitted batches under the job index and marks the job finished. fn always
+// runs, even on a closed exchange (so it can release in-flight accounting);
+// it should check isClosed before doing real work. Used by streaming feeders
+// (join probes, sandwich group pipelines).
+func (e *exchange) submitJob(job int, fn func(worker int, emit func(*vector.Batch)) error) {
+	e.mu.Lock()
+	e.tasksOut++
+	e.mu.Unlock()
+	e.sched.submit(-1, func(w int) {
+		err := fn(w, func(b *vector.Batch) { e.post(job, b) })
+		e.finish(job, err)
+	})
+}
 
 // post publishes one output batch of job; the consumer may pick it up before
-// the job finishes. Posting blocks while the buffer cap is exceeded, unless
-// this job is the one the consumer is currently draining.
+// the job finishes. post never blocks (see the package comment on the
+// no-blocking-tasks invariant).
 func (e *exchange) post(job int, b *vector.Batch) {
+	n := b.Bytes()
 	e.mu.Lock()
-	for !e.closed && e.err == nil && job != e.next && e.charged > exchangeBufferCap {
-		e.cond.Wait()
-	}
 	if !e.closed {
 		e.results[job] = append(e.results[job], b)
-		n := batchBytes(b)
 		e.charged += n
 		e.mem.Grow(n)
 	}
@@ -141,6 +197,7 @@ func (e *exchange) post(job int, b *vector.Batch) {
 func (e *exchange) finish(job int, err error) {
 	e.mu.Lock()
 	e.done[job] = true
+	e.tasksOut--
 	if err != nil && e.err == nil {
 		e.err = err
 	}
@@ -167,48 +224,63 @@ func (e *exchange) setErr(err error) {
 	e.mu.Unlock()
 }
 
-// next returns the next output batch in job order, nil at end of stream.
+// nextBatch returns the next output batch in job order, nil at end of
+// stream. Consuming progress re-pumps the morsel form so freed window room
+// turns into new scheduler tasks.
 func (e *exchange) nextBatch() (*vector.Batch, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for {
 		if e.err != nil {
+			e.mu.Unlock()
 			return nil, e.err
 		}
 		if e.next < len(e.results) && e.pos < len(e.results[e.next]) {
 			b := e.results[e.next][e.pos]
 			e.results[e.next][e.pos] = nil
 			e.pos++
-			n := batchBytes(b)
+			n := b.Bytes()
 			e.charged -= n
 			e.mem.Shrink(n)
-			e.cond.Broadcast() // wakes posters blocked on the buffer cap
+			e.cond.Broadcast() // wakes the feeder blocked on the buffer cap
+			e.mu.Unlock()
+			e.pump(-1)
 			return b, nil
 		}
 		if e.next < len(e.results) && e.done[e.next] && e.pos >= len(e.results[e.next]) {
 			e.results[e.next] = nil
 			e.next++
 			e.pos = 0
-			e.cond.Broadcast() // frees window room for claimers
+			e.cond.Broadcast() // frees window room for the feeder
+			e.mu.Unlock()
+			e.pump(-1)
+			e.mu.Lock()
 			continue
 		}
 		if e.jobs >= 0 && e.next >= e.jobs {
+			e.mu.Unlock()
 			return nil, nil
 		}
 		if e.closed {
+			e.mu.Unlock()
 			return nil, nil
 		}
 		e.cond.Wait()
 	}
 }
 
-// close shuts the exchange down: claimers stop, workers drain, and any
-// still-buffered batches are released from the memory tracker. It is safe
-// to call close before, during, or after consumption.
+// close shuts the exchange down: no further jobs are released, in-flight
+// tasks and the feeder are joined, still-buffered batches are released from
+// the memory tracker, and the scheduler retain is dropped. It is safe to
+// call close before, during, or after consumption — including when the
+// consumer abandoned the stream mid-way (early Limit, downstream error), so
+// a closed exchange never leaves producers behind.
 func (e *exchange) close() {
 	e.mu.Lock()
 	e.closed = true
 	e.cond.Broadcast()
+	for e.tasksOut > 0 {
+		e.cond.Wait()
+	}
 	e.mu.Unlock()
 	e.wg.Wait()
 	e.mu.Lock()
@@ -216,54 +288,29 @@ func (e *exchange) close() {
 	e.charged = 0
 	e.results = nil
 	e.mu.Unlock()
-}
-
-// runMorsels starts workers goroutines that claim jobs 0..jobs-1 and run
-// run(job, worker, emit), posting emitted batches order-preservingly. The
-// emitted batches must be freshly allocated (the consumer takes ownership).
-func (e *exchange) runMorsels(jobs, workers int, run func(job, worker int, emit func(*vector.Batch)) error) {
-	e.seal(jobs)
-	for w := 0; w < workers; w++ {
-		w := w
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			for {
-				job, ok := e.claim()
-				if !ok {
-					return
-				}
-				err := run(job, w, func(b *vector.Batch) { e.post(job, b) })
-				e.finish(job, err)
-			}
-		}()
+	if e.sched != nil {
+		e.sched.release()
+		e.sched = nil
 	}
-}
-
-// streamJob is one unit handed from a streaming feeder to a worker.
-type streamJob struct {
-	job int
-	in  *vector.Batch
 }
 
 // streamJobRows is the target row count of one streaming job: the feeder
 // coalesces consecutive same-group input batches up to this size, so the
-// per-job synchronization (claim, channel hand-off, merge) amortizes over
+// per-job synchronization (claim, task submission, merge) amortizes over
 // several batches of probe work.
 const streamJobRows = 4 * vector.BatchSize
 
-// runStream starts a feeder that serially pulls input batches (copying
-// them, since producers reuse their output batch, and coalescing same-group
-// neighbors into jobs of up to streamJobRows rows) plus workers running
-// work per job. Input copies are charged to the memory tracker while in
-// flight. pull must not be called concurrently — only the feeder calls it.
-func (e *exchange) runStream(workers int, pull func() (*vector.Batch, error), work func(in *vector.Batch, worker int, emit func(*vector.Batch)) error) {
-	inputs := make(chan streamJob, e.window)
+// runStream starts a feeder goroutine that serially pulls input batches
+// (cloning them, since producers reuse their output batch, and coalescing
+// same-group neighbors into jobs of up to streamJobRows rows) and submits
+// one scheduler task per job running work. Input clones are charged to the
+// memory tracker while in flight. pull must not be called concurrently —
+// only the feeder calls it.
+func (e *exchange) runStream(pull func() (*vector.Batch, error), work func(in *vector.Batch, worker int, emit func(*vector.Batch)) error) {
 	e.wg.Add(1)
 	go func() { // feeder
 		defer e.wg.Done()
-		defer close(inputs)
-		var pending *vector.Batch // copied lookahead that broke coalescing
+		var pending *vector.Batch // cloned lookahead that broke coalescing
 		for {
 			job, ok := e.claim()
 			if !ok {
@@ -282,7 +329,7 @@ func (e *exchange) runStream(workers int, pull func() (*vector.Batch, error), wo
 					return
 				}
 				if b.Len() > 0 {
-					cur = copyBatch(b)
+					cur = b.Clone()
 				}
 			}
 			eof := false
@@ -302,34 +349,28 @@ func (e *exchange) runStream(workers int, pull func() (*vector.Batch, error), wo
 				// Jobs stay group-pure so probe output batches keep exact
 				// group tags.
 				if b.Grouped != cur.Grouped || b.GroupID != cur.GroupID {
-					pending = copyBatch(b)
+					pending = b.Clone()
 					break
 				}
 				cur.AppendBatch(b)
 			}
-			e.mem.Grow(batchBytes(cur))
-			inputs <- streamJob{job: job, in: cur}
+			in := cur
+			n := in.Bytes()
+			e.mem.Grow(n)
+			e.submitJob(job, func(w int, emit func(*vector.Batch)) error {
+				var err error
+				if !e.isClosed() {
+					err = work(in, w, emit)
+				}
+				e.mem.Shrink(n)
+				return err
+			})
 			if eof {
 				e.seal(job + 1)
 				return
 			}
 		}
 	}()
-	for w := 0; w < workers; w++ {
-		w := w
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			for sj := range inputs {
-				var err error
-				if !e.isClosed() {
-					err = work(sj.in, w, func(b *vector.Batch) { e.post(sj.job, b) })
-				}
-				e.mem.Shrink(batchBytes(sj.in))
-				e.finish(sj.job, err)
-			}
-		}()
-	}
 }
 
 func (e *exchange) isClosed() bool {

@@ -81,15 +81,16 @@ func parTestTables() (*storage.Table, *storage.Table) {
 // and leaves the memory tracker balanced.
 func TestParallelTableScanMatchesSerial(t *testing.T) {
 	left, _ := parTestTables()
-	mkScan := func(par bool) *TableScan {
+	mkScan := func(ctx *Context) *TableScan {
 		return &TableScan{
-			Table:    left,
-			Cols:     []string{"lkey", "lpay", "lstr"},
-			Filter:   expr.NewCmp(expr.LT, expr.C("lkey"), expr.Int(3000)),
-			Parallel: par,
+			Table:  left,
+			Cols:   []string{"lkey", "lpay", "lstr"},
+			Filter: expr.NewCmp(expr.LT, expr.C("lkey"), expr.Int(3000)),
+			Sched:  ctx.Scheduler(),
 		}
 	}
-	serial, err := Run(parCtx(1), mkScan(true))
+	serialCtx := parCtx(1)
+	serial, err := Run(serialCtx, mkScan(serialCtx))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestParallelTableScanMatchesSerial(t *testing.T) {
 	}
 	for _, workers := range []int{2, 4, 7} {
 		ctx := parCtx(workers)
-		par, err := Run(ctx, mkScan(true))
+		par, err := Run(ctx, mkScan(ctx))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,10 +117,10 @@ func TestParallelTableScanEarlyClose(t *testing.T) {
 	left, _ := parTestTables()
 	ctx := parCtx(4)
 	scan := &TableScan{
-		Table:    left,
-		Cols:     []string{"lkey", "lstr"},
-		Filter:   expr.NewCmp(expr.GE, expr.C("lkey"), expr.Int(0)),
-		Parallel: true,
+		Table:  left,
+		Cols:   []string{"lkey", "lstr"},
+		Filter: expr.NewCmp(expr.GE, expr.C("lkey"), expr.Int(0)),
+		Sched:  ctx.Scheduler(),
 	}
 	lim := &Limit{Child: scan, N: 10}
 	res, err := Run(ctx, lim)
@@ -139,12 +140,12 @@ func TestParallelTableScanEarlyClose(t *testing.T) {
 // reproduce the serial rows in order with a balanced memory tracker.
 func TestParallelHashJoinMatchesSerial(t *testing.T) {
 	left, right := parTestTables()
-	mkJoin := func(typ JoinType, residual bool, par bool) *HashJoin {
+	mkJoin := func(typ JoinType, residual bool, ctx *Context) *HashJoin {
 		j := &HashJoin{
 			Left:     &TableScan{Table: left, Cols: []string{"lkey", "lpay", "lstr"}},
 			Right:    &TableScan{Table: right, Cols: []string{"rkey", "rpay"}},
 			LeftKeys: []string{"lkey"}, RightKeys: []string{"rkey"},
-			Type: typ, Parallel: par,
+			Type: typ, Sched: ctx.Scheduler(),
 		}
 		if residual {
 			j.Residual = expr.NewCmp(expr.GT,
@@ -159,7 +160,8 @@ func TestParallelHashJoinMatchesSerial(t *testing.T) {
 		for _, residual := range []bool{false, true} {
 			name := fmt.Sprintf("type=%d/residual=%v", typ, residual)
 			t.Run(name, func(t *testing.T) {
-				serial, err := Run(parCtx(1), mkJoin(typ, residual, true))
+				serialCtx := parCtx(1)
+				serial, err := Run(serialCtx, mkJoin(typ, residual, serialCtx))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -168,7 +170,7 @@ func TestParallelHashJoinMatchesSerial(t *testing.T) {
 				}
 				for _, workers := range []int{3, 4} {
 					ctx := parCtx(workers)
-					par, err := Run(ctx, mkJoin(typ, residual, true))
+					par, err := Run(ctx, mkJoin(typ, residual, ctx))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -187,7 +189,7 @@ func TestParallelHashJoinMatchesSerial(t *testing.T) {
 // including bit-exact float sums and the first-seen emission order.
 func TestParallelHashAggregateMatchesSerial(t *testing.T) {
 	left, _ := parTestTables()
-	mkAgg := func(par bool) *HashAggregate {
+	mkAgg := func(ctx *Context) *HashAggregate {
 		return &HashAggregate{
 			Child:   &TableScan{Table: left, Cols: []string{"lkey", "lpay", "lstr"}},
 			GroupBy: []string{"lkey"},
@@ -199,16 +201,17 @@ func TestParallelHashAggregateMatchesSerial(t *testing.T) {
 				{Name: "mx", Func: AggMax, Arg: expr.C("lpay")},
 				{Name: "d", Func: AggCountDistinct, Arg: expr.C("lstr")},
 			},
-			Parallel: par,
+			Sched: ctx.Scheduler(),
 		}
 	}
-	serial, err := Run(parCtx(1), mkAgg(true))
+	serialCtx := parCtx(1)
+	serial, err := Run(serialCtx, mkAgg(serialCtx))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 5} {
 		ctx := parCtx(workers)
-		par, err := Run(ctx, mkAgg(true))
+		par, err := Run(ctx, mkAgg(ctx))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +222,7 @@ func TestParallelHashAggregateMatchesSerial(t *testing.T) {
 	}
 	// Bit-exact float check on top of the string rendering.
 	ctx := parCtx(4)
-	par, err := Run(ctx, mkAgg(true))
+	par, err := Run(ctx, mkAgg(ctx))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +239,7 @@ func TestParallelHashAggregateMatchesSerial(t *testing.T) {
 // (one global group) under the parallel path.
 func TestParallelGlobalAggregate(t *testing.T) {
 	left, _ := parTestTables()
-	mkAgg := func() *HashAggregate {
+	mkAgg := func(ctx *Context) *HashAggregate {
 		return &HashAggregate{
 			Child:   &TableScan{Table: left, Cols: []string{"lkey", "lpay"}},
 			GroupBy: nil,
@@ -244,14 +247,16 @@ func TestParallelGlobalAggregate(t *testing.T) {
 				{Name: "c", Func: AggCount},
 				{Name: "s", Func: AggSum, Arg: expr.C("lpay")},
 			},
-			Parallel: true,
+			Sched: ctx.Scheduler(),
 		}
 	}
-	serial, err := Run(parCtx(1), mkAgg())
+	serialCtx := parCtx(1)
+	serial, err := Run(serialCtx, mkAgg(serialCtx))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Run(parCtx(4), mkAgg())
+	parCtx4 := parCtx(4)
+	par, err := Run(parCtx4, mkAgg(parCtx4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +274,7 @@ func TestHashJoinMemAccountingBalanced(t *testing.T) {
 			Left:     &TableScan{Table: left, Cols: []string{"lkey", "lpay"}},
 			Right:    &TableScan{Table: right, Cols: []string{"rkey", "rpay"}},
 			LeftKeys: []string{"lkey"}, RightKeys: []string{"rkey"},
-			Type: InnerJoin, Parallel: workers > 1,
+			Type: InnerJoin, Sched: ctx.Scheduler(),
 		}
 		if _, err := Run(ctx, j); err != nil {
 			t.Fatal(err)

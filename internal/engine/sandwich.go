@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"bdcc/internal/expr"
 	"bdcc/internal/vector"
@@ -19,6 +20,16 @@ import (
 // the shared dimension through the equated foreign key), which is exactly
 // the condition the BDCC planner establishes before placing this operator;
 // rows can then never match across different groups.
+//
+// With a scheduler handle injected, the join pipelines across group
+// boundaries: a feeder goroutine aligns the two group streams serially (the
+// group cursor is inherently sequential) and hands each aligned group —
+// cloned probe and build batches — to a task on the query's shared worker
+// pool that builds the group's private hash table and probes it, with the
+// exchange window bounding the cross-group lookahead. Per-group output
+// replicates the serial flush boundaries exactly and groups merge in stream
+// order, so results stay byte-identical; peak memory is bounded by the
+// lookahead window's groups instead of a single group.
 type SandwichHashJoin struct {
 	Left, Right         Operator
 	LeftKeys, RightKeys []string
@@ -31,6 +42,9 @@ type SandwichHashJoin struct {
 	// shifts the surplus away.
 	ProbeShift uint
 	BuildShift uint
+	// Sched is the planner-injected handle of the query's shared worker
+	// pool; nil means the serial one-group-at-a-time execution.
+	Sched *Sched
 
 	schema expr.Schema
 	ctx    *Context
@@ -65,7 +79,11 @@ type SandwichHashJoin struct {
 	out      *vector.Batch
 	combined *vector.Batch
 	resVec   *vector.Vector
+
+	maxMu    sync.Mutex
 	maxGroup int64
+
+	ex *exchange // parallel group pipeline, nil on the serial path
 }
 
 // Schema implements Operator.
@@ -184,10 +202,18 @@ func (j *SandwichHashJoin) buildGroup(gid uint64) error {
 	}
 	j.memBytes = j.buf.Bytes() + j.table.Bytes()
 	j.ctx.Mem.Grow(j.memBytes)
-	if n := int64(j.buf.Len()); n > j.maxGroup {
+	j.noteGroupRows(int64(j.buf.Len()))
+	return nil
+}
+
+// noteGroupRows records the size of a materialized build group for
+// MaxGroupRows; parallel group tasks report concurrently.
+func (j *SandwichHashJoin) noteGroupRows(n int64) {
+	j.maxMu.Lock()
+	if n > j.maxGroup {
 		j.maxGroup = n
 	}
-	return nil
+	j.maxMu.Unlock()
 }
 
 // residualOK mirrors HashJoin.residualOK for the buffered group.
@@ -206,6 +232,280 @@ func (j *SandwichHashJoin) residualOK(left *vector.Batch, li int, bi int32) bool
 	return j.resVec.I64[0] != 0
 }
 
+// sandwichGroup is one aligned group handed from the feeder to a group-join
+// task: cloned probe batches (keeping their raw group tags) and cloned build
+// batches, plus the bytes charged for the clones while in flight.
+type sandwichGroup struct {
+	probe []*vector.Batch
+	build []*vector.Batch
+	bytes int64
+}
+
+// startParallelGroups starts the cross-group pipeline: a feeder goroutine
+// aligns the two group streams exactly like the serial cursor (discarding
+// build groups without probe rows, erroring on non-grouped or descending
+// input) and submits one group-join task per aligned group, with the
+// exchange window as the bounded lookahead.
+func (j *SandwichHashJoin) startParallelGroups() {
+	// Lookahead is deliberately tighter than the scan/probe window: each
+	// in-flight group holds cloned probe and build batches plus a private
+	// hash table, so the window directly scales peak memory.
+	j.ex = newExchange(j.ctx.Mem, j.Sched, j.Sched.Workers()+1)
+	e := j.ex
+	e.wg.Add(1)
+	go func() { // feeder: the only puller of both children
+		defer e.wg.Done()
+		var pendingLeft *vector.Batch // cloned lookahead of the next group
+		leftEOF := false
+		haveG := false
+		var curGID uint64
+		for {
+			job, ok := e.claim()
+			if !ok {
+				return
+			}
+			if pendingLeft == nil && leftEOF {
+				e.seal(job)
+				return
+			}
+			g := &sandwichGroup{}
+			// Gather the probe group: batches whose shifted gid matches the
+			// first non-empty batch seen.
+			var gid uint64
+			if pendingLeft != nil {
+				gid = pendingLeft.GroupID >> j.ProbeShift
+				g.probe = append(g.probe, pendingLeft)
+				g.bytes += pendingLeft.Bytes()
+				pendingLeft = nil
+			} else {
+				for {
+					b, err := j.Left.Next()
+					if err != nil {
+						e.setErr(err)
+						return
+					}
+					if b == nil {
+						e.seal(job)
+						return
+					}
+					if b.Len() == 0 {
+						continue
+					}
+					if !b.Grouped {
+						e.setErr(fmt.Errorf("engine: sandwich join probe input is not a group stream"))
+						return
+					}
+					gid = b.GroupID >> j.ProbeShift
+					if haveG && gid < curGID {
+						e.setErr(fmt.Errorf("engine: sandwich join probe groups not ascending (%d after %d)", gid, curGID))
+						return
+					}
+					c := b.Clone()
+					g.probe = append(g.probe, c)
+					g.bytes += c.Bytes()
+					break
+				}
+			}
+			haveG = true
+			curGID = gid
+			for {
+				b, err := j.Left.Next()
+				if err != nil {
+					e.setErr(err)
+					return
+				}
+				if b == nil {
+					leftEOF = true
+					break
+				}
+				if b.Len() == 0 {
+					continue
+				}
+				if !b.Grouped {
+					e.setErr(fmt.Errorf("engine: sandwich join probe input is not a group stream"))
+					return
+				}
+				if next := b.GroupID >> j.ProbeShift; next != gid {
+					if next < gid {
+						e.setErr(fmt.Errorf("engine: sandwich join probe groups not ascending (%d after %d)", next, gid))
+						return
+					}
+					pendingLeft = b.Clone()
+					break
+				}
+				c := b.Clone()
+				g.probe = append(g.probe, c)
+				g.bytes += c.Bytes()
+			}
+			// Align the build cursor: discard groups below gid, clone the
+			// matching group's batches (possibly none).
+			for {
+				if !j.rbOK {
+					if j.rEOF {
+						break
+					}
+					if err := j.fetchRight(); err != nil {
+						e.setErr(err)
+						return
+					}
+					continue
+				}
+				if j.rb.GroupID>>j.BuildShift < gid {
+					j.rbOK = false
+					continue
+				}
+				if j.rb.GroupID>>j.BuildShift > gid {
+					break
+				}
+				c := j.rb.Clone()
+				g.build = append(g.build, c)
+				g.bytes += c.Bytes()
+				j.rbOK = false
+			}
+			j.ctx.Mem.Grow(g.bytes)
+			grp := g
+			e.submitJob(job, func(_ int, emit func(*vector.Batch)) error {
+				var err error
+				if !e.isClosed() {
+					err = j.joinGroup(grp, emit)
+				}
+				j.ctx.Mem.Shrink(grp.bytes)
+				return err
+			})
+		}
+	}()
+}
+
+// joinGroup is the group-join task body: build the group's private hash
+// table from the cloned build batches, then probe the cloned probe batches
+// exactly like the serial path — same row order, same BatchSize flush
+// boundaries, same per-probe-batch cuts — so the merged output is
+// byte-identical to the serial join's.
+func (j *SandwichHashJoin) joinGroup(g *sandwichGroup, emit func(*vector.Batch)) error {
+	buf := NewBuffer(j.Right.Schema())
+	table := newPartJoinTable(1)
+	var buildHashes []uint64
+	var buildRow int32
+	buildEq := func(head int32) bool {
+		return keysEqualBufBuf(buf, j.rightKeyIdx, int(buildRow), int(head))
+	}
+	for _, b := range g.build {
+		base := int32(buf.Len())
+		buf.AppendBatch(b)
+		buildHashes = vector.HashKeys(b, j.rightKeyIdx, buildHashes)
+		for i := 0; i < b.Len(); i++ {
+			buildRow = base + int32(i)
+			table.Insert(buildHashes[i], buildRow, buildEq)
+		}
+	}
+	tableBytes := buf.Bytes() + table.Bytes()
+	j.ctx.Mem.Grow(tableBytes)
+	defer j.ctx.Mem.Shrink(tableBytes)
+	j.noteGroupRows(int64(buf.Len()))
+
+	var combined *vector.Batch
+	var resVec *vector.Vector
+	if j.Residual != nil {
+		cs := append(append(expr.Schema{}, j.Left.Schema()...), j.Right.Schema()...)
+		combined = vector.NewBatch(cs.Kinds())
+		resVec = expr.NewScratch(vector.Int64)
+	}
+	var probeBatch *vector.Batch
+	var probeRow int
+	probeEq := func(head int32) bool {
+		return keysEqualBatchBuf(probeBatch, j.leftKeyIdx, probeRow, buf, j.rightKeyIdx, int(head))
+	}
+	residualOK := func(b *vector.Batch, li int, bi int32) bool {
+		if j.Residual == nil {
+			return true
+		}
+		combined.Reset()
+		nl := len(b.Cols)
+		for c := 0; c < nl; c++ {
+			combined.Cols[c].AppendFrom(b.Cols[c], li)
+		}
+		buf.WriteRow(combined, int(bi), nl)
+		resVec.Reset()
+		j.Residual.Eval(combined, resVec)
+		return resVec.I64[0] != 0
+	}
+
+	var probeHashes []uint64
+	var matches []int32
+	kinds := j.schema.Kinds()
+	for _, b := range g.probe {
+		probeBatch = b
+		newOut := func() *vector.Batch {
+			out := vector.NewBatch(kinds)
+			out.Grouped = true
+			out.GroupID = b.GroupID
+			return out
+		}
+		out := newOut()
+		nl := len(b.Cols)
+		probeHashes = vector.HashKeys(b, j.leftKeyIdx, probeHashes)
+		for r := 0; r < b.Len(); r++ {
+			probeRow = r
+			head := table.Lookup(probeHashes[r], probeEq)
+			if j.Type == SemiJoin || j.Type == AntiJoin {
+				hit := false
+				for bi := head; bi >= 0; bi = table.ChainNext(bi) {
+					if residualOK(b, r, bi) {
+						hit = true
+						break
+					}
+				}
+				if hit == (j.Type == SemiJoin) {
+					out.AppendRow(b, r)
+				}
+				if out.Len() >= vector.BatchSize {
+					emit(out)
+					out = newOut()
+				}
+				continue
+			}
+			matches = table.Matches(head, matches[:0])
+			emitted := false
+			for _, bi := range matches {
+				if !residualOK(b, r, bi) {
+					continue
+				}
+				for c := 0; c < nl; c++ {
+					out.Cols[c].AppendFrom(b.Cols[c], r)
+				}
+				buf.WriteRow(out, int(bi), nl)
+				if j.Type == LeftOuterJoin {
+					out.Cols[len(out.Cols)-1].AppendInt64(1)
+				}
+				emitted = true
+				if out.Len() >= vector.BatchSize {
+					emit(out)
+					out = newOut()
+				}
+			}
+			if !emitted && j.Type == LeftOuterJoin {
+				for c := 0; c < nl; c++ {
+					out.Cols[c].AppendFrom(b.Cols[c], r)
+				}
+				for c := range j.Right.Schema() {
+					appendZero(out.Cols[nl+c])
+				}
+				out.Cols[len(out.Cols)-1].AppendInt64(0)
+			}
+			if out.Len() >= vector.BatchSize {
+				emit(out)
+				out = newOut()
+			}
+		}
+		// Serial Next flushes at every probe-batch boundary; replicate the
+		// cut so batch shapes match byte-for-byte.
+		if out.Len() > 0 {
+			emit(out)
+		}
+	}
+	return nil
+}
+
 // Next implements Operator. Output batches never exceed BatchSize rows: a
 // probe row whose match list would overflow the batch flushes mid-row and
 // resumes from the recorded match position on the following call — without
@@ -214,6 +514,16 @@ func (j *SandwichHashJoin) residualOK(left *vector.Batch, li int, bi int32) bool
 // operators size their scratch by. Flushed batches stay group-pure (they
 // always derive from a single probe batch).
 func (j *SandwichHashJoin) Next() (*vector.Batch, error) {
+	if j.Sched != nil {
+		if j.ex == nil {
+			j.startParallelGroups()
+		}
+		return j.ex.nextBatch()
+	}
+	return j.nextSerial()
+}
+
+func (j *SandwichHashJoin) nextSerial() (*vector.Batch, error) {
 	j.out.Reset()
 	if j.probeBatch != nil {
 		// Resuming mid-batch after a flush: restore the group tag.
@@ -327,6 +637,10 @@ func (j *SandwichHashJoin) MaxGroupRows() int64 { return j.maxGroup }
 
 // Close implements Operator.
 func (j *SandwichHashJoin) Close() error {
+	if j.ex != nil {
+		j.ex.close()
+		j.ex = nil
+	}
 	j.ctx.Mem.Shrink(j.memBytes)
 	j.memBytes = 0
 	err1 := j.Left.Close()

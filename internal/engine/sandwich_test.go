@@ -339,9 +339,9 @@ func TestParallelGroupedScanMatchesSerial(t *testing.T) {
 	run := func(workers int) ([]string, []uint64) {
 		scan := groupedScan(t, left, []string{"lkey", "lid"})
 		scan.Filter = filter
-		scan.Parallel = true
 		ctx := testCtx()
 		ctx.Workers = workers
+		scan.Sched = ctx.Scheduler()
 		if err := scan.Open(ctx); err != nil {
 			t.Fatal(err)
 		}

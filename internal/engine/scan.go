@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"bdcc/internal/core"
 	"bdcc/internal/expr"
+	"bdcc/internal/iosim"
 	"bdcc/internal/storage"
 	"bdcc/internal/vector"
 )
@@ -24,11 +26,12 @@ type TableScan struct {
 	// Cols); the filter is still expressed over the original names. Used for
 	// self-joined table aliases.
 	Rename []string
-	// Parallel permits morsel-parallel execution (planner-injected); it
-	// takes effect when the context's Workers knob exceeds one and the scan
-	// has a filter to evaluate. The morsel merge is order-preserving, so the
-	// produced stream is byte-identical to the serial scan's.
-	Parallel bool
+	// Sched is the planner-injected handle of the query's shared worker
+	// pool; with a non-nil handle and a filter to evaluate, the scan splits
+	// its ranges into morsels and submits them as tasks. The morsel merge is
+	// order-preserving, so the produced stream is byte-identical to the
+	// serial scan's. nil means serial execution.
+	Sched *Sched
 
 	schema  expr.Schema
 	colIdx  []int
@@ -39,6 +42,7 @@ type TableScan struct {
 	predVec *vector.Vector
 
 	morsels []scanMorsel
+	io      *scanIO
 	ex      *exchange
 }
 
@@ -50,20 +54,105 @@ type scanMorsel struct {
 	grouped bool
 }
 
-// startMorselScan fans readers over the morsel list on the context's worker
-// pool: each worker owns a raw batch and predicate scratch, emitted batches
-// are fresh (consumer-owned), tagged per morsel, and merged in morsel order.
-func startMorselScan(ctx *Context, tab *storage.Table, colIdx []int, kinds []vector.Kind, filter expr.Expr, morsels []scanMorsel) *exchange {
-	workers := ctx.workerCount()
+// scanIO posts the modeled reads of a morsel scan asynchronously: each
+// overlap unit (the whole range set of a plain scan, one scatter group of a
+// grouped scan) is submitted to the accountant one unit ahead of the morsel
+// tasks that consume it, and its overlap window is closed when the unit's
+// last morsel completes — the grouped scan "posts the next group's read
+// while workers crunch the current group". A nil *scanIO (no accountant)
+// disables the hooks.
+type scanIO struct {
+	mu      sync.Mutex
+	acct    *iosim.Accountant
+	units   []scanIOUnit
+	byJob   []int // morsel index -> unit index
+	posted  int   // units submitted so far
+	tickets []iosim.Ticket
+}
+
+// scanIOUnit is one asynchronous read batch and its outstanding morsels.
+type scanIOUnit struct {
+	runs, pages, bytes int64
+	left               int // unfinished morsels of this unit
+}
+
+// newScanIO sizes the per-unit read stats from the morsel list. unitOf maps
+// a morsel to its overlap unit index; units must be visited in
+// non-decreasing order by the morsel sequence.
+func newScanIO(acct *iosim.Accountant, tab *storage.Table, colIdx []int, morsels []scanMorsel, unitOf []int, unitRanges []storage.RowRanges) *scanIO {
+	if acct == nil {
+		return nil
+	}
+	io := &scanIO{acct: acct, byJob: unitOf}
+	io.units = make([]scanIOUnit, len(unitRanges))
+	io.tickets = make([]iosim.Ticket, len(unitRanges))
+	for i, ranges := range unitRanges {
+		runs, pages, bytes := tab.ReadStats(colIdx, ranges)
+		io.units[i] = scanIOUnit{runs: runs, pages: pages, bytes: bytes}
+	}
+	for _, u := range unitOf {
+		io.units[u].left++
+	}
+	return io
+}
+
+// release is the exchange onRelease hook: before morsel job runs, make sure
+// its unit and the next one (the lookahead) have been submitted.
+func (io *scanIO) release(job int) {
+	io.mu.Lock()
+	want := io.byJob[job] + 1
+	for io.posted <= want && io.posted < len(io.units) {
+		u := io.units[io.posted]
+		io.tickets[io.posted] = io.acct.Submit(u.runs, u.pages, u.bytes)
+		io.posted++
+	}
+	io.mu.Unlock()
+}
+
+// finish is the exchange onFinish hook: when a unit's last morsel completes,
+// its overlap window closes.
+func (io *scanIO) finish(job int) {
+	io.mu.Lock()
+	u := io.byJob[job]
+	io.units[u].left--
+	if io.units[u].left == 0 && u < io.posted {
+		io.acct.Wait(io.tickets[u])
+	}
+	io.mu.Unlock()
+}
+
+// close waits any still-open windows (early scan shutdown); Wait is
+// idempotent, so units already finished are unaffected.
+func (io *scanIO) close() {
+	if io == nil {
+		return
+	}
+	io.mu.Lock()
+	for i := 0; i < io.posted; i++ {
+		io.acct.Wait(io.tickets[i])
+	}
+	io.mu.Unlock()
+}
+
+// startMorselScan fans readers over the morsel list via the shared
+// scheduler: each pool worker owns a raw batch and predicate scratch,
+// emitted batches are fresh (consumer-owned), tagged per morsel, and merged
+// in morsel order. io, when non-nil, drives the asynchronous read model.
+func startMorselScan(ctx *Context, sched *Sched, tab *storage.Table, colIdx []int, kinds []vector.Kind, filter expr.Expr, morsels []scanMorsel, io *scanIO) *exchange {
+	workers := sched.Workers()
 	raws := make([]*vector.Batch, workers)
 	preds := make([]*vector.Vector, workers)
 	for w := range raws {
 		raws[w] = vector.NewBatch(kinds)
 		preds[w] = expr.NewScratch(vector.Int64)
 	}
-	ex := newExchange(ctx.Mem, 2*workers)
+	ex := newExchange(ctx.Mem, sched, 2*workers)
+	if io != nil {
+		ex.onRelease = io.release
+		ex.onFinish = io.finish
+	}
 	outs := make([]*vector.Batch, workers) // reused until non-empty, then owned by the consumer
-	ex.runMorsels(len(morsels), workers, func(job, w int, emit func(*vector.Batch)) error {
+	ex.runMorsels(len(morsels), func(job, w int, emit func(*vector.Batch)) error {
 		m := morsels[job]
 		r := storage.NewReader(tab, colIdx, m.ranges, nil)
 		for r.Next(raws[w]) {
@@ -127,18 +216,20 @@ func (s *TableScan) Open(ctx *Context) error {
 		s.schema = renamed
 	}
 	s.ctx = ctx
-	if s.Parallel && ctx.workerCount() > 1 && s.Filter != nil {
+	if s.Sched != nil && s.Filter != nil {
 		ranges := s.Ranges
 		if ranges == nil {
 			ranges = storage.FullRange(s.Table.Rows())
 		}
 		if morsels := ranges.Morsels(morselRows, vector.BatchSize); len(morsels) > 1 {
-			// Charge device I/O for the whole range set once up front (as the
-			// serial reader would); per-morsel readers then run uncharged.
-			s.Table.ChargeIO(ctx.Acct, idx, ranges)
 			for _, m := range morsels {
 				s.morsels = append(s.morsels, scanMorsel{ranges: m})
 			}
+			// The whole range set is one overlap unit: its read is posted
+			// asynchronously when the scan starts, and the per-morsel readers
+			// run uncharged. Run coalescing matches the serial reader's.
+			unitOf := make([]int, len(s.morsels))
+			s.io = newScanIO(ctx.Acct, s.Table, idx, s.morsels, unitOf, []storage.RowRanges{ranges})
 			return nil
 		}
 	}
@@ -151,7 +242,7 @@ func (s *TableScan) Open(ctx *Context) error {
 func (s *TableScan) Next() (*vector.Batch, error) {
 	if s.morsels != nil {
 		if s.ex == nil {
-			s.ex = startMorselScan(s.ctx, s.Table, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels)
+			s.ex = startMorselScan(s.ctx, s.Sched, s.Table, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels, s.io)
 		}
 		return s.ex.nextBatch()
 	}
@@ -176,6 +267,7 @@ func (s *TableScan) Close() error {
 		s.ex.close()
 		s.ex = nil
 	}
+	s.io.close()
 	return nil
 }
 
@@ -206,12 +298,14 @@ type GroupedScan struct {
 	Filter expr.Expr
 	// Rename optionally renames output columns (see TableScan.Rename).
 	Rename []string
-	// Parallel permits morsel-parallel execution (planner-injected; see
-	// TableScan.Parallel). Morsels never cross group boundaries and merge in
+	// Sched is the planner-injected worker-pool handle (see
+	// TableScan.Sched). Morsels never cross group boundaries and merge in
 	// (group, morsel) order, so the grouped stream keeps group-pure batches
 	// with non-decreasing identifiers — downstream sandwich operators are
-	// unaffected.
-	Parallel bool
+	// unaffected. Each group's modeled read is posted asynchronously one
+	// group ahead of its morsel tasks, overlapping the scattered reads with
+	// compute (iosim Submit/Wait).
+	Sched *Sched
 
 	schema  expr.Schema
 	colIdx  []int
@@ -223,16 +317,21 @@ type GroupedScan struct {
 	predVec *vector.Vector
 
 	morsels []scanMorsel
+	io      *scanIO
 	ex      *exchange
 }
 
 // Schema implements Operator.
 func (s *GroupedScan) Schema() expr.Schema { return s.schema }
 
-// Open implements Operator. Device I/O is charged once for the union of all
-// group extents: the scatter scan computes its offsets from T_COUNT up
-// front, issues page reads at most once per query (buffer-pool semantics),
-// and run boundaries follow the coalesced page runs of the union.
+// Open implements Operator. On the serial path, device I/O is charged once
+// for the union of all group extents: the scatter scan computes its offsets
+// from T_COUNT up front, issues page reads at most once per query
+// (buffer-pool semantics), and run boundaries follow the coalesced page runs
+// of the union. On the parallel path the charge moves to per-group
+// asynchronous submissions (one read batch per scatter group, posted a group
+// ahead of the compute), so runs no longer coalesce across group boundaries
+// — the scattered per-group requests the paper's storage argument models.
 func (s *GroupedScan) Open(ctx *Context) error {
 	schema, idx, err := resolveScanSchema(s.BDCC.Data, s.Cols)
 	if err != nil {
@@ -240,11 +339,6 @@ func (s *GroupedScan) Open(ctx *Context) error {
 	}
 	s.schema, s.colIdx = schema, idx
 	s.ctx = ctx
-	var union storage.RowRanges
-	for _, g := range s.Groups {
-		union = append(union, g.Ranges...)
-	}
-	s.BDCC.Data.ChargeIO(ctx.Acct, idx, union.Normalize())
 	if s.Filter != nil {
 		if err := expr.Bind(s.Filter, schema); err != nil {
 			return errOp("grouped scan filter", err)
@@ -264,16 +358,31 @@ func (s *GroupedScan) Open(ctx *Context) error {
 	s.raw = vector.NewBatch(schema.Kinds())
 	s.out = vector.NewBatch(schema.Kinds())
 	s.gi = -1
-	if s.Parallel && ctx.workerCount() > 1 && s.Filter != nil {
+	if s.Sched != nil && s.Filter != nil {
+		var unitOf []int
+		var unitRanges []storage.RowRanges
 		for _, g := range s.Groups {
-			for _, m := range g.Ranges.Morsels(morselRows, vector.BatchSize) {
-				s.morsels = append(s.morsels, scanMorsel{ranges: m, gid: g.GroupID, grouped: true})
+			ms := g.Ranges.Morsels(morselRows, vector.BatchSize)
+			if len(ms) == 0 {
+				continue
 			}
+			for _, m := range ms {
+				s.morsels = append(s.morsels, scanMorsel{ranges: m, gid: g.GroupID, grouped: true})
+				unitOf = append(unitOf, len(unitRanges))
+			}
+			unitRanges = append(unitRanges, g.Ranges)
 		}
-		if len(s.morsels) <= 1 {
-			s.morsels = nil
+		if len(s.morsels) > 1 {
+			s.io = newScanIO(ctx.Acct, s.BDCC.Data, idx, s.morsels, unitOf, unitRanges)
+			return nil
 		}
+		s.morsels = nil
 	}
+	var union storage.RowRanges
+	for _, g := range s.Groups {
+		union = append(union, g.Ranges...)
+	}
+	s.BDCC.Data.ChargeIO(ctx.Acct, idx, union.Normalize())
 	return nil
 }
 
@@ -281,7 +390,7 @@ func (s *GroupedScan) Open(ctx *Context) error {
 func (s *GroupedScan) Next() (*vector.Batch, error) {
 	if s.morsels != nil {
 		if s.ex == nil {
-			s.ex = startMorselScan(s.ctx, s.BDCC.Data, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels)
+			s.ex = startMorselScan(s.ctx, s.Sched, s.BDCC.Data, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels, s.io)
 		}
 		return s.ex.nextBatch()
 	}
@@ -319,5 +428,6 @@ func (s *GroupedScan) Close() error {
 		s.ex.close()
 		s.ex = nil
 	}
+	s.io.close()
 	return nil
 }

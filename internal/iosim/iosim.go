@@ -79,12 +79,30 @@ func (d Device) ReadTime(runs int64, bytes int64) time.Duration {
 
 // Accountant accumulates the I/O activity of one query execution. It is safe
 // for concurrent use by parallel operators.
+//
+// Reads are charged in one of two forms. AddRun records a synchronous read:
+// its modeled time adds fully to the cold execution time. Submit/Wait record
+// an asynchronous read batch — a grouped scan posting the next group's
+// scattered read while workers crunch the current group — and open an
+// overlap window: the window's device time is hidden up to the compute time
+// that elapsed before Wait, so each window contributes max(io, cpu) to the
+// cold time instead of io + cpu (see Stats.ColdTime).
 type Accountant struct {
-	mu     sync.Mutex
-	device Device
-	runs   int64
-	pages  int64
-	bytes  int64
+	mu       sync.Mutex
+	device   Device
+	runs     int64
+	pages    int64
+	bytes    int64
+	async    []asyncRead
+	hidden   time.Duration
+	frontier time.Time // wall time already credited as hiding compute
+}
+
+// asyncRead is one submitted-but-possibly-unfinished overlap window.
+type asyncRead struct {
+	io    time.Duration // modeled device time of the submitted runs
+	start time.Time     // wall time of submission
+	done  bool
 }
 
 // NewAccountant returns an accountant charging costs against dev.
@@ -105,6 +123,60 @@ func (a *Accountant) AddRun(pages, bytes int64) {
 	a.mu.Unlock()
 }
 
+// Ticket identifies one asynchronously submitted read batch, to be closed
+// with Wait.
+type Ticket int
+
+// Submit records `runs` maximal runs totalling `bytes` bytes (covering
+// `pages` pages) posted as one asynchronous read batch, and opens its
+// overlap window. The activity counts toward the same run/page/byte totals
+// as AddRun; only the cold-time treatment differs.
+func (a *Accountant) Submit(runs, pages, bytes int64) Ticket {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.runs += runs
+	a.pages += pages
+	a.bytes += bytes
+	a.async = append(a.async, asyncRead{io: a.device.ReadTime(runs, bytes), start: time.Now()})
+	return Ticket(len(a.async) - 1)
+}
+
+// Wait closes the overlap window of a submitted read: the compute time that
+// elapsed since Submit hides the window's device time, up to the full
+// modeled read time. A given stretch of wall time is credited at most once —
+// concurrently open windows (a parallel scan bursting several group reads at
+// once) share the compute they overlap instead of each hiding it in full, so
+// total hidden time never exceeds the wall time spanned by the windows. Wait
+// is idempotent; tickets from before the last Reset are ignored.
+func (a *Accountant) Wait(t Ticket) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t < 0 || int(t) >= len(a.async) {
+		return
+	}
+	r := &a.async[t]
+	if r.done {
+		return
+	}
+	r.done = true
+	now := time.Now()
+	start := r.start
+	if a.frontier.After(start) {
+		start = a.frontier
+	}
+	h := now.Sub(start)
+	if h < 0 {
+		h = 0
+	}
+	if h > r.io {
+		h = r.io
+	}
+	a.hidden += h
+	if now.After(a.frontier) {
+		a.frontier = now
+	}
+}
+
 // Stats is a snapshot of accumulated I/O activity.
 type Stats struct {
 	Runs  int64
@@ -112,6 +184,17 @@ type Stats struct {
 	Bytes int64
 	// Time is the modeled device time for the recorded activity.
 	Time time.Duration
+	// Hidden is the portion of Time hidden behind concurrent compute by
+	// asynchronously submitted reads (Submit/Wait overlap windows).
+	Hidden time.Duration
+}
+
+// ColdTime returns the modeled cold execution time for a run whose CPU wall
+// time was `wall`: synchronous reads add their device time fully, while each
+// Submit/Wait overlap window contributes max(io, cpu) instead of io + cpu —
+// equivalently, wall + total device time minus the hidden portion.
+func (s Stats) ColdTime(wall time.Duration) time.Duration {
+	return wall + s.Time - s.Hidden
 }
 
 // Stats returns the accumulated activity and its modeled time.
@@ -119,21 +202,25 @@ func (a *Accountant) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return Stats{
-		Runs:  a.runs,
-		Pages: a.pages,
-		Bytes: a.bytes,
-		Time:  a.device.ReadTime(a.runs, a.bytes),
+		Runs:   a.runs,
+		Pages:  a.pages,
+		Bytes:  a.bytes,
+		Time:   a.device.ReadTime(a.runs, a.bytes),
+		Hidden: a.hidden,
 	}
 }
 
-// Reset clears accumulated activity.
+// Reset clears accumulated activity, forgetting open overlap windows.
 func (a *Accountant) Reset() {
 	a.mu.Lock()
 	a.runs, a.pages, a.bytes = 0, 0, 0
+	a.async = nil
+	a.hidden = 0
+	a.frontier = time.Time{}
 	a.mu.Unlock()
 }
 
 // String implements fmt.Stringer for debug logging.
 func (s Stats) String() string {
-	return fmt.Sprintf("runs=%d pages=%d bytes=%d time=%v", s.Runs, s.Pages, s.Bytes, s.Time)
+	return fmt.Sprintf("runs=%d pages=%d bytes=%d time=%v hidden=%v", s.Runs, s.Pages, s.Bytes, s.Time, s.Hidden)
 }

@@ -202,7 +202,7 @@ func (p *Planner) lowerScan(s *Scan, inherited restrictions) (engine.Operator, *
 	bt := p.DB.BDCCTable(s.Table)
 	if bt == nil || (s.Alias != "" && p.scanChoice[s] == nil) {
 		ranges := p.zonemapPrune(stored, s.Filter, storage.FullRange(stored.Rows()))
-		op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Rename: rename, Parallel: p.parallel()}
+		op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Rename: rename, Sched: p.sched()}
 		if rows := ranges.Rows(); rows < stored.Rows() {
 			p.logf("scan %s%s: minmax pruned to %d of %d rows", s.Table, aliasSuffix(s.Alias), rows, stored.Rows())
 		}
@@ -247,21 +247,27 @@ func (p *Planner) lowerScan(s *Scan, inherited restrictions) (engine.Operator, *
 		groups = p.pruneGroups(stored, s.Filter, groups)
 		p.logf("scan %s%s: scatter scan on %s (%d bits, %d groups)",
 			s.Table, aliasSuffix(s.Alias), choice.use.Dim.Name, choice.bits, len(groups))
-		op := &engine.GroupedScan{BDCC: bt, Cols: s.Cols, Groups: groups, Filter: s.Filter, Rename: rename, Parallel: p.parallel()}
+		op := &engine.GroupedScan{BDCC: bt, Cols: s.Cols, Groups: groups, Filter: s.Filter, Rename: rename, Sched: p.sched()}
 		info.groupUse = choice.use
 		info.groupBits = choice.bits
 		return op, info, nil
 	}
 	ranges := p.zonemapPrune(stored, s.Filter, core.EntriesRanges(entries))
-	op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Parallel: p.parallel()}
+	op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Sched: p.sched()}
 	return op, info, nil
 }
 
-// parallel reports whether lowered operators may execute morsel-parallel:
-// the planner injects the permission, the context's Workers knob decides at
-// runtime. Sandwich operators are excluded at their construction sites —
-// their group cursor is inherently serial (and already memory-bounded).
-func (p *Planner) parallel() bool { return p.Ctx != nil && p.Ctx.Workers > 1 }
+// sched returns the one scheduler handle of this query — the shared
+// worker pool owned by the execution context — injected into every operator
+// the planner permits to parallelize. nil (Workers below 2) keeps every
+// operator on its serial path, preserving the paper's single-threaded
+// measurement setup.
+func (p *Planner) sched() *engine.Sched {
+	if p.Ctx == nil {
+		return nil
+	}
+	return p.Ctx.Scheduler()
+}
 
 func aliasSuffix(alias string) string {
 	if alias == "" {
@@ -359,13 +365,19 @@ func (p *Planner) lowerJoin(j *Join, inherited restrictions) (engine.Operator, *
 		if buildInfo.groupBits < g {
 			g = buildInfo.groupBits
 		}
-		p.logf("join: sandwich hash join on %s (%d group bits)", al.uP.Dim.Name, g)
+		if p.sched() != nil {
+			p.logf("join: sandwich hash join on %s (%d group bits, group-pipelined over %d workers)",
+				al.uP.Dim.Name, g, p.Ctx.Workers)
+		} else {
+			p.logf("join: sandwich hash join on %s (%d group bits)", al.uP.Dim.Name, g)
+		}
 		return &engine.SandwichHashJoin{
 			Left: probeOp, Right: buildOp,
 			LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
 			Type: j.Type, Residual: j.Residual,
 			ProbeShift: uint(probeInfo.groupBits - g),
 			BuildShift: uint(buildInfo.groupBits - g),
+			Sched:      p.sched(),
 		}, outInfo, nil
 	}
 	if p.DB.Scheme == PK && j.Type == engine.InnerJoin && j.Residual == nil &&
@@ -378,14 +390,14 @@ func (p *Planner) lowerJoin(j *Join, inherited restrictions) (engine.Operator, *
 			LeftKey: j.LeftKeys[0], RightKey: j.RightKeys[0],
 		}, outInfo, nil
 	}
-	if p.parallel() {
+	if p.sched() != nil {
 		p.logf("join: hash join on %v morsel-parallel (%d workers)", j.LeftKeys, p.Ctx.Workers)
 	}
 	return &engine.HashJoin{
 		Left: probeOp, Right: buildOp,
 		LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
 		Type: j.Type, Residual: j.Residual,
-		Parallel: p.parallel(),
+		Sched: p.sched(),
 	}, outInfo, nil
 }
 
@@ -549,10 +561,10 @@ func (p *Planner) lowerAgg(a *Agg, inherited restrictions) (engine.Operator, *st
 		op := &engine.StreamAggregate{Child: childOp, GroupBy: a.GroupBy, Aggs: a.Aggs}
 		return op, &streamInfo{order: a.GroupBy, restr: info.restr, base: info.base}, nil
 	}
-	if p.parallel() {
+	if p.sched() != nil {
 		p.logf("agg: hash aggregation on %v partition-parallel (%d workers)", a.GroupBy, p.Ctx.Workers)
 	}
-	op := &engine.HashAggregate{Child: childOp, GroupBy: a.GroupBy, Aggs: a.Aggs, Parallel: p.parallel()}
+	op := &engine.HashAggregate{Child: childOp, GroupBy: a.GroupBy, Aggs: a.Aggs, Sched: p.sched()}
 	return op, &streamInfo{restr: info.restr, base: info.base}, nil
 }
 

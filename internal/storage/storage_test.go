@@ -339,3 +339,108 @@ func TestMorselsPreserveReaderBatches(t *testing.T) {
 		}
 	}
 }
+
+// TestMorselsEdgeCases pins the boundary behaviour of RowRanges.Morsels:
+// empty and nil sets, ranges smaller than one batch, and non-batch-aligned
+// tails.
+func TestMorselsEdgeCases(t *testing.T) {
+	if got := (RowRanges{}).Morsels(1024, 128); len(got) != 0 {
+		t.Fatalf("empty set produced %d morsels", len(got))
+	}
+	if got := (RowRanges)(nil).Morsels(1024, 128); len(got) != 0 {
+		t.Fatalf("nil set produced %d morsels", len(got))
+	}
+	// Degenerate ranges are dropped entirely.
+	if got := (RowRanges{{5, 5}}).Morsels(1024, 128); len(got) != 0 {
+		t.Fatalf("zero-length range produced %d morsels: %v", len(got), got)
+	}
+
+	// A single range smaller than one batch is one whole morsel.
+	small := RowRanges{{10, 20}}
+	got := small.Morsels(1024, 128)
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != (RowRange{10, 20}) {
+		t.Fatalf("sub-batch range split into %v", got)
+	}
+
+	// Many tiny ranges pack into one morsel until the row budget is hit;
+	// each tiny range stays uncut.
+	var tiny RowRanges
+	for i := 0; i < 64; i++ {
+		tiny = append(tiny, RowRange{i * 100, i*100 + 10})
+	}
+	got = tiny.Morsels(256, 128)
+	var flat RowRanges
+	for _, m := range got {
+		flat = append(flat, m...)
+	}
+	if len(flat) != len(tiny) {
+		t.Fatalf("tiny ranges were cut: %d pieces for %d ranges", len(flat), len(tiny))
+	}
+	for i := range flat {
+		if flat[i] != tiny[i] {
+			t.Fatalf("piece %d = %v, want %v", i, flat[i], tiny[i])
+		}
+	}
+
+	// A non-batch-aligned tail (range length not a multiple of align) ends
+	// up in a final morsel that may exceed nothing and loses no rows; the
+	// cut before the tail is still aligned to the range start.
+	tail := RowRanges{{0, 3*128 + 37}}
+	got = tail.Morsels(256, 128)
+	rows := 0
+	for _, m := range got {
+		for _, r := range m {
+			if r.Start != 0 && (r.Start-0)%128 != 0 {
+				t.Fatalf("unaligned cut at %d", r.Start)
+			}
+			rows += r.Len()
+		}
+	}
+	if rows != tail.Rows() {
+		t.Fatalf("tail morsels cover %d rows, want %d", rows, tail.Rows())
+	}
+}
+
+// TestMorselsPartitionExactly is the exact-partition property: flattening
+// the morsels in order reproduces each input range as a gapless,
+// non-overlapping tiling from Start to End — no normalization involved, so
+// row order and range identity are preserved exactly.
+func TestMorselsPartitionExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		var rs RowRanges
+		pos := rng.Intn(500)
+		for len(rs) < 1+trial%6 {
+			n := 1 + rng.Intn(7000)
+			rs = append(rs, RowRange{pos, pos + n})
+			pos += n + 1 + rng.Intn(2000)
+		}
+		align := 1 << uint(rng.Intn(11))
+		rows := 1 + rng.Intn(6000)
+		var flat RowRanges
+		for _, m := range rs.Morsels(rows, align) {
+			flat = append(flat, m...)
+		}
+		i := 0
+		for _, src := range rs {
+			at := src.Start
+			for at < src.End {
+				if i >= len(flat) {
+					t.Fatalf("trial %d: morsels ran out at row %d of %v", trial, at, src)
+				}
+				piece := flat[i]
+				i++
+				if piece.Start != at || piece.End > src.End || piece.Len() <= 0 {
+					t.Fatalf("trial %d: piece %v does not tile %v at %d", trial, piece, src, at)
+				}
+				at = piece.End
+			}
+			if at != src.End {
+				t.Fatalf("trial %d: range %v over-covered to %d", trial, src, at)
+			}
+		}
+		if i != len(flat) {
+			t.Fatalf("trial %d: %d surplus pieces", trial, len(flat)-i)
+		}
+	}
+}

@@ -166,29 +166,23 @@ func SortPerm(keys []uint64) []int32 {
 	return perm
 }
 
-// ChargeIO records with acct the device activity of reading the given row
-// ranges of columns cols, coalescing page accesses per column into maximal
-// runs. It returns the total bytes charged. A nil accountant is a no-op.
-func (t *Table) ChargeIO(acct *iosim.Accountant, cols []int, ranges RowRanges) int64 {
+// forEachRun calls fn once per maximal page run of reading the given row
+// ranges of columns cols: page accesses are coalesced per column, so adjacent
+// page intervals form a single run.
+func (t *Table) forEachRun(cols []int, ranges RowRanges, fn func(pages, bytes int64)) {
 	if len(ranges) == 0 {
-		return 0
+		return
 	}
-	var total int64
 	for _, ci := range cols {
 		c := t.Cols[ci]
 		rpp := t.rowsPerPage(c)
-		// Convert row ranges to page runs; adjacent page intervals coalesce.
 		runStart, runEnd := -1, -1
 		flush := func() {
 			if runStart < 0 {
 				return
 			}
 			pages := int64(runEnd - runStart + 1)
-			bytes := pages * t.PageSize
-			total += bytes
-			if acct != nil {
-				acct.AddRun(pages, bytes)
-			}
+			fn(pages, pages*t.PageSize)
 			runStart, runEnd = -1, -1
 		}
 		for _, r := range ranges {
@@ -205,5 +199,30 @@ func (t *Table) ChargeIO(acct *iosim.Accountant, cols []int, ranges RowRanges) i
 		}
 		flush()
 	}
+}
+
+// ReadStats returns the coalesced run/page/byte totals of reading the given
+// row ranges of columns cols, without charging anything. Parallel scans use
+// it to size asynchronous read submissions (iosim Submit/Wait).
+func (t *Table) ReadStats(cols []int, ranges RowRanges) (runs, pages, bytes int64) {
+	t.forEachRun(cols, ranges, func(p, b int64) {
+		runs++
+		pages += p
+		bytes += b
+	})
+	return runs, pages, bytes
+}
+
+// ChargeIO records with acct the device activity of reading the given row
+// ranges of columns cols, coalescing page accesses per column into maximal
+// runs. It returns the total bytes charged. A nil accountant is a no-op.
+func (t *Table) ChargeIO(acct *iosim.Accountant, cols []int, ranges RowRanges) int64 {
+	var total int64
+	t.forEachRun(cols, ranges, func(pages, bytes int64) {
+		total += bytes
+		if acct != nil {
+			acct.AddRun(pages, bytes)
+		}
+	})
 	return total
 }

@@ -140,10 +140,17 @@ type Stats struct {
 	Wall    time.Duration
 	IO      iosim.Stats
 	PeakMem int64
-	// Cold is the modeled cold execution time: device time plus CPU time
-	// (single-threaded by default, as in the paper's setup; the workers
-	// knob of RunQueryWorkers trades CPU wall time for worker memory).
+	// Cold is the modeled cold execution time. Serially (workers below 2,
+	// the paper's setup) it is device time plus CPU wall time. With a
+	// multi-worker scheduler, grouped scans post their scattered group
+	// reads asynchronously and each overlap window contributes
+	// max(io, cpu) instead of io + cpu: Cold = Wall + IO.Time − IO.Hidden
+	// (see iosim.Stats.ColdTime). Serial runs hide nothing, so their
+	// numbers are unchanged.
 	Cold time.Duration
+	// Sched is the per-query scheduler activity (zero when serial),
+	// reported by tpchbench -v.
+	Sched engine.SchedStats
 }
 
 // RunQuery executes one query against one database and reports results and
@@ -173,6 +180,9 @@ func RunQueryWorkers(db *plan.DB, q QueryDef, workers int) (*engine.Result, *Sta
 		IO:      env.Ctx.Acct.Stats(),
 		PeakMem: env.Ctx.Mem.Peak(),
 	}
-	st.Cold = st.IO.Time + wall
+	st.Cold = st.IO.ColdTime(wall)
+	if s := env.Ctx.Scheduler(); s != nil {
+		st.Sched = s.Stats()
+	}
 	return res, st, env.Explain, nil
 }

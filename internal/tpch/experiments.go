@@ -151,6 +151,26 @@ func (r *Report) WriteIO(w io.Writer) {
 	}
 }
 
+// WriteSched renders the per-scheme scheduler activity (tasks, steals, idle
+// time) and the hidden (overlapped) device time, for tpchbench -v. All
+// numbers are zero in serial runs.
+func (r *Report) WriteSched(w io.Writer) {
+	fmt.Fprintf(w, "Scheduler — per-query pool activity over the 22 queries (workers=%d)\n", r.Workers)
+	fmt.Fprintf(w, "%-6s %10s %10s %12s %12s\n", "scheme", "tasks", "steals", "idle-ms", "hidden-io-ms")
+	for _, s := range r.Schemes {
+		var tasks, steals int64
+		var idle, hidden time.Duration
+		for _, run := range r.Runs[s] {
+			tasks += run.Stats.Sched.Tasks
+			steals += run.Stats.Sched.Steals
+			idle += run.Stats.Sched.Idle
+			hidden += run.Stats.IO.Hidden
+		}
+		fmt.Fprintf(w, "%-6s %10d %10d %12.1f %12.1f\n", s, tasks, steals,
+			float64(idle.Microseconds())/1000, float64(hidden.Microseconds())/1000)
+	}
+}
+
 // JSONQueryRun is one (scheme, query) record of the machine-readable
 // benchmark report, units chosen to match the bench_test metrics
 // (device-ms, MB-read, peak-MB) so the perf trajectory can be diffed
@@ -164,6 +184,11 @@ type JSONQueryRun struct {
 	PeakMB   float64 `json:"peak_mb"`
 	ColdMS   float64 `json:"cold_ms"`
 	WallMS   float64 `json:"wall_ms"`
+	// HiddenMS is the device time hidden behind compute by asynchronous
+	// grouped-scan reads; zero in serial runs (cold = device + wall there).
+	HiddenMS    float64 `json:"hidden_ms,omitempty"`
+	SchedTasks  int64   `json:"sched_tasks,omitempty"`
+	SchedSteals int64   `json:"sched_steals,omitempty"`
 }
 
 // JSONReport is the machine-readable form of the full measurement grid.
@@ -180,14 +205,17 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		for _, run := range r.Runs[scheme] {
 			st := run.Stats
 			out.Queries = append(out.Queries, JSONQueryRun{
-				Scheme:   scheme.String(),
-				Query:    run.Query,
-				Rows:     st.Rows,
-				DeviceMS: float64(st.IO.Time.Microseconds()) / 1000,
-				MBRead:   float64(st.IO.Bytes) / (1 << 20),
-				PeakMB:   PeakMB(st),
-				ColdMS:   float64(st.Cold.Microseconds()) / 1000,
-				WallMS:   float64(st.Wall.Microseconds()) / 1000,
+				Scheme:      scheme.String(),
+				Query:       run.Query,
+				Rows:        st.Rows,
+				DeviceMS:    float64(st.IO.Time.Microseconds()) / 1000,
+				MBRead:      float64(st.IO.Bytes) / (1 << 20),
+				PeakMB:      PeakMB(st),
+				ColdMS:      float64(st.Cold.Microseconds()) / 1000,
+				WallMS:      float64(st.Wall.Microseconds()) / 1000,
+				HiddenMS:    float64(st.IO.Hidden.Microseconds()) / 1000,
+				SchedTasks:  st.Sched.Tasks,
+				SchedSteals: st.Sched.Steals,
 			})
 		}
 	}

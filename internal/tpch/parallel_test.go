@@ -3,6 +3,7 @@ package tpch
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"bdcc/internal/plan"
 )
@@ -72,5 +73,62 @@ func TestWorkersEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestColdTimeOverlapsGroupedScanIO is the I/O–compute overlap acceptance
+// check: under BDCC with a multi-worker scheduler, grouped scans post their
+// scattered group reads asynchronously, so some device time is hidden
+// behind compute and the reported cold time is max(io, cpu) per overlap
+// window (cold = wall + io − hidden) instead of the serial sum. Serial runs
+// must hide nothing, preserving the paper's measurement setup.
+func TestColdTimeOverlapsGroupedScanIO(t *testing.T) {
+	b := benchmarkFixture(t)
+	var hiddenPar time.Duration
+	for _, q := range Queries {
+		_, stSer, _, err := RunQueryWorkers(b.DBs[plan.BDCC], q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stSer.IO.Hidden != 0 {
+			t.Fatalf("%s serial run hid %v of device time — workers<=1 numbers must be unchanged", q.Name, stSer.IO.Hidden)
+		}
+		if stSer.Cold != stSer.IO.Time+stSer.Wall {
+			t.Fatalf("%s serial cold %v != io %v + wall %v", q.Name, stSer.Cold, stSer.IO.Time, stSer.Wall)
+		}
+		_, stPar, _, err := RunQueryWorkers(b.DBs[plan.BDCC], q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stPar.IO.Hidden > stPar.IO.Time {
+			t.Fatalf("%s: hidden %v exceeds device time %v", q.Name, stPar.IO.Hidden, stPar.IO.Time)
+		}
+		if stPar.Cold != stPar.IO.ColdTime(stPar.Wall) {
+			t.Fatalf("%s: cold %v not derived from the overlap model", q.Name, stPar.Cold)
+		}
+		hiddenPar += stPar.IO.Hidden
+	}
+	if hiddenPar == 0 {
+		t.Fatal("no device time hidden across any BDCC query at workers=4 — grouped scans are not overlapping I/O")
+	}
+}
+
+// TestSchedulerStatsReported checks the per-query scheduler counters that
+// feed tpchbench -v: parallel runs record tasks, serial runs record none.
+func TestSchedulerStatsReported(t *testing.T) {
+	b := benchmarkFixture(t)
+	_, stPar, _, err := RunQueryWorkers(b.DBs[plan.BDCC], Query(13), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPar.Sched.Tasks == 0 {
+		t.Fatal("parallel Q13 recorded no scheduler tasks")
+	}
+	_, stSer, _, err := RunQueryWorkers(b.DBs[plan.BDCC], Query(13), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSer.Sched.Tasks != 0 {
+		t.Fatalf("serial Q13 recorded %d scheduler tasks", stSer.Sched.Tasks)
 	}
 }

@@ -232,6 +232,38 @@ func (b *Batch) AppendBatch(src *Batch) {
 	}
 }
 
+// Bytes returns the exact footprint of the batch's column data, matching the
+// engine's Buffer accounting convention: 8 bytes per scalar value, 16 bytes
+// (header) plus payload per string. This is the canonical batch-size measure
+// used by exchange buffering and in-flight job accounting.
+func (b *Batch) Bytes() int64 {
+	var n int64
+	for _, c := range b.Cols {
+		switch c.Kind {
+		case String:
+			n += 16 * int64(len(c.Str))
+			for _, s := range c.Str {
+				n += int64(len(s))
+			}
+		default:
+			n += 8 * int64(c.Len())
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the batch, including group tags, detached
+// from the producing operator's reuse cycle. This is the canonical
+// batch-clone path: parallel feeders clone input batches before handing them
+// to workers, because producers reuse their output batch across Next calls.
+func (b *Batch) Clone() *Batch {
+	out := NewBatch(b.Kinds())
+	out.AppendBatch(b)
+	out.GroupID = b.GroupID
+	out.Grouped = b.Grouped
+	return out
+}
+
 // AppendSelected appends the rows of src listed in sel to b, column-at-a-
 // time (one type dispatch per column, not per row). Schemas must match.
 func (b *Batch) AppendSelected(src *Batch, sel []int32) {

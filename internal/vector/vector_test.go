@@ -129,3 +129,46 @@ func TestBatchAppendBatchAndSelected(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchBytes checks the canonical footprint measure: 8 bytes per
+// scalar, 16 bytes plus payload per string.
+func TestBatchBytes(t *testing.T) {
+	b := NewBatch([]Kind{Int64, Float64, String})
+	if b.Bytes() != 0 {
+		t.Fatalf("empty batch reports %d bytes", b.Bytes())
+	}
+	b.Cols[0].AppendInt64(1)
+	b.Cols[1].AppendFloat64(2)
+	b.Cols[2].AppendString("abc")
+	want := int64(8 + 8 + 16 + 3)
+	if got := b.Bytes(); got != want {
+		t.Fatalf("Bytes() = %d, want %d", got, want)
+	}
+}
+
+// TestBatchCloneDetached checks the canonical batch-clone path: the clone
+// carries rows and group tags, and mutating the original afterwards (the
+// producer reuse cycle) leaves the clone untouched.
+func TestBatchCloneDetached(t *testing.T) {
+	src := NewBatch([]Kind{Int64, String})
+	for i := 0; i < 5; i++ {
+		src.Cols[0].AppendInt64(int64(i))
+		src.Cols[1].AppendString(fmt.Sprintf("v%d", i))
+	}
+	src.Grouped = true
+	src.GroupID = 42
+	c := src.Clone()
+	if c.Len() != 5 || !c.Grouped || c.GroupID != 42 {
+		t.Fatalf("clone lost rows or tags: len=%d grouped=%v gid=%d", c.Len(), c.Grouped, c.GroupID)
+	}
+	// Producer reuses src: reset and refill with different data.
+	src.Reset()
+	src.Cols[0].AppendInt64(999)
+	src.Cols[1].AppendString("overwritten")
+	if c.Len() != 5 || c.Cols[0].I64[0] != 0 || c.Cols[1].Str[4] != "v4" {
+		t.Fatalf("clone shares storage with its source")
+	}
+	if c.Bytes() == 0 {
+		t.Fatal("clone reports zero footprint")
+	}
+}
