@@ -1,0 +1,148 @@
+// Command benchguard validates a tpchbench JSON measurement grid — the
+// schema gate of the CI bench smoke job. It fails (exit 1) when the grid is
+// structurally broken, so schema regressions (dropped or renamed fields,
+// missing queries, a scheme that stopped running) are caught on the PR that
+// introduces them rather than by the next person diffing benchmark
+// artifacts.
+//
+// Usage:
+//
+//	benchguard [-shards-expected N] BENCH_tpch.json
+//
+// Checks:
+//   - top level carries sf > 0, workers ≥ 1, and the shards knob
+//     (-shards-expected pins its value, guarding the knob plumbing);
+//   - every (scheme, query) cell of the 3 schemes × 22 queries grid is
+//     present exactly once;
+//   - every cell carries the required metric fields with sane values:
+//     non-negative, rows present, and the cold-time identity floor
+//     (cold = wall + device − hidden implies cold + hidden ≥ device);
+//   - sharded grids (shards ≥ 2) record transport activity on at least one
+//     BDCC cell; net_ms never appears on Plain/PK cells (those schemes have
+//     no group streams, so they never build a backend set) nor anywhere in
+//     a single-box grid.
+//
+// The file is decoded into generic JSON, not the tpch structs, so a field
+// rename in the producer cannot silently satisfy the guard.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// requiredCell names the fields every grid cell must carry. hidden_ms,
+// sched_tasks, sched_steals, net_ms and net_msgs are conditional (omitted
+// when zero) and checked separately.
+var requiredCell = []string{"scheme", "query", "rows", "device_ms", "mb_read", "peak_mb", "cold_ms", "wall_ms"}
+
+var schemes = []string{"plain", "pk", "bdcc"}
+
+func main() {
+	shardsExpected := flag.Int("shards-expected", -1, "fail unless the grid's shards knob equals this (-1 skips)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] BENCH_tpch.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *shardsExpected); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: grid OK")
+}
+
+func check(path string, shardsExpected int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var top map[string]any
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	sf, ok := top["sf"].(float64)
+	if !ok || sf <= 0 {
+		return fmt.Errorf("grid sf missing or non-positive: %v", top["sf"])
+	}
+	workers, ok := top["workers"].(float64)
+	if !ok || workers < 1 {
+		return fmt.Errorf("grid workers missing or below 1: %v", top["workers"])
+	}
+	shards, ok := top["shards"].(float64)
+	if !ok {
+		return fmt.Errorf("grid shards knob missing (schema regression): %v", top["shards"])
+	}
+	if shardsExpected >= 0 && int(shards) != shardsExpected {
+		return fmt.Errorf("grid ran with shards=%d, expected %d", int(shards), shardsExpected)
+	}
+	queries, ok := top["queries"].([]any)
+	if !ok || len(queries) == 0 {
+		return fmt.Errorf("grid has no queries array")
+	}
+
+	seen := make(map[string]bool)
+	netCells := 0
+	for i, qa := range queries {
+		cell, ok := qa.(map[string]any)
+		if !ok {
+			return fmt.Errorf("queries[%d] is not an object", i)
+		}
+		for _, f := range requiredCell {
+			if _, ok := cell[f]; !ok {
+				return fmt.Errorf("queries[%d] (%v/%v) lacks required field %q", i, cell["scheme"], cell["query"], f)
+			}
+		}
+		key := fmt.Sprint(cell["scheme"], "/", cell["query"])
+		if seen[key] {
+			return fmt.Errorf("duplicate grid cell %s", key)
+		}
+		seen[key] = true
+		num := make(map[string]float64)
+		for _, f := range []string{"rows", "device_ms", "mb_read", "peak_mb", "cold_ms", "wall_ms", "hidden_ms", "net_ms", "net_msgs"} {
+			v, ok := cell[f]
+			if !ok {
+				continue
+			}
+			n, ok := v.(float64)
+			if !ok || n < 0 {
+				return fmt.Errorf("%s: field %q = %v is not a non-negative number", key, f, v)
+			}
+			num[f] = n
+		}
+		// Cold-time identity: cold = wall + device − hidden, so cold + hidden
+		// can never fall below device time (epsilon for the µs→ms rounding).
+		if num["cold_ms"]+num["hidden_ms"] < num["device_ms"]-0.01 {
+			return fmt.Errorf("%s: cold_ms %.3f + hidden_ms %.3f below device_ms %.3f — cold-time model broken",
+				key, num["cold_ms"], num["hidden_ms"], num["device_ms"])
+		}
+		if _, ok := cell["net_ms"]; ok {
+			if int(shards) < 2 {
+				return fmt.Errorf("%s reports net_ms in a single-box grid (shards=%d)", key, int(shards))
+			}
+			if cell["scheme"] != "bdcc" {
+				return fmt.Errorf("%s reports net_ms but only BDCC produces group streams to shard", key)
+			}
+			netCells++
+		}
+	}
+	for _, s := range schemes {
+		for q := 1; q <= 22; q++ {
+			key := fmt.Sprintf("%s/Q%02d", s, q)
+			if !seen[key] {
+				return fmt.Errorf("grid cell %s missing — a scheme or query failed to run", key)
+			}
+		}
+	}
+	if len(seen) != len(schemes)*22 {
+		return fmt.Errorf("grid has %d cells, want %d", len(seen), len(schemes)*22)
+	}
+	if int(shards) >= 2 && netCells == 0 {
+		return fmt.Errorf("sharded grid (shards=%d) records no transport activity on any BDCC cell", int(shards))
+	}
+	fmt.Printf("benchguard: sf=%g workers=%d shards=%d, %d cells, %d with transport activity\n",
+		sf, int(workers), int(shards), len(seen), netCells)
+	return nil
+}

@@ -6,18 +6,23 @@
 //
 // Usage:
 //
-//	tpchbench [-sf 0.05] [-workers N] [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
+//	tpchbench [-sf 0.05] [-workers N] [-shards N] [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
 //
 // The -workers knob (default: all cores) runs every query on a shared
 // per-query scheduler of that many workers; -workers 1 reproduces the
 // paper's single-threaded setup. Results are byte-identical across worker
 // counts; with workers > 1, grouped scans overlap their modeled reads with
 // compute, so reported cold time is max(io, cpu) per overlap window instead
-// of their sum. The -v flag prints the per-scheme scheduler activity
-// (tasks, steals, idle time, hidden I/O). The -json flag additionally
-// writes the full measurement grid (per-query device-ms, MB-read, peak-MB
-// per scheme) as machine-readable JSON so the performance trajectory can be
-// tracked across changes; pass -json "" to disable.
+// of their sum. The -shards knob (default 1 = single-box, the paper's
+// setup) shards every query's BDCC group streams across that many simulated
+// remote backends, each with its own scheduler; results stay byte-identical
+// and the modeled transport time appears as net_ms in the grid. The -v flag
+// prints the per-scheme scheduler activity (tasks, steals, idle time,
+// hidden I/O, network messages). The -json flag additionally writes the
+// full measurement grid (per-query device-ms, MB-read, peak-MB per scheme,
+// plus the workers/shards knobs) as machine-readable JSON so the
+// performance trajectory can be tracked across changes; pass -json "" to
+// disable.
 package main
 
 import (
@@ -33,18 +38,20 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
 	workers := flag.Int("workers", engine.DefaultWorkers(), "morsel-parallel workers per query (1 = serial)")
+	shards := flag.Int("shards", 1, "backends to shard BDCC group streams across (1 = single-box)")
 	verbose := flag.Bool("v", false, "print scheduler stats (tasks, steals, idle time)")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
 	flag.Parse()
 
-	fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d)...\n", *sf, *workers)
+	fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d shards=%d)...\n", *sf, *workers, *shards)
 	b, err := tpch.NewBenchmark(*sf)
 	if err != nil {
 		fatal(err)
 	}
 	b.Workers = *workers
+	b.Shards = *shards
 	rep, err := b.RunAll()
 	if err != nil {
 		fatal(err)

@@ -434,8 +434,8 @@ func (h *HashAggregate) runParallel() error {
 	for _, i := range h.keyIdx {
 		keySchema = append(keySchema, cs[i])
 	}
-	sched.retain()
-	defer sched.release()
+	sched.Retain()
+	defer sched.Release()
 
 	aparts := make([]*aggPart, workers)
 	tables := make([]*aggTable, workers)
@@ -492,7 +492,7 @@ func (h *HashAggregate) runParallel() error {
 		p.active = true
 		p.mu.Unlock()
 		if start {
-			sched.submit(-1, func(int) { drain(p) })
+			sched.Submit(-1, func(int) { drain(p) })
 		}
 	}
 	// settle waits until every routed job has been folded in; partition

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"bdcc/internal/vector"
+)
+
+// This file is the engine's side of the scale-out seam: BDCC dimension
+// groups are self-contained work units (a group's build and probe batches
+// never match rows of another group), so group streams can be sharded across
+// executors with no cross-shard coordination. The Backend interface is what
+// a non-local executor implements; internal/shard provides the
+// implementations (a local pass-through and an in-process simulated-remote
+// backend) and the group-hash router that assigns groups to backends. The
+// engine itself never decides placement — operators hand aligned groups to
+// whichever backend the planner-injected route names, keeping placement in
+// the scheduler/backend layer (the morsel paper's locality argument).
+
+// GroupUnit is one sandwich-group work unit: the aligned, cloned probe and
+// build batch sets of a single group. It is the unit of cross-backend
+// distribution — batches inside a unit keep their raw group tags, and a unit
+// never shares memory with the producing operator's reuse cycle (the feeder
+// clones before building a unit).
+type GroupUnit struct {
+	// GID is the aligned (shifted) group identifier the unit was routed by.
+	GID uint64
+	// Probe and Build are the group's probe-side and build-side batches, in
+	// stream order. Build may be empty (a probe group with no build rows).
+	Probe []*vector.Batch
+	Build []*vector.Batch
+}
+
+// Bytes returns the footprint of the unit's batch data (the measure charged
+// while a unit is in flight).
+func (u *GroupUnit) Bytes() int64 {
+	var n int64
+	for _, b := range u.Probe {
+		n += b.Bytes()
+	}
+	for _, b := range u.Build {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// GroupWork executes one group unit, emitting result batches in a
+// deterministic order. The engine provides it per operator (it closes over
+// the operator's frozen build/probe configuration — join keys, type,
+// residual); it stands in for the plan fragment a real remote backend would
+// receive at query setup. Implementations of Backend invoke it wherever the
+// unit lands, with a worker index valid for the executing pool.
+type GroupWork func(worker int, u *GroupUnit, emit func(*vector.Batch)) error
+
+// Backend executes group work units on behalf of one query. It is the seam
+// where remote executors plug in: the engine ships self-contained units and
+// merges the returned batches order-preservingly, so results are
+// byte-identical no matter where a group ran.
+//
+// RunGroup returns without waiting for the unit to execute. The backend
+// invokes emit sequentially (per unit) for each result batch and then
+// done(err) exactly once; both may be called from backend-owned goroutines.
+// Batches passed to emit must not share memory with u — a remote backend's
+// results cross its transport, and even the local backend hands over
+// consumer-owned batches. Concurrent RunGroup calls are allowed; units are
+// independent.
+//
+// Close shuts the backend down and joins its goroutines. Callers must not
+// Close while units are in flight (the exchange joins every unit's done
+// callback first).
+type Backend interface {
+	// Workers reports the backend's executor parallelism; the in-flight
+	// lookahead window of a sharded group pipeline is sized by the backend
+	// set's total.
+	Workers() int
+	RunGroup(u *GroupUnit, work GroupWork, emit func(*vector.Batch), done func(error))
+	Close() error
+}

@@ -56,6 +56,33 @@
 // multi-worker scheduler they post each scatter group's read asynchronously
 // (iosim Submit/Wait) one group ahead of the morsel tasks, so the cold-time
 // model charges max(io, cpu) per overlap window instead of io + cpu.
+//
+// # Backends and sharding
+//
+// The scheduler handle is also the scale-out seam. Sched implements the
+// Executor interface (the task-execution contract extracted from the local
+// pool), and the Backend interface (backend.go) generalizes it across a
+// transport: BDCC groups are self-contained work units, so a sandwich join
+// with an injected backend set ships each aligned group — a GroupUnit of
+// cloned batches, serialized to vector.Batch bytes by the transport — to
+// the backend its group hash routes to, instead of running it on the local
+// pool. The contract extends as follows:
+//
+//   - A GroupWork body must touch only its unit, per-call state, the
+//     operator's frozen build configuration (key indexes, join type, bound
+//     residual — all read-only after Open), and the thread-safe query
+//     meters. It then runs identically on a local pool task or a remote
+//     backend's executor.
+//   - Backends invoke emit sequentially per unit and done exactly once;
+//     emitted batches must not share memory with the shipped unit. The
+//     exchange registers every shipped unit (beginJob) and close joins all
+//     done callbacks, so an abandoned consumer leaves no in-flight units,
+//     goroutines, or accounted bytes behind — on either side of the
+//     transport.
+//   - The exchange merges backend results in group order exactly as it
+//     merges local task output, so results are byte-identical across shard
+//     counts (the Shards knob's 0/1 single-box setting preserves the
+//     paper's measurement setup outright).
 package engine
 
 import (
@@ -79,8 +106,53 @@ type Context struct {
 	// preserving the paper's single-threaded measurement setup;
 	// DefaultWorkers() uses all cores.
 	Workers int
+	// Shards is the scale-out knob: how many backends the query's BDCC
+	// group streams are sharded across. Values below 2 (including the zero
+	// value) mean single-box execution — no backends, no transport, the
+	// paper's measurement setup unchanged. With Shards ≥ 2 the planner
+	// installs one backend set (Backends, Net) per query and routes each
+	// aligned sandwich group to a backend by group hash; results stay
+	// byte-identical across shard counts.
+	Shards int
+	// Backends is the per-query backend set the planner installed when
+	// Shards exceeds one (one entry per shard); nil means single-box. The
+	// query owner closes it via CloseBackends once execution finishes.
+	Backends []Backend
+	// Route is the backend set's group-placement function (group id →
+	// backend index), installed together with Backends so every operator of
+	// the query — and every future placement policy — agrees on where a
+	// group lives.
+	Route func(gid uint64) int
+	// Net records the modeled cross-backend transport activity of a sharded
+	// query (one accountant shared by the backend set); nil when single-box.
+	Net *iosim.Accountant
 
 	sched *Sched
+}
+
+// NetStats returns the modeled network activity of the query's backend set;
+// zero when single-box.
+func (c *Context) NetStats() iosim.Stats {
+	if c == nil || c.Net == nil {
+		return iosim.Stats{}
+	}
+	return c.Net.Stats()
+}
+
+// CloseBackends shuts down the query's backend set, joining every backend's
+// goroutines, and returns the first close error. It is idempotent and a
+// no-op for single-box contexts. Callers close after the operator tree is
+// closed — the exchanges have joined all in-flight units by then.
+func (c *Context) CloseBackends() error {
+	var first error
+	for _, b := range c.Backends {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.Backends = nil
+	c.Route = nil
+	return first
 }
 
 // Scheduler returns the context's shared worker pool, creating it on first
@@ -93,7 +165,7 @@ func (c *Context) Scheduler() *Sched {
 		return nil
 	}
 	if c.sched == nil {
-		c.sched = newSched(c.Workers)
+		c.sched = NewSched(c.Workers)
 	}
 	return c.sched
 }

@@ -214,12 +214,12 @@ func (j *HashJoin) build() error {
 		// staged hashes, inserting only its own rows — disjoint writes, no
 		// locks. Tasks never block, so waiting here (off the pool, on the
 		// consumer goroutine) cannot starve them.
-		j.Sched.retain()
+		j.Sched.Retain()
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			w := w
 			wg.Add(1)
-			j.Sched.submit(-1, func(int) {
+			j.Sched.Submit(-1, func(int) {
 				defer wg.Done()
 				var row int32
 				eq := func(head int32) bool {
@@ -234,7 +234,7 @@ func (j *HashJoin) build() error {
 			})
 		}
 		wg.Wait()
-		j.Sched.release()
+		j.Sched.Release()
 		j.charge(0) // staged hashes released
 	}
 	j.built = true

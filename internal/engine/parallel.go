@@ -51,7 +51,7 @@ type exchange struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	mem   *MemTracker
-	sched *Sched
+	sched Executor
 	wg    sync.WaitGroup // stream-form feeder goroutine
 
 	window   int
@@ -77,13 +77,17 @@ type exchange struct {
 	onFinish  func(job int)
 }
 
-// newExchange creates an exchange over the context's shared scheduler; the
-// caller's parallel path must only run with a non-nil scheduler. The
-// exchange holds a scheduler retain until close.
-func newExchange(mem *MemTracker, sched *Sched, window int) *exchange {
+// newExchange creates an exchange over a task executor — usually the
+// context's shared scheduler. The exchange holds an executor retain until
+// close. A nil executor is allowed for merge-only exchanges whose jobs all
+// run elsewhere (shard backends registered via beginJob); such an exchange
+// must never see runMorsels or submitJob.
+func newExchange(mem *MemTracker, sched Executor, window int) *exchange {
 	e := &exchange{mem: mem, sched: sched, window: window, jobs: -1}
 	e.cond = sync.NewCond(&e.mu)
-	sched.retain()
+	if sched != nil {
+		sched.Retain()
+	}
 	return e
 }
 
@@ -128,7 +132,7 @@ func (e *exchange) pump(worker int) {
 			e.onRelease(j)
 		}
 		j := j
-		e.sched.submit(worker, func(w int) {
+		e.sched.Submit(worker, func(w int) {
 			var err error
 			if !e.isClosed() {
 				err = e.run(j, w, func(b *vector.Batch) { e.post(j, b) })
@@ -172,10 +176,20 @@ func (e *exchange) submitJob(job int, fn func(worker int, emit func(*vector.Batc
 	e.mu.Lock()
 	e.tasksOut++
 	e.mu.Unlock()
-	e.sched.submit(-1, func(w int) {
+	e.sched.Submit(-1, func(w int) {
 		err := fn(w, func(b *vector.Batch) { e.post(job, b) })
 		e.finish(job, err)
 	})
+}
+
+// beginJob registers a claimed job whose body runs outside the exchange's
+// executor — on a shard backend. The backend posts result batches with post
+// and completes the job with finish; registering here is what makes close
+// join the backend's completion callback before tearing the exchange down.
+func (e *exchange) beginJob() {
+	e.mu.Lock()
+	e.tasksOut++
+	e.mu.Unlock()
 }
 
 // post publishes one output batch of job; the consumer may pick it up before
@@ -278,18 +292,23 @@ func (e *exchange) close() {
 	e.mu.Lock()
 	e.closed = true
 	e.cond.Broadcast()
+	e.mu.Unlock()
+	// Join the feeder before draining tasks: a feeder that claimed its job
+	// before the close may still be assembling it and will submit (or ship
+	// to a backend) one last task — only once the feeder has exited is the
+	// in-flight count final, so waiting on tasksOut first would let that
+	// straggler's accounting release after close returns.
+	e.wg.Wait()
+	e.mu.Lock()
 	for e.tasksOut > 0 {
 		e.cond.Wait()
 	}
-	e.mu.Unlock()
-	e.wg.Wait()
-	e.mu.Lock()
 	e.mem.Shrink(e.charged)
 	e.charged = 0
 	e.results = nil
 	e.mu.Unlock()
 	if e.sched != nil {
-		e.sched.release()
+		e.sched.Release()
 		e.sched = nil
 	}
 }

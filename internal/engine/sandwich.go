@@ -43,8 +43,17 @@ type SandwichHashJoin struct {
 	ProbeShift uint
 	BuildShift uint
 	// Sched is the planner-injected handle of the query's shared worker
-	// pool; nil means the serial one-group-at-a-time execution.
+	// pool; nil means the serial one-group-at-a-time execution (unless a
+	// backend set is injected below).
 	Sched *Sched
+	// Backends and Route shard the aligned group stream across a backend
+	// set: each group unit is shipped to Backends[Route(gid)] instead of the
+	// local pool. The exchange merges returned batches in group order, so
+	// results stay byte-identical across shard counts. A non-empty backend
+	// set activates the group pipeline even when Sched is nil (local serial
+	// execution, remote group joins). Both are planner-injected.
+	Backends []Backend
+	Route    func(gid uint64) int
 
 	schema expr.Schema
 	ctx    *Context
@@ -232,25 +241,31 @@ func (j *SandwichHashJoin) residualOK(left *vector.Batch, li int, bi int32) bool
 	return j.resVec.I64[0] != 0
 }
 
-// sandwichGroup is one aligned group handed from the feeder to a group-join
-// task: cloned probe batches (keeping their raw group tags) and cloned build
-// batches, plus the bytes charged for the clones while in flight.
-type sandwichGroup struct {
-	probe []*vector.Batch
-	build []*vector.Batch
-	bytes int64
-}
-
 // startParallelGroups starts the cross-group pipeline: a feeder goroutine
 // aligns the two group streams exactly like the serial cursor (discarding
 // build groups without probe rows, erroring on non-grouped or descending
-// input) and submits one group-join task per aligned group, with the
-// exchange window as the bounded lookahead.
+// input) and hands each aligned group — a self-contained GroupUnit of
+// cloned batches — either to a group-join task on the local pool or, when a
+// backend set is injected, to the backend its group hash routes to. The
+// exchange window is the bounded lookahead in both forms.
 func (j *SandwichHashJoin) startParallelGroups() {
 	// Lookahead is deliberately tighter than the scan/probe window: each
 	// in-flight group holds cloned probe and build batches plus a private
-	// hash table, so the window directly scales peak memory.
-	j.ex = newExchange(j.ctx.Mem, j.Sched, j.Sched.Workers()+1)
+	// hash table, so the window directly scales peak memory. Sharded, the
+	// window covers the backend set's total parallelism.
+	look := 0
+	if len(j.Backends) > 0 {
+		for _, b := range j.Backends {
+			look += b.Workers()
+		}
+	} else {
+		look = j.Sched.Workers()
+	}
+	var exec Executor // typed-nil guard: a nil *Sched must stay a nil Executor
+	if j.Sched != nil {
+		exec = j.Sched
+	}
+	j.ex = newExchange(j.ctx.Mem, exec, look+1)
 	e := j.ex
 	e.wg.Add(1)
 	go func() { // feeder: the only puller of both children
@@ -268,14 +283,13 @@ func (j *SandwichHashJoin) startParallelGroups() {
 				e.seal(job)
 				return
 			}
-			g := &sandwichGroup{}
+			g := &GroupUnit{}
 			// Gather the probe group: batches whose shifted gid matches the
 			// first non-empty batch seen.
 			var gid uint64
 			if pendingLeft != nil {
 				gid = pendingLeft.GroupID >> j.ProbeShift
-				g.probe = append(g.probe, pendingLeft)
-				g.bytes += pendingLeft.Bytes()
+				g.Probe = append(g.Probe, pendingLeft)
 				pendingLeft = nil
 			} else {
 				for {
@@ -300,14 +314,13 @@ func (j *SandwichHashJoin) startParallelGroups() {
 						e.setErr(fmt.Errorf("engine: sandwich join probe groups not ascending (%d after %d)", gid, curGID))
 						return
 					}
-					c := b.Clone()
-					g.probe = append(g.probe, c)
-					g.bytes += c.Bytes()
+					g.Probe = append(g.Probe, b.Clone())
 					break
 				}
 			}
 			haveG = true
 			curGID = gid
+			g.GID = gid
 			for {
 				b, err := j.Left.Next()
 				if err != nil {
@@ -333,9 +346,7 @@ func (j *SandwichHashJoin) startParallelGroups() {
 					pendingLeft = b.Clone()
 					break
 				}
-				c := b.Clone()
-				g.probe = append(g.probe, c)
-				g.bytes += c.Bytes()
+				g.Probe = append(g.Probe, b.Clone())
 			}
 			// Align the build cursor: discard groups below gid, clone the
 			// matching group's batches (possibly none).
@@ -357,31 +368,49 @@ func (j *SandwichHashJoin) startParallelGroups() {
 				if j.rb.GroupID>>j.BuildShift > gid {
 					break
 				}
-				c := j.rb.Clone()
-				g.build = append(g.build, c)
-				g.bytes += c.Bytes()
+				g.Build = append(g.Build, j.rb.Clone())
 				j.rbOK = false
 			}
-			j.ctx.Mem.Grow(g.bytes)
+			grpBytes := g.Bytes()
+			j.ctx.Mem.Grow(grpBytes)
 			grp := g
-			e.submitJob(job, func(_ int, emit func(*vector.Batch)) error {
+			if len(j.Backends) > 0 {
+				// Sharded form: ship the unit to the backend its group hash
+				// routes to; the backend posts result batches back and the
+				// exchange merges them under this job's index, so delivery
+				// order — and therefore the result — is independent of
+				// which backend ran the group.
+				bk := j.Backends[j.Route(gid)]
+				e.beginJob()
+				bk.RunGroup(grp, j.joinGroup,
+					func(b *vector.Batch) { e.post(job, b) },
+					func(err error) {
+						j.ctx.Mem.Shrink(grpBytes)
+						e.finish(job, err)
+					})
+				continue
+			}
+			e.submitJob(job, func(w int, emit func(*vector.Batch)) error {
 				var err error
 				if !e.isClosed() {
-					err = j.joinGroup(grp, emit)
+					err = j.joinGroup(w, grp, emit)
 				}
-				j.ctx.Mem.Shrink(grp.bytes)
+				j.ctx.Mem.Shrink(grpBytes)
 				return err
 			})
 		}
 	}()
 }
 
-// joinGroup is the group-join task body: build the group's private hash
-// table from the cloned build batches, then probe the cloned probe batches
-// exactly like the serial path — same row order, same BatchSize flush
-// boundaries, same per-probe-batch cuts — so the merged output is
-// byte-identical to the serial join's.
-func (j *SandwichHashJoin) joinGroup(g *sandwichGroup, emit func(*vector.Batch)) error {
+// joinGroup is the group-join body (a GroupWork): build the group's private
+// hash table from the unit's build batches, then probe the unit's probe
+// batches exactly like the serial path — same row order, same BatchSize
+// flush boundaries, same per-probe-batch cuts — so the merged output is
+// byte-identical to the serial join's. It runs on a local pool task or,
+// shipped through a backend, on a shard's executor: it touches only the
+// unit, per-call state, and the operator's frozen build configuration (key
+// indexes, type, residual), plus the thread-safe query meters.
+func (j *SandwichHashJoin) joinGroup(_ int, g *GroupUnit, emit func(*vector.Batch)) error {
 	buf := NewBuffer(j.Right.Schema())
 	table := newPartJoinTable(1)
 	var buildHashes []uint64
@@ -389,7 +418,7 @@ func (j *SandwichHashJoin) joinGroup(g *sandwichGroup, emit func(*vector.Batch))
 	buildEq := func(head int32) bool {
 		return keysEqualBufBuf(buf, j.rightKeyIdx, int(buildRow), int(head))
 	}
-	for _, b := range g.build {
+	for _, b := range g.Build {
 		base := int32(buf.Len())
 		buf.AppendBatch(b)
 		buildHashes = vector.HashKeys(b, j.rightKeyIdx, buildHashes)
@@ -433,7 +462,7 @@ func (j *SandwichHashJoin) joinGroup(g *sandwichGroup, emit func(*vector.Batch))
 	var probeHashes []uint64
 	var matches []int32
 	kinds := j.schema.Kinds()
-	for _, b := range g.probe {
+	for _, b := range g.Probe {
 		probeBatch = b
 		newOut := func() *vector.Batch {
 			out := vector.NewBatch(kinds)
@@ -514,7 +543,7 @@ func (j *SandwichHashJoin) joinGroup(g *sandwichGroup, emit func(*vector.Batch))
 // operators size their scratch by. Flushed batches stay group-pure (they
 // always derive from a single probe batch).
 func (j *SandwichHashJoin) Next() (*vector.Batch, error) {
-	if j.Sched != nil {
+	if j.Sched != nil || len(j.Backends) > 0 {
 		if j.ex == nil {
 			j.startParallelGroups()
 		}

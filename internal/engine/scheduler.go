@@ -26,16 +26,46 @@ type Sched struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	workers int
-	deques  [][]task // per-worker FIFO queues; idle workers steal from others
+	deques  [][]Task // per-worker FIFO queues; idle workers steal from others
 	live    []bool   // per-worker: goroutine currently running
 	rr      int      // round-robin cursor for external submissions
 	refs    int      // open operator handles; workers exit at 0
 	stats   SchedStats
 }
 
-// task is one unit of scheduled work; worker is the executing pool worker's
-// index in [0, Workers), valid as an index into per-worker scratch.
-type task func(worker int)
+// Task is one unit of scheduled work; worker is the executing pool worker's
+// index in [0, Workers()), valid as an index into per-worker scratch.
+type Task func(worker int)
+
+// Executor is the task-execution seam between parallel operators and
+// whatever runs their tasks. The local per-query pool (Sched) is the
+// reference implementation; the shard backends wrap their own pools behind
+// the same interface, which is what lets placement decisions (local deque,
+// other worker, other box) live behind one handle instead of in each
+// operator.
+//
+// Implementations must uphold the pool contract of the package comment:
+// submitted tasks run exactly once, tasks must never block on exchange or
+// operator state, and Retain/Release bound the executor's goroutine
+// lifetime (an unreferenced idle executor leaves no goroutines behind).
+type Executor interface {
+	// Workers reports the executor's parallelism; per-worker operator
+	// scratch is sized by it, and every worker index passed to a Task is in
+	// [0, Workers()).
+	Workers() int
+	// Submit enqueues t for execution. from names the submitting pool
+	// worker (continuation tasks land on the submitter's own deque);
+	// negative means an external submission.
+	Submit(from int, t Task)
+	// Retain registers an operator that will submit tasks; the executor
+	// stays alive until every retain is released.
+	Retain()
+	// Release drops one operator handle; at zero, idle workers drain and
+	// exit.
+	Release()
+}
+
+var _ Executor = (*Sched)(nil)
 
 // SchedStats is a snapshot of scheduler activity, reported by tpchbench -v.
 type SchedStats struct {
@@ -48,10 +78,14 @@ type SchedStats struct {
 	Idle time.Duration
 }
 
-func newSched(workers int) *Sched {
+// NewSched returns a pool of exactly `workers` goroutines (spawned lazily,
+// exiting when idle and unreferenced). The per-query pool is created through
+// Context.Scheduler; NewSched exists for executors that need a pool of their
+// own, such as a shard backend's remote-side scheduler.
+func NewSched(workers int) *Sched {
 	s := &Sched{
 		workers: workers,
-		deques:  make([][]task, workers),
+		deques:  make([][]Task, workers),
 		live:    make([]bool, workers),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -61,26 +95,26 @@ func newSched(workers int) *Sched {
 // Workers returns the pool size; per-worker operator scratch is sized by it.
 func (s *Sched) Workers() int { return s.workers }
 
-// retain registers an operator that will submit tasks; workers stay alive
+// Retain registers an operator that will submit tasks; workers stay alive
 // (parked when idle) until every retain is released.
-func (s *Sched) retain() {
+func (s *Sched) Retain() {
 	s.mu.Lock()
 	s.refs++
 	s.mu.Unlock()
 }
 
-// release drops one operator handle; at zero, idle workers drain and exit.
-func (s *Sched) release() {
+// Release drops one operator handle; at zero, idle workers drain and exit.
+func (s *Sched) Release() {
 	s.mu.Lock()
 	s.refs--
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
-// submit enqueues t for execution. from names the submitting pool worker, so
+// Submit enqueues t for execution. from names the submitting pool worker, so
 // continuation tasks land on the submitter's own deque; negative means an
 // external submission (consumer or feeder), spread round-robin.
-func (s *Sched) submit(from int, t task) {
+func (s *Sched) Submit(from int, t Task) {
 	s.mu.Lock()
 	w := from
 	if w < 0 || w >= s.workers {
@@ -139,7 +173,7 @@ func (s *Sched) run(w int) {
 // another worker's deque. Oldest-first order matters: the order-preserving
 // exchange consumes jobs in submission order, so running old tasks first
 // advances the consumption window fastest. Called with s.mu held.
-func (s *Sched) take(w int) (t task, stolen bool) {
+func (s *Sched) take(w int) (t Task, stolen bool) {
 	for i := 0; i < s.workers; i++ {
 		v := (w + i) % s.workers
 		if q := s.deques[v]; len(q) > 0 {

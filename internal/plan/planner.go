@@ -7,6 +7,7 @@ import (
 	"bdcc/internal/core"
 	"bdcc/internal/engine"
 	"bdcc/internal/expr"
+	"bdcc/internal/shard"
 	"bdcc/internal/storage"
 	"bdcc/internal/vector"
 )
@@ -269,6 +270,30 @@ func (p *Planner) sched() *engine.Sched {
 	return p.Ctx.Scheduler()
 }
 
+// backends returns the query's backend set — one set per query, installed
+// lazily on the execution context the first time a plan places an operator
+// that can shard its group stream. nil (Shards below 2) keeps execution
+// single-box, preserving the paper's measurement setup. The set's simulated
+// remotes each run max(1, Workers) pool goroutines and share one network
+// accountant (Context.Net); the query owner closes the set via
+// Context.CloseBackends after execution.
+func (p *Planner) backends() []engine.Backend {
+	if p.Ctx == nil || p.Ctx.Shards < 2 {
+		return nil
+	}
+	if p.Ctx.Backends == nil {
+		workers := p.Ctx.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		set := shard.NewSet(p.Ctx.Shards, workers, shard.PaperNet())
+		p.Ctx.Backends = set.Backends()
+		p.Ctx.Route = set.Route
+		p.Ctx.Net = set.Net()
+	}
+	return p.Ctx.Backends
+}
+
 func aliasSuffix(alias string) string {
 	if alias == "" {
 		return ""
@@ -365,20 +390,30 @@ func (p *Planner) lowerJoin(j *Join, inherited restrictions) (engine.Operator, *
 		if buildInfo.groupBits < g {
 			g = buildInfo.groupBits
 		}
-		if p.sched() != nil {
-			p.logf("join: sandwich hash join on %s (%d group bits, group-pipelined over %d workers)",
-				al.uP.Dim.Name, g, p.Ctx.Workers)
-		} else {
-			p.logf("join: sandwich hash join on %s (%d group bits)", al.uP.Dim.Name, g)
-		}
-		return &engine.SandwichHashJoin{
+		op := &engine.SandwichHashJoin{
 			Left: probeOp, Right: buildOp,
 			LeftKeys: j.LeftKeys, RightKeys: j.RightKeys,
 			Type: j.Type, Residual: j.Residual,
 			ProbeShift: uint(probeInfo.groupBits - g),
 			BuildShift: uint(buildInfo.groupBits - g),
 			Sched:      p.sched(),
-		}, outInfo, nil
+		}
+		if bks := p.backends(); bks != nil {
+			// Scale-out seam: ship the aligned group stream across the
+			// query's backend set, placed by group hash. The group join runs
+			// wherever the router says; the exchange's group-order merge
+			// keeps results byte-identical to the single-box run.
+			op.Backends = bks
+			op.Route = p.Ctx.Route
+			p.logf("join: sandwich hash join on %s (%d group bits, groups sharded over %d backends, %d workers each)",
+				al.uP.Dim.Name, g, len(bks), bks[0].Workers())
+		} else if p.sched() != nil {
+			p.logf("join: sandwich hash join on %s (%d group bits, group-pipelined over %d workers)",
+				al.uP.Dim.Name, g, p.Ctx.Workers)
+		} else {
+			p.logf("join: sandwich hash join on %s (%d group bits)", al.uP.Dim.Name, g)
+		}
+		return op, outInfo, nil
 	}
 	if p.DB.Scheme == PK && j.Type == engine.InnerJoin && j.Residual == nil &&
 		len(j.LeftKeys) == 1 &&

@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bdcc/internal/engine"
+	"bdcc/internal/vector"
+)
+
+// Group-unit wire form: the serialized shape of one engine.GroupUnit as it
+// crosses a backend transport. Layout (little endian):
+//
+//	u64 aligned group id
+//	u32 probe batch count, u32 build batch count
+//	probe batches then build batches, each in the vector.Batch wire form
+//
+// The unit codec is exact because the batch codec is: a decoded unit joins
+// to bit-identical results, which is what keeps sharded runs byte-identical.
+
+// EncodeUnit appends the wire encoding of u to buf and returns the extended
+// slice.
+func EncodeUnit(u *engine.GroupUnit, buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, u.GID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.Probe)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.Build)))
+	for _, b := range u.Probe {
+		buf = b.Encode(buf)
+	}
+	for _, b := range u.Build {
+		buf = b.Encode(buf)
+	}
+	return buf
+}
+
+// DecodeUnit decodes one group unit occupying all of data. The decoded unit
+// owns its memory — nothing aliases the sender's batches.
+func DecodeUnit(data []byte) (*engine.GroupUnit, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("shard: truncated unit header (%d bytes)", len(data))
+	}
+	u := &engine.GroupUnit{GID: binary.LittleEndian.Uint64(data)}
+	np := int(binary.LittleEndian.Uint32(data[8:]))
+	nb := int(binary.LittleEndian.Uint32(data[12:]))
+	pos := 16
+	for i := 0; i < np+nb; i++ {
+		b, n, err := vector.DecodeBatch(data[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("shard: unit batch %d: %w", i, err)
+		}
+		pos += n
+		if i < np {
+			u.Probe = append(u.Probe, b)
+		} else {
+			u.Build = append(u.Build, b)
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("shard: %d trailing bytes after unit", len(data)-pos)
+	}
+	return u, nil
+}

@@ -1,0 +1,41 @@
+package shard
+
+import (
+	"bdcc/internal/engine"
+	"bdcc/internal/vector"
+)
+
+// Local is the reference Backend: the existing local pool behind the
+// backend seam. Group units run as tasks on the wrapped executor with no
+// serialization and no transport cost — a single-box shard. It exists so
+// the Backend contract can be exercised (and mixed sets composed) against
+// the executor every other implementation is measured by.
+type Local struct {
+	exec engine.Executor
+}
+
+// NewLocal returns a backend running units on exec. The backend holds an
+// executor retain until Close.
+func NewLocal(exec engine.Executor) *Local {
+	exec.Retain()
+	return &Local{exec: exec}
+}
+
+// Workers implements engine.Backend.
+func (l *Local) Workers() int { return l.exec.Workers() }
+
+// RunGroup implements engine.Backend: the unit body becomes one pool task.
+func (l *Local) RunGroup(u *engine.GroupUnit, work engine.GroupWork, emit func(*vector.Batch), done func(error)) {
+	l.exec.Submit(-1, func(w int) {
+		done(work(w, u, emit))
+	})
+}
+
+// Close implements engine.Backend, releasing the executor retain.
+func (l *Local) Close() error {
+	if l.exec != nil {
+		l.exec.Release()
+		l.exec = nil
+	}
+	return nil
+}

@@ -26,6 +26,9 @@ type Benchmark struct {
 	// Workers is the morsel-parallelism knob applied to every query RunAll
 	// executes; values below 2 keep the paper's single-threaded setup.
 	Workers int
+	// Shards is the scale-out knob applied to every query RunAll executes;
+	// values below 2 keep the paper's single-box setup.
+	Shards int
 }
 
 // majorMinorOptions returns build options for the hand-tuned major-minor
@@ -90,6 +93,20 @@ func NewEnvWorkers(db *plan.DB, workers int) *Env {
 	return e
 }
 
+// NewEnvShards returns an environment with both execution knobs set:
+// workers (local pool size) and shards (backend count; values below 2 mean
+// single-box). The caller owns the environment's backend set — Close the
+// env (or Ctx.CloseBackends) after the query.
+func NewEnvShards(db *plan.DB, workers, shards int) *Env {
+	e := NewEnvWorkers(db, workers)
+	e.Ctx.Shards = shards
+	return e
+}
+
+// Close releases the environment's per-query resources (the backend set of
+// sharded runs). Safe on never-sharded environments.
+func (e *Env) Close() error { return e.Ctx.CloseBackends() }
+
 // run plans and executes a sub-plan within the environment.
 func (e *Env) run(n plan.Node) (*engine.Result, error) {
 	p := plan.NewPlanner(e.DB, e.Ctx)
@@ -151,6 +168,12 @@ type Stats struct {
 	// Sched is the per-query scheduler activity (zero when serial),
 	// reported by tpchbench -v.
 	Sched engine.SchedStats
+	// Net is the modeled cross-backend transport activity of a sharded run
+	// (runs = messages); zero when single-box. Reported as net_ms in the
+	// JSON grid. Network time is tracked separately from device time — it
+	// does not enter Cold, which keeps single-box cold numbers comparable
+	// across the shards knob.
+	Net iosim.Stats
 }
 
 // RunQuery executes one query against one database and reports results and
@@ -163,7 +186,17 @@ func RunQuery(db *plan.DB, q QueryDef) (*engine.Result, *Stats, []string, error)
 // below 2 mean serial, engine.DefaultWorkers() uses all cores. Results are
 // byte-identical across worker counts.
 func RunQueryWorkers(db *plan.DB, q QueryDef, workers int) (*engine.Result, *Stats, []string, error) {
-	env := NewEnvWorkers(db, workers)
+	return RunQueryShards(db, q, workers, 0)
+}
+
+// RunQueryShards is RunQueryWorkers with the scale-out knob: shards below 2
+// mean single-box; with shards ≥ 2 the planner installs a backend set and
+// BDCC group streams shard across it. Results are byte-identical across
+// both knobs; the run's modeled network activity is reported in Stats.Net.
+// The per-query backend set is closed before returning.
+func RunQueryShards(db *plan.DB, q QueryDef, workers, shards int) (*engine.Result, *Stats, []string, error) {
+	env := NewEnvShards(db, workers, shards)
+	defer env.Close()
 	start := time.Now()
 	node, err := q.Build(env)
 	if err != nil {
@@ -179,10 +212,14 @@ func RunQueryWorkers(db *plan.DB, q QueryDef, workers int) (*engine.Result, *Sta
 		Wall:    wall,
 		IO:      env.Ctx.Acct.Stats(),
 		PeakMem: env.Ctx.Mem.Peak(),
+		Net:     env.Ctx.NetStats(),
 	}
 	st.Cold = st.IO.ColdTime(wall)
 	if s := env.Ctx.Scheduler(); s != nil {
 		st.Sched = s.Stats()
+	}
+	if err := env.Close(); err != nil {
+		return nil, nil, nil, fmt.Errorf("tpch: %s (%s): backend close: %w", q.Name, db.Scheme, err)
 	}
 	return res, st, env.Explain, nil
 }

@@ -20,6 +20,7 @@ type QueryRun struct {
 type Report struct {
 	SF      float64
 	Workers int // morsel-parallelism knob the grid ran with (0/1 = serial)
+	Shards  int // scale-out knob the grid ran with (0/1 = single-box)
 	Schemes []plan.Scheme
 	Runs    map[plan.Scheme][]QueryRun // indexed by query position
 	Explain map[string][]string        // per "scheme/query"
@@ -32,6 +33,7 @@ func (b *Benchmark) RunAll() (*Report, error) {
 	rep := &Report{
 		SF:      b.SF,
 		Workers: b.Workers,
+		Shards:  b.Shards,
 		Runs:    make(map[plan.Scheme][]QueryRun),
 		Explain: make(map[string][]string),
 	}
@@ -42,7 +44,7 @@ func (b *Benchmark) RunAll() (*Report, error) {
 		}
 		rep.Schemes = append(rep.Schemes, scheme)
 		for _, q := range Queries {
-			_, st, explain, err := RunQueryWorkers(db, q, b.Workers)
+			_, st, explain, err := RunQueryShards(db, q, b.Workers, b.Shards)
 			if err != nil {
 				return nil, fmt.Errorf("tpch: %s under %s: %w", q.Name, scheme, err)
 			}
@@ -155,19 +157,22 @@ func (r *Report) WriteIO(w io.Writer) {
 // time) and the hidden (overlapped) device time, for tpchbench -v. All
 // numbers are zero in serial runs.
 func (r *Report) WriteSched(w io.Writer) {
-	fmt.Fprintf(w, "Scheduler — per-query pool activity over the 22 queries (workers=%d)\n", r.Workers)
-	fmt.Fprintf(w, "%-6s %10s %10s %12s %12s\n", "scheme", "tasks", "steals", "idle-ms", "hidden-io-ms")
+	fmt.Fprintf(w, "Scheduler — per-query pool activity over the 22 queries (workers=%d shards=%d)\n", r.Workers, r.Shards)
+	fmt.Fprintf(w, "%-6s %10s %10s %12s %12s %10s %10s\n", "scheme", "tasks", "steals", "idle-ms", "hidden-io-ms", "net-msgs", "net-ms")
 	for _, s := range r.Schemes {
-		var tasks, steals int64
-		var idle, hidden time.Duration
+		var tasks, steals, msgs int64
+		var idle, hidden, netT time.Duration
 		for _, run := range r.Runs[s] {
 			tasks += run.Stats.Sched.Tasks
 			steals += run.Stats.Sched.Steals
 			idle += run.Stats.Sched.Idle
 			hidden += run.Stats.IO.Hidden
+			msgs += run.Stats.Net.Runs
+			netT += run.Stats.Net.Time
 		}
-		fmt.Fprintf(w, "%-6s %10d %10d %12.1f %12.1f\n", s, tasks, steals,
-			float64(idle.Microseconds())/1000, float64(hidden.Microseconds())/1000)
+		fmt.Fprintf(w, "%-6s %10d %10d %12.1f %12.1f %10d %10.1f\n", s, tasks, steals,
+			float64(idle.Microseconds())/1000, float64(hidden.Microseconds())/1000,
+			msgs, float64(netT.Microseconds())/1000)
 	}
 }
 
@@ -189,18 +194,26 @@ type JSONQueryRun struct {
 	HiddenMS    float64 `json:"hidden_ms,omitempty"`
 	SchedTasks  int64   `json:"sched_tasks,omitempty"`
 	SchedSteals int64   `json:"sched_steals,omitempty"`
+	// NetMS is the modeled cross-backend transport time of a sharded run
+	// (shards ≥ 2); zero and omitted when single-box. NetMsgs counts the
+	// transport messages behind it.
+	NetMS   float64 `json:"net_ms,omitempty"`
+	NetMsgs int64   `json:"net_msgs,omitempty"`
 }
 
 // JSONReport is the machine-readable form of the full measurement grid.
 type JSONReport struct {
-	SF      float64        `json:"sf"`
+	SF float64 `json:"sf"`
+	// Workers and Shards are the knobs of the run: local pool size and
+	// backend count (0/1 = serial, single-box respectively).
 	Workers int            `json:"workers"`
+	Shards  int            `json:"shards"`
 	Queries []JSONQueryRun `json:"queries"`
 }
 
 // WriteJSON renders the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
-	out := JSONReport{SF: r.SF, Workers: r.Workers}
+	out := JSONReport{SF: r.SF, Workers: r.Workers, Shards: r.Shards}
 	for _, scheme := range r.Schemes {
 		for _, run := range r.Runs[scheme] {
 			st := run.Stats
@@ -216,6 +229,8 @@ func (r *Report) WriteJSON(w io.Writer) error {
 				HiddenMS:    float64(st.IO.Hidden.Microseconds()) / 1000,
 				SchedTasks:  st.Sched.Tasks,
 				SchedSteals: st.Sched.Steals,
+				NetMS:       float64(st.Net.Time.Microseconds()) / 1000,
+				NetMsgs:     st.Net.Runs,
 			})
 		}
 	}

@@ -29,50 +29,103 @@ func TestQ13ParallelMemoryEffect(t *testing.T) {
 	}
 }
 
-// TestWorkersEquivalence is the morsel-parallelism oracle: every TPC-H
-// query must return byte-identical results (same rows, same order, same
-// float bits) with workers=1 and workers=4 under every scheme. The engine
-// guarantees this by construction — order-preserving merges for scans and
-// join probes, and per-group single-worker accumulation for aggregates —
-// so the comparison is exact, with no float tolerance and no row sorting.
+// equivalenceMatrix is the (workers, shards) grid the oracle runs: the
+// workers {1,4} × shards {1,2,4} matrix of the scale-out acceptance
+// criteria, with (1,1) — serial single-box, the paper's setup — as the
+// baseline every other cell must reproduce byte for byte.
+var equivalenceMatrix = []struct{ workers, shards int }{
+	{1, 1}, // baseline
+	{4, 1},
+	{1, 2}, // sharded groups over serial local execution
+	{4, 2},
+	{1, 4},
+	{4, 4},
+}
+
+// TestWorkersEquivalence is the parallelism and scale-out oracle: every
+// TPC-H query must return byte-identical results (same rows, same order,
+// same float bits) at every cell of the workers × shards matrix under every
+// scheme. The engine guarantees this by construction — order-preserving
+// merges for scans, join probes and sharded sandwich groups, and per-group
+// single-worker accumulation for aggregates — so the comparison is exact,
+// with no float tolerance and no row sorting.
 func TestWorkersEquivalence(t *testing.T) {
 	b := benchmarkFixture(t)
-	const parWorkers = 4
 	for _, q := range Queries {
 		q := q
 		t.Run(q.Name, func(t *testing.T) {
 			for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
-				serial, _, _, err := RunQueryWorkers(b.DBs[scheme], q, 1)
+				serial, _, _, err := RunQueryShards(b.DBs[scheme], q, 1, 1)
 				if err != nil {
-					t.Fatalf("%s under %s workers=1: %v", q.Name, scheme, err)
+					t.Fatalf("%s under %s workers=1 shards=1: %v", q.Name, scheme, err)
 				}
-				par, _, _, err := RunQueryWorkers(b.DBs[scheme], q, parWorkers)
-				if err != nil {
-					t.Fatalf("%s under %s workers=%d: %v", q.Name, scheme, parWorkers, err)
-				}
-				if par.Rows() != serial.Rows() {
-					t.Fatalf("%s under %s: workers=%d returns %d rows, workers=1 returns %d",
-						q.Name, scheme, parWorkers, par.Rows(), serial.Rows())
-				}
-				for i := 0; i < serial.Rows(); i++ {
-					if got, want := fmt.Sprint(par.Row(i)), fmt.Sprint(serial.Row(i)); got != want {
-						t.Fatalf("%s under %s: row %d = %s with workers=%d, %s with workers=1",
-							q.Name, scheme, i, got, parWorkers, want)
+				for _, cell := range equivalenceMatrix[1:] {
+					label := fmt.Sprintf("workers=%d shards=%d", cell.workers, cell.shards)
+					par, _, _, err := RunQueryShards(b.DBs[scheme], q, cell.workers, cell.shards)
+					if err != nil {
+						t.Fatalf("%s under %s %s: %v", q.Name, scheme, label, err)
 					}
-				}
-				for c := range serial.Cols {
-					if serial.Cols[c].Kind != serial.Schema[c].Kind {
-						continue
+					if par.Rows() != serial.Rows() {
+						t.Fatalf("%s under %s: %s returns %d rows, baseline returns %d",
+							q.Name, scheme, label, par.Rows(), serial.Rows())
 					}
-					for i, v := range serial.Cols[c].F64 {
-						if pv := par.Cols[c].F64[i]; pv != v {
-							t.Fatalf("%s under %s: col %d row %d = %v with workers=%d, %v serial — floats must be bit-identical",
-								q.Name, scheme, c, i, pv, parWorkers, v)
+					for i := 0; i < serial.Rows(); i++ {
+						if got, want := fmt.Sprint(par.Row(i)), fmt.Sprint(serial.Row(i)); got != want {
+							t.Fatalf("%s under %s: row %d = %s with %s, %s at baseline",
+								q.Name, scheme, i, got, label, want)
+						}
+					}
+					for c := range serial.Cols {
+						if serial.Cols[c].Kind != serial.Schema[c].Kind {
+							continue
+						}
+						for i, v := range serial.Cols[c].F64 {
+							if pv := par.Cols[c].F64[i]; pv != v {
+								t.Fatalf("%s under %s: col %d row %d = %v with %s, %v at baseline — floats must be bit-identical",
+									q.Name, scheme, c, i, pv, label, v)
+							}
 						}
 					}
 				}
 			}
 		})
+	}
+}
+
+// TestShardNetAccounting checks the modeled transport meter: single-box
+// runs report no network activity at all, sharded BDCC runs pay for their
+// shipped groups, and sharded Plain/PK runs — which produce no group
+// streams — never even build a backend set, so sharding is free where it
+// cannot apply.
+func TestShardNetAccounting(t *testing.T) {
+	b := benchmarkFixture(t)
+	var sharded int64
+	for _, q := range Queries {
+		_, stSingle, _, err := RunQueryShards(b.DBs[plan.BDCC], q, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stSingle.Net.Runs != 0 || stSingle.Net.Time != 0 {
+			t.Fatalf("%s single-box run recorded network activity: %+v", q.Name, stSingle.Net)
+		}
+		_, stShard, _, err := RunQueryShards(b.DBs[plan.BDCC], q, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded += stShard.Net.Runs
+		if stShard.Net.Runs > 0 && stShard.Net.Time <= 0 {
+			t.Fatalf("%s: %d messages but no modeled network time", q.Name, stShard.Net.Runs)
+		}
+	}
+	if sharded == 0 {
+		t.Fatal("no BDCC query shipped any group over the transport at shards=2")
+	}
+	_, stPlain, _, err := RunQueryShards(b.DBs[plan.Plain], Query(13), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPlain.Net.Runs != 0 {
+		t.Fatalf("plain scheme (no group streams) recorded network activity: %+v", stPlain.Net)
 	}
 }
 

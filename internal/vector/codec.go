@@ -1,0 +1,123 @@
+package vector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the batch wire codec: the byte form in which batches cross a
+// transport boundary (the shard backends ship sandwich-group work units as
+// encoded batch sets instead of sharing memory). The encoding is exact —
+// floats travel as their IEEE-754 bits, strings as raw bytes — so a decoded
+// batch reproduces the original bit for bit, which is what keeps sharded
+// query results byte-identical to single-box runs.
+//
+// Layout (little endian):
+//
+//	u8  grouped (0/1)
+//	u64 group id
+//	u16 column count
+//	per column: u8 kind, u32 length, then the values
+//	  Int64/Float64: 8 bytes each (float bits via math.Float64bits)
+//	  String:        u32 byte length + raw bytes each
+
+// Encode appends the wire encoding of b to buf and returns the extended
+// slice. A nil buf allocates.
+func (b *Batch) Encode(buf []byte) []byte {
+	if b.Grouped {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, b.GroupID)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b.Cols)))
+	for _, c := range b.Cols {
+		buf = append(buf, byte(c.Kind))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Len()))
+		switch c.Kind {
+		case Int64:
+			for _, v := range c.I64 {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+			}
+		case Float64:
+			for _, v := range c.F64 {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		case String:
+			for _, s := range c.Str {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeBatch decodes one batch from the front of data, returning the batch
+// and the number of bytes consumed. The decoded batch owns its memory (no
+// aliasing of data for scalar columns; string bytes are copied).
+func DecodeBatch(data []byte) (*Batch, int, error) {
+	pos := 0
+	need := func(n int) error {
+		if len(data)-pos < n {
+			return fmt.Errorf("vector: truncated batch encoding at byte %d (need %d of %d)", pos, n, len(data))
+		}
+		return nil
+	}
+	if err := need(1 + 8 + 2); err != nil {
+		return nil, 0, err
+	}
+	grouped := data[pos] != 0
+	pos++
+	gid := binary.LittleEndian.Uint64(data[pos:])
+	pos += 8
+	ncols := int(binary.LittleEndian.Uint16(data[pos:]))
+	pos += 2
+	b := &Batch{Cols: make([]*Vector, ncols), GroupID: gid, Grouped: grouped}
+	for i := 0; i < ncols; i++ {
+		if err := need(1 + 4); err != nil {
+			return nil, 0, err
+		}
+		kind := Kind(data[pos])
+		pos++
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		v := NewVector(kind, n)
+		switch kind {
+		case Int64:
+			if err := need(8 * n); err != nil {
+				return nil, 0, err
+			}
+			for j := 0; j < n; j++ {
+				v.I64 = append(v.I64, int64(binary.LittleEndian.Uint64(data[pos:])))
+				pos += 8
+			}
+		case Float64:
+			if err := need(8 * n); err != nil {
+				return nil, 0, err
+			}
+			for j := 0; j < n; j++ {
+				v.F64 = append(v.F64, math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])))
+				pos += 8
+			}
+		case String:
+			for j := 0; j < n; j++ {
+				if err := need(4); err != nil {
+					return nil, 0, err
+				}
+				sl := int(binary.LittleEndian.Uint32(data[pos:]))
+				pos += 4
+				if err := need(sl); err != nil {
+					return nil, 0, err
+				}
+				v.Str = append(v.Str, string(data[pos:pos+sl]))
+				pos += sl
+			}
+		default:
+			return nil, 0, fmt.Errorf("vector: batch encoding has unknown column kind %d", kind)
+		}
+		b.Cols[i] = v
+	}
+	return b, pos, nil
+}

@@ -1,0 +1,107 @@
+package vector
+
+import (
+	"math"
+	"testing"
+)
+
+func codecTestBatch() *Batch {
+	b := NewBatch([]Kind{Int64, Float64, String})
+	for i := 0; i < 100; i++ {
+		b.Cols[0].AppendInt64(int64(i) - 50)
+		b.Cols[1].AppendFloat64(float64(i) * 0.1)
+		b.Cols[2].AppendString(string(rune('a'+i%26)) + "payload")
+	}
+	// Values the codec must carry bit-exactly.
+	b.Cols[0].AppendInt64(math.MinInt64)
+	b.Cols[1].AppendFloat64(math.Copysign(0, -1)) // -0.0
+	b.Cols[2].AppendString("")
+	b.Cols[0].AppendInt64(math.MaxInt64)
+	b.Cols[1].AppendFloat64(math.Inf(-1))
+	b.Cols[2].AppendString("snow☃man\x00nul")
+	b.GroupID = 0xdeadbeefcafe
+	b.Grouped = true
+	return b
+}
+
+// TestBatchCodecRoundTrip checks the wire codec reproduces a batch bit for
+// bit, including group tags, negative zero, infinities and non-ASCII strings.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	b := codecTestBatch()
+	enc := b.Encode(nil)
+	got, n, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Fatalf("decoded %d of %d bytes", n, len(enc))
+	}
+	if got.Grouped != b.Grouped || got.GroupID != b.GroupID {
+		t.Fatalf("group tags: got (%v,%d), want (%v,%d)", got.Grouped, got.GroupID, b.Grouped, b.GroupID)
+	}
+	if got.Len() != b.Len() || len(got.Cols) != len(b.Cols) {
+		t.Fatalf("shape: got %dx%d, want %dx%d", got.Len(), len(got.Cols), b.Len(), len(b.Cols))
+	}
+	for c := range b.Cols {
+		if got.Cols[c].Kind != b.Cols[c].Kind {
+			t.Fatalf("col %d kind %v, want %v", c, got.Cols[c].Kind, b.Cols[c].Kind)
+		}
+		for i := 0; i < b.Len(); i++ {
+			switch b.Cols[c].Kind {
+			case Int64:
+				if got.Cols[c].I64[i] != b.Cols[c].I64[i] {
+					t.Fatalf("col %d row %d: %d != %d", c, i, got.Cols[c].I64[i], b.Cols[c].I64[i])
+				}
+			case Float64:
+				gb := math.Float64bits(got.Cols[c].F64[i])
+				wb := math.Float64bits(b.Cols[c].F64[i])
+				if gb != wb {
+					t.Fatalf("col %d row %d: float bits %x != %x", c, i, gb, wb)
+				}
+			case String:
+				if got.Cols[c].Str[i] != b.Cols[c].Str[i] {
+					t.Fatalf("col %d row %d: %q != %q", c, i, got.Cols[c].Str[i], b.Cols[c].Str[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCodecStream checks several batches concatenated on one byte
+// stream decode back in sequence — the form the shard transport ships.
+func TestBatchCodecStream(t *testing.T) {
+	a := codecTestBatch()
+	empty := NewBatch([]Kind{Int64})
+	var buf []byte
+	buf = a.Encode(buf)
+	buf = empty.Encode(buf)
+	buf = a.Encode(buf)
+	for i := 0; i < 3; i++ {
+		b, n, err := DecodeBatch(buf)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		want := a.Len()
+		if i == 1 {
+			want = 0
+		}
+		if b.Len() != want {
+			t.Fatalf("batch %d: %d rows, want %d", i, b.Len(), want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+// TestBatchCodecTruncation checks every prefix of an encoding fails cleanly
+// instead of panicking or decoding garbage.
+func TestBatchCodecTruncation(t *testing.T) {
+	enc := codecTestBatch().Encode(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeBatch(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(enc))
+		}
+	}
+}
