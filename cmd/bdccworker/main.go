@@ -1,0 +1,75 @@
+// Command bdccworker is the remote executor daemon of the sharded engine:
+// it listens on a TCP address, accepts query sessions speaking the framed
+// wire protocol of internal/shard (docs/WIRE.md), receives each operator's
+// serialized sandwich plan fragment once at query setup, executes shipped
+// group units on its own task-stealing scheduler, and streams encoded
+// result batches back. One daemon serves any number of concurrent queries;
+// each session keeps its own fragment registry.
+//
+// Usage:
+//
+//	bdccworker [-listen :4710] [-workers N] [-v]
+//
+// Point a query at one or more daemons with tpchbench -remotes
+// host:port,host:port — results are byte-identical to the single-box run,
+// and if a worker dies mid-query its units fail over to the survivors. See
+// docs/OPERATIONS.md for deployment, failover behavior, and metering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bdcc/internal/engine"
+	"bdcc/internal/shard"
+)
+
+func main() {
+	listen := flag.String("listen", ":4710", "TCP address to accept query sessions on")
+	workers := flag.Int("workers", engine.DefaultWorkers(), "scheduler pool goroutines")
+	verbose := flag.Bool("v", false, "log a status line per completed unit batch (every 1000 units)")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := shard.NewServer(*workers)
+	if *verbose {
+		srv.OnUnitDone = func(total int64) {
+			if total%1000 == 0 {
+				fmt.Printf("bdccworker: %d units done, %d bytes peak table memory\n",
+					total, srv.Mem().Peak())
+			}
+		}
+	}
+	fmt.Printf("bdccworker: serving on %s (protocol v%d, %d workers)\n",
+		l.Addr(), shard.ProtoVersion, srv.Workers())
+
+	// A signal drains and exits: stop accepting, close sessions (their
+	// queries fail over to surviving workers), join in-flight units.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("bdccworker: shutting down")
+		srv.Close()
+	}()
+
+	start := time.Now()
+	if err := srv.Serve(l); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bdccworker: served %d units in %s (peak table memory %d bytes)\n",
+		srv.UnitsDone(), time.Since(start).Round(time.Millisecond), srv.Mem().Peak())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bdccworker:", err)
+	os.Exit(1)
+}

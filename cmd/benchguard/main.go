@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	benchguard [-shards-expected N] BENCH_tpch.json
+//	benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] BENCH_tpch.json
 //
 // Checks:
-//   - top level carries sf > 0, workers ≥ 1, and the shards knob
-//     (-shards-expected pins its value, guarding the knob plumbing);
+//   - top level carries sf > 0, workers ≥ 1, the shards knob
+//     (-shards-expected pins its value, guarding the knob plumbing), the
+//     remotes count (-remotes-expected pins it, guarding the TCP-backend
+//     plumbing), and a valid balance policy ("hash" or "size",
+//     -balance-expected pins it);
 //   - every (scheme, query) cell of the 3 schemes × 22 queries grid is
 //     present exactly once;
 //   - every cell carries the required metric fields with sane values:
@@ -20,7 +23,10 @@
 //   - sharded grids (shards ≥ 2) record transport activity on at least one
 //     BDCC cell; net_ms never appears on Plain/PK cells (those schemes have
 //     no group streams, so they never build a backend set) nor anywhere in
-//     a single-box grid.
+//     a single-box grid;
+//   - every cell with transport messages carries per-backend routed unit
+//     counts (shard_units) with one slot per shard, totalling at least one
+//     routed group.
 //
 // The file is decoded into generic JSON, not the tpch structs, so a field
 // rename in the producer cannot silently satisfy the guard.
@@ -42,19 +48,21 @@ var schemes = []string{"plain", "pk", "bdcc"}
 
 func main() {
 	shardsExpected := flag.Int("shards-expected", -1, "fail unless the grid's shards knob equals this (-1 skips)")
+	remotesExpected := flag.Int("remotes-expected", -1, "fail unless the grid ran against this many bdccworker daemons (-1 skips)")
+	balanceExpected := flag.String("balance-expected", "", "fail unless the grid's balance policy equals this (empty skips)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] BENCH_tpch.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] BENCH_tpch.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *shardsExpected); err != nil {
+	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: grid OK")
 }
 
-func check(path string, shardsExpected int) error {
+func check(path string, shardsExpected, remotesExpected int, balanceExpected string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -77,6 +85,20 @@ func check(path string, shardsExpected int) error {
 	}
 	if shardsExpected >= 0 && int(shards) != shardsExpected {
 		return fmt.Errorf("grid ran with shards=%d, expected %d", int(shards), shardsExpected)
+	}
+	remotes, ok := top["remotes"].(float64)
+	if !ok {
+		return fmt.Errorf("grid remotes count missing (schema regression): %v", top["remotes"])
+	}
+	if remotesExpected >= 0 && int(remotes) != remotesExpected {
+		return fmt.Errorf("grid ran against %d remote workers, expected %d", int(remotes), remotesExpected)
+	}
+	balance, ok := top["balance"].(string)
+	if !ok || (balance != "hash" && balance != "size") {
+		return fmt.Errorf("grid balance policy missing or invalid (schema regression): %v", top["balance"])
+	}
+	if balanceExpected != "" && balance != balanceExpected {
+		return fmt.Errorf("grid ran with balance=%s, expected %s", balance, balanceExpected)
 	}
 	queries, ok := top["queries"].([]any)
 	if !ok || len(queries) == 0 {
@@ -127,6 +149,28 @@ func check(path string, shardsExpected int) error {
 			}
 			netCells++
 		}
+		if _, ok := cell["net_msgs"]; ok {
+			// A cell that paid for transport must expose the per-backend
+			// routed load behind it (the balance policy's measurement).
+			units, ok := cell["shard_units"].([]any)
+			if !ok {
+				return fmt.Errorf("%s reports transport messages but no shard_units (schema regression)", key)
+			}
+			if len(units) != int(shards) {
+				return fmt.Errorf("%s carries %d shard_units slots, grid ran %d shards", key, len(units), int(shards))
+			}
+			var total float64
+			for i, u := range units {
+				n, ok := u.(float64)
+				if !ok || n < 0 {
+					return fmt.Errorf("%s: shard_units[%d] = %v is not a non-negative number", key, i, u)
+				}
+				total += n
+			}
+			if total < 1 {
+				return fmt.Errorf("%s paid for transport but routed no group units", key)
+			}
+		}
 	}
 	for _, s := range schemes {
 		for q := 1; q <= 22; q++ {
@@ -142,7 +186,7 @@ func check(path string, shardsExpected int) error {
 	if int(shards) >= 2 && netCells == 0 {
 		return fmt.Errorf("sharded grid (shards=%d) records no transport activity on any BDCC cell", int(shards))
 	}
-	fmt.Printf("benchguard: sf=%g workers=%d shards=%d, %d cells, %d with transport activity\n",
-		sf, int(workers), int(shards), len(seen), netCells)
+	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity\n",
+		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells)
 	return nil
 }

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	tpchbench [-sf 0.05] [-workers N] [-shards N] [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
+//	tpchbench [-sf 0.05] [-workers N] [-shards N] [-remotes host:port,...]
+//	          [-balance hash|size] [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
 //
 // The -workers knob (default: all cores) runs every query on a shared
 // per-query scheduler of that many workers; -workers 1 reproduces the
@@ -16,19 +17,27 @@
 // of their sum. The -shards knob (default 1 = single-box, the paper's
 // setup) shards every query's BDCC group streams across that many simulated
 // remote backends, each with its own scheduler; results stay byte-identical
-// and the modeled transport time appears as net_ms in the grid. The -v flag
-// prints the per-scheme scheduler activity (tasks, steals, idle time,
-// hidden I/O, network messages). The -json flag additionally writes the
-// full measurement grid (per-query device-ms, MB-read, peak-MB per scheme,
-// plus the workers/shards knobs) as machine-readable JSON so the
-// performance trajectory can be tracked across changes; pass -json "" to
-// disable.
+// and the modeled transport time appears as net_ms in the grid. The
+// -remotes knob replaces the simulated backends with real TCP connections
+// to bdccworker daemons (comma-separated host:port list; see
+// docs/OPERATIONS.md) — results remain byte-identical, message counts
+// become real, and a worker lost mid-query fails over to the survivors.
+// The -balance knob picks the group-placement policy: "hash" (default)
+// places groups by group-id hash, "size" places each group on the backend
+// with the least cumulative routed bytes. The -v flag prints the per-scheme
+// scheduler activity (tasks, steals, idle time, hidden I/O, network
+// messages, per-backend routed units). The -json flag additionally writes
+// the full measurement grid (per-query device-ms, MB-read, peak-MB per
+// scheme, plus the workers/shards/remotes/balance knobs) as
+// machine-readable JSON so the performance trajectory can be tracked
+// across changes; pass -json "" to disable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"bdcc/internal/engine"
 	"bdcc/internal/plan"
@@ -39,19 +48,39 @@ func main() {
 	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
 	workers := flag.Int("workers", engine.DefaultWorkers(), "morsel-parallel workers per query (1 = serial)")
 	shards := flag.Int("shards", 1, "backends to shard BDCC group streams across (1 = single-box)")
+	remotes := flag.String("remotes", "", "comma-separated bdccworker addresses (host:port); replaces simulated backends")
+	balance := flag.String("balance", "hash", "group placement policy: hash | size")
 	verbose := flag.Bool("v", false, "print scheduler stats (tasks, steals, idle time)")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
 	flag.Parse()
 
-	fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d shards=%d)...\n", *sf, *workers, *shards)
+	if *balance != "hash" && *balance != "size" {
+		fatal(fmt.Errorf("-balance must be hash or size, got %q", *balance))
+	}
+	var remoteAddrs []string
+	for _, a := range strings.Split(*remotes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			remoteAddrs = append(remoteAddrs, a)
+		}
+	}
+
+	if len(remoteAddrs) > 0 {
+		fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d remotes=%v balance=%s)...\n",
+			*sf, *workers, remoteAddrs, *balance)
+	} else {
+		fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d shards=%d balance=%s)...\n",
+			*sf, *workers, *shards, *balance)
+	}
 	b, err := tpch.NewBenchmark(*sf)
 	if err != nil {
 		fatal(err)
 	}
 	b.Workers = *workers
 	b.Shards = *shards
+	b.Remotes = remoteAddrs
+	b.Balance = *balance
 	rep, err := b.RunAll()
 	if err != nil {
 		fatal(err)

@@ -9,11 +9,12 @@ import (
 // never match rows of another group), so group streams can be sharded across
 // executors with no cross-shard coordination. The Backend interface is what
 // a non-local executor implements; internal/shard provides the
-// implementations (a local pass-through and an in-process simulated-remote
-// backend) and the group-hash router that assigns groups to backends. The
-// engine itself never decides placement — operators hand aligned groups to
-// whichever backend the planner-injected route names, keeping placement in
-// the scheduler/backend layer (the morsel paper's locality argument).
+// implementations (a local pass-through, an in-process simulated remote, and
+// a real TCP backend talking to a bdccworker daemon) and the routers that
+// assign groups to backends. The engine itself never decides placement —
+// operators hand aligned groups to whichever backend the planner-injected
+// route names, keeping placement in the scheduler/backend layer (the morsel
+// paper's locality argument).
 
 // GroupUnit is one sandwich-group work unit: the aligned, cloned probe and
 // build batch sets of a single group. It is the unit of cross-backend
@@ -30,7 +31,8 @@ type GroupUnit struct {
 }
 
 // Bytes returns the footprint of the unit's batch data (the measure charged
-// while a unit is in flight).
+// while a unit is in flight, and the size the balance-by-size router places
+// groups by).
 func (u *GroupUnit) Bytes() int64 {
 	var n int64
 	for _, b := range u.Probe {
@@ -42,35 +44,41 @@ func (u *GroupUnit) Bytes() int64 {
 	return n
 }
 
-// GroupWork executes one group unit, emitting result batches in a
-// deterministic order. The engine provides it per operator (it closes over
-// the operator's frozen build/probe configuration — join keys, type,
-// residual); it stands in for the plan fragment a real remote backend would
-// receive at query setup. Implementations of Backend invoke it wherever the
-// unit lands, with a worker index valid for the executing pool.
-type GroupWork func(worker int, u *GroupUnit, emit func(*vector.Batch)) error
-
 // Backend executes group work units on behalf of one query. It is the seam
-// where remote executors plug in: the engine ships self-contained units and
-// merges the returned batches order-preservingly, so results are
-// byte-identical no matter where a group ran.
+// where remote executors plug in: the engine ships a plan Fragment once and
+// self-contained units per group, and merges the returned batches
+// order-preservingly, so results are byte-identical no matter where a group
+// ran.
 //
-// RunGroup returns without waiting for the unit to execute. The backend
-// invokes emit sequentially (per unit) for each result batch and then
-// done(err) exactly once; both may be called from backend-owned goroutines.
-// Batches passed to emit must not share memory with u — a remote backend's
-// results cross its transport, and even the local backend hands over
-// consumer-owned batches. Concurrent RunGroup calls are allowed; units are
-// independent.
+// RunGroup returns without waiting for the unit to execute. frag is the
+// operator's plan fragment — the same pointer for every unit of one
+// operator, which is what lets a remote backend ship its serialized form
+// once at setup and refer to it by id afterwards. The backend invokes emit
+// sequentially (per unit) for each result batch and then done(err) exactly
+// once; both may be called from backend-owned goroutines. Batches passed to
+// emit must not share memory with u — a remote backend's results cross its
+// transport, and even the local backend hands over consumer-owned batches.
+// Concurrent RunGroup calls are allowed; units are independent.
 //
 // Close shuts the backend down and joins its goroutines. Callers must not
 // Close while units are in flight (the exchange joins every unit's done
-// callback first).
+// callback first). See internal/shard's package comment for the full
+// lifecycle contract (dial → setup → units → done/close) a third-party
+// backend implements against.
 type Backend interface {
 	// Workers reports the backend's executor parallelism; the in-flight
 	// lookahead window of a sharded group pipeline is sized by the backend
 	// set's total.
 	Workers() int
-	RunGroup(u *GroupUnit, work GroupWork, emit func(*vector.Batch), done func(error))
+	RunGroup(u *GroupUnit, frag *Fragment, emit func(*vector.Batch), done func(error))
 	Close() error
+}
+
+// BackendLoad is the routed load of one backend of a query's set: how many
+// group units the router placed on it and their total batch bytes. The shard
+// router records one entry per backend (Context.Loads); the balance-by-size
+// policy places each group on the backend with the least cumulative bytes.
+type BackendLoad struct {
+	Units int64
+	Bytes int64
 }

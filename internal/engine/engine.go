@@ -63,16 +63,20 @@
 // Executor interface (the task-execution contract extracted from the local
 // pool), and the Backend interface (backend.go) generalizes it across a
 // transport: BDCC groups are self-contained work units, so a sandwich join
-// with an injected backend set ships each aligned group — a GroupUnit of
-// cloned batches, serialized to vector.Batch bytes by the transport — to
-// the backend its group hash routes to, instead of running it on the local
-// pool. The contract extends as follows:
+// with an injected backend set ships its plan Fragment once at setup and
+// each aligned group — a GroupUnit of cloned batches, serialized to
+// vector.Batch bytes by the transport — to the backend the router places it
+// on, instead of running it on the local pool. The contract extends as
+// follows:
 //
-//   - A GroupWork body must touch only its unit, per-call state, the
-//     operator's frozen build configuration (key indexes, join type, bound
-//     residual — all read-only after Open), and the thread-safe query
-//     meters. It then runs identically on a local pool task or a remote
-//     backend's executor.
+//   - A Fragment (fragment.go) is the complete group-join configuration:
+//     input schemas, join keys, join type, and residual. Fragment.Run
+//     touches only its unit, per-call state, and the fragment's frozen
+//     bound state (read-only after Prepare), so it runs identically on a
+//     local pool task, an in-process simulated remote, or a bdccworker
+//     daemon that received the fragment over the wire. Hash-table memory is
+//     metered on the box that builds it (the fragment's Mem hook): the
+//     query's tracker locally, the worker's tracker remotely.
 //   - Backends invoke emit sequentially per unit and done exactly once;
 //     emitted batches must not share memory with the shipped unit. The
 //     exchange registers every shipped unit (beginJob) and close joins all
@@ -81,8 +85,10 @@
 //     transport.
 //   - The exchange merges backend results in group order exactly as it
 //     merges local task output, so results are byte-identical across shard
-//     counts (the Shards knob's 0/1 single-box setting preserves the
-//     paper's measurement setup outright).
+//     counts, routing policies, and transports (the Shards knob's 0/1
+//     single-box setting preserves the paper's measurement setup outright),
+//     and a unit rerouted to a surviving backend after a worker failure
+//     reproduces the same bytes the failed backend would have.
 package engine
 
 import (
@@ -110,24 +116,50 @@ type Context struct {
 	// group streams are sharded across. Values below 2 (including the zero
 	// value) mean single-box execution — no backends, no transport, the
 	// paper's measurement setup unchanged. With Shards ≥ 2 the planner
-	// installs one backend set (Backends, Net) per query and routes each
-	// aligned sandwich group to a backend by group hash; results stay
-	// byte-identical across shard counts.
+	// installs one backend set (Backends, Net) per query — simulated remotes
+	// by default, real TCP workers when Remotes is set — and routes each
+	// aligned sandwich group to a backend; results stay byte-identical
+	// across shard counts.
 	Shards int
+	// Remotes lists bdccworker daemon addresses (host:port). When non-empty
+	// the planner dials one TCP backend per address instead of building
+	// simulated remotes, and Shards is ignored in favor of len(Remotes).
+	Remotes []string
+	// Balance selects the group-placement policy of the backend set:
+	// "hash" (the default, also the zero value) places groups by group-id
+	// hash; "size" places each group on the backend with the least
+	// cumulative routed bytes. Results are byte-identical across policies.
+	Balance string
 	// Backends is the per-query backend set the planner installed when
 	// Shards exceeds one (one entry per shard); nil means single-box. The
 	// query owner closes it via CloseBackends once execution finishes.
 	Backends []Backend
-	// Route is the backend set's group-placement function (group id →
-	// backend index), installed together with Backends so every operator of
-	// the query — and every future placement policy — agrees on where a
-	// group lives.
-	Route func(gid uint64) int
-	// Net records the modeled cross-backend transport activity of a sharded
-	// query (one accountant shared by the backend set); nil when single-box.
+	// Route is the backend set's group-placement function (group id and
+	// unit bytes → backend index), installed together with Backends so
+	// every operator of the query — and every placement policy — agrees on
+	// where a group lives.
+	Route func(gid uint64, bytes int64) int
+	// Net records the cross-backend transport activity of a sharded query
+	// (one accountant shared by the backend set); nil when single-box. For
+	// simulated remotes the recorded time models a 10 GbE link; for real
+	// TCP backends the message and byte counts are real while the time
+	// remains the model's (the wall clock already contains the real cost).
 	Net *iosim.Accountant
+	// Loads reports the routed load per backend of the query's set (units
+	// and bytes placed on each shard); nil when single-box. Installed by
+	// the planner together with Backends.
+	Loads func() []BackendLoad
 
 	sched *Sched
+}
+
+// ShardLoads returns the per-backend routed load of the query's backend
+// set; nil when single-box.
+func (c *Context) ShardLoads() []BackendLoad {
+	if c == nil || c.Loads == nil {
+		return nil
+	}
+	return c.Loads()
 }
 
 // NetStats returns the modeled network activity of the query's backend set;
@@ -152,6 +184,7 @@ func (c *Context) CloseBackends() error {
 	}
 	c.Backends = nil
 	c.Route = nil
+	c.Loads = nil
 	return first
 }
 

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+
+	"bdcc/internal/expr"
+	"bdcc/internal/vector"
+)
+
+// Fragment is the sandwich plan fragment: the frozen group-join
+// configuration a backend needs to execute GroupUnits of one
+// SandwichHashJoin — input schemas, join keys, join type, and the residual
+// predicate. It is the unit of plan shipping: a remote backend receives the
+// fragment once at query setup (serialized by internal/shard's fragment
+// codec), Prepares it, and then executes every unit of that operator against
+// it, so only batch data crosses the wire per group.
+//
+// The first six fields fully describe the plan and are what the wire codec
+// carries. The remaining fields are execution-site state: Prepare derives
+// the bound form (key indexes, output schema, bound residual), and the
+// optional Mem/NoteGroup hooks meter whichever box the fragment runs on —
+// the query's trackers locally, the worker daemon's remotely, nil for none.
+type Fragment struct {
+	// Probe and Build are the probe-side (left) and build-side (right) input
+	// schemas; unit batches must conform to them.
+	Probe, Build expr.Schema
+	// ProbeKeys and BuildKeys are the equated join key columns, by name.
+	ProbeKeys, BuildKeys []string
+	// Type is the join type.
+	Type JoinType
+	// Residual is the non-equi predicate evaluated over probe+build rows,
+	// nil for none. Prepare binds it against the combined schema, so a
+	// decoded (unbound) tree and the operator's already-bound tree are
+	// interchangeable — binding resolves to the same indexes either way.
+	Residual expr.Expr
+
+	// Mem, when set, meters the per-group hash table exactly like the serial
+	// operator meters its own. NoteGroup, when set, receives each
+	// materialized build-group's row count (the MaxGroupRows diagnostic).
+	Mem       *MemTracker
+	NoteGroup func(rows int64)
+
+	probeIdx, buildIdx []int
+	out                expr.Schema
+	prepared           bool
+}
+
+// Prepare derives the fragment's bound execution state: key indexes, the
+// output schema, and the bound residual. It must be called once before Run,
+// on the box that will run the fragment.
+func (f *Fragment) Prepare() error {
+	var err error
+	f.probeIdx, err = keyIndexes(f.Probe, f.ProbeKeys)
+	if err != nil {
+		return errOp("fragment probe keys", err)
+	}
+	f.buildIdx, err = keyIndexes(f.Build, f.BuildKeys)
+	if err != nil {
+		return errOp("fragment build keys", err)
+	}
+	switch f.Type {
+	case InnerJoin:
+		f.out = append(append(expr.Schema{}, f.Probe...), f.Build...)
+	case LeftOuterJoin:
+		f.out = append(append(expr.Schema{}, f.Probe...), f.Build...)
+		f.out = append(f.out, expr.ColMeta{Name: MatchedColName, Kind: vector.Int64})
+	case SemiJoin, AntiJoin:
+		f.out = append(expr.Schema{}, f.Probe...)
+	default:
+		return fmt.Errorf("engine: fragment with unknown join type %d", f.Type)
+	}
+	if f.Residual != nil {
+		combined := append(append(expr.Schema{}, f.Probe...), f.Build...)
+		if err := expr.Bind(f.Residual, combined); err != nil {
+			return errOp("fragment residual", err)
+		}
+	}
+	f.prepared = true
+	return nil
+}
+
+// OutSchema returns the join's output schema. Only valid after Prepare.
+func (f *Fragment) OutSchema() expr.Schema { return f.out }
+
+// Run executes one group unit: build the group's private hash table from the
+// unit's build batches, then probe the unit's probe batches exactly like the
+// serial sandwich join — same row order, same BatchSize flush boundaries,
+// same per-probe-batch cuts — so the merged output is byte-identical to the
+// serial join's no matter which box ran the group. It touches only the unit,
+// per-call state, and the fragment's frozen configuration (read-only after
+// Prepare), so concurrent Runs of one fragment are safe — on a local pool
+// task, a simulated remote, or a worker daemon's scheduler alike.
+func (f *Fragment) Run(g *GroupUnit, emit func(*vector.Batch)) error {
+	if !f.prepared {
+		return fmt.Errorf("engine: fragment run before Prepare")
+	}
+	buf := NewBuffer(f.Build)
+	table := newPartJoinTable(1)
+	var buildHashes []uint64
+	var buildRow int32
+	buildEq := func(head int32) bool {
+		return keysEqualBufBuf(buf, f.buildIdx, int(buildRow), int(head))
+	}
+	for _, b := range g.Build {
+		base := int32(buf.Len())
+		buf.AppendBatch(b)
+		buildHashes = vector.HashKeys(b, f.buildIdx, buildHashes)
+		for i := 0; i < b.Len(); i++ {
+			buildRow = base + int32(i)
+			table.Insert(buildHashes[i], buildRow, buildEq)
+		}
+	}
+	tableBytes := buf.Bytes() + table.Bytes()
+	f.Mem.Grow(tableBytes)
+	defer f.Mem.Shrink(tableBytes)
+	if f.NoteGroup != nil {
+		f.NoteGroup(int64(buf.Len()))
+	}
+
+	var combined *vector.Batch
+	var resVec *vector.Vector
+	if f.Residual != nil {
+		cs := append(append(expr.Schema{}, f.Probe...), f.Build...)
+		combined = vector.NewBatch(cs.Kinds())
+		resVec = expr.NewScratch(vector.Int64)
+	}
+	var probeBatch *vector.Batch
+	var probeRow int
+	probeEq := func(head int32) bool {
+		return keysEqualBatchBuf(probeBatch, f.probeIdx, probeRow, buf, f.buildIdx, int(head))
+	}
+	residualOK := func(b *vector.Batch, li int, bi int32) bool {
+		if f.Residual == nil {
+			return true
+		}
+		combined.Reset()
+		nl := len(b.Cols)
+		for c := 0; c < nl; c++ {
+			combined.Cols[c].AppendFrom(b.Cols[c], li)
+		}
+		buf.WriteRow(combined, int(bi), nl)
+		resVec.Reset()
+		f.Residual.Eval(combined, resVec)
+		return resVec.I64[0] != 0
+	}
+
+	var probeHashes []uint64
+	var matches []int32
+	kinds := f.out.Kinds()
+	for _, b := range g.Probe {
+		probeBatch = b
+		newOut := func() *vector.Batch {
+			out := vector.NewBatch(kinds)
+			out.Grouped = true
+			out.GroupID = b.GroupID
+			return out
+		}
+		out := newOut()
+		nl := len(b.Cols)
+		probeHashes = vector.HashKeys(b, f.probeIdx, probeHashes)
+		for r := 0; r < b.Len(); r++ {
+			probeRow = r
+			head := table.Lookup(probeHashes[r], probeEq)
+			if f.Type == SemiJoin || f.Type == AntiJoin {
+				hit := false
+				for bi := head; bi >= 0; bi = table.ChainNext(bi) {
+					if residualOK(b, r, bi) {
+						hit = true
+						break
+					}
+				}
+				if hit == (f.Type == SemiJoin) {
+					out.AppendRow(b, r)
+				}
+				if out.Len() >= vector.BatchSize {
+					emit(out)
+					out = newOut()
+				}
+				continue
+			}
+			matches = table.Matches(head, matches[:0])
+			emitted := false
+			for _, bi := range matches {
+				if !residualOK(b, r, bi) {
+					continue
+				}
+				for c := 0; c < nl; c++ {
+					out.Cols[c].AppendFrom(b.Cols[c], r)
+				}
+				buf.WriteRow(out, int(bi), nl)
+				if f.Type == LeftOuterJoin {
+					out.Cols[len(out.Cols)-1].AppendInt64(1)
+				}
+				emitted = true
+				if out.Len() >= vector.BatchSize {
+					emit(out)
+					out = newOut()
+				}
+			}
+			if !emitted && f.Type == LeftOuterJoin {
+				for c := 0; c < nl; c++ {
+					out.Cols[c].AppendFrom(b.Cols[c], r)
+				}
+				for c := range f.Build {
+					appendZero(out.Cols[nl+c])
+				}
+				out.Cols[len(out.Cols)-1].AppendInt64(0)
+			}
+			if out.Len() >= vector.BatchSize {
+				emit(out)
+				out = newOut()
+			}
+		}
+		// Serial Next flushes at every probe-batch boundary; replicate the
+		// cut so batch shapes match byte-for-byte.
+		if out.Len() > 0 {
+			emit(out)
+		}
+	}
+	return nil
+}

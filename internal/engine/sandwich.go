@@ -47,16 +47,19 @@ type SandwichHashJoin struct {
 	// backend set is injected below).
 	Sched *Sched
 	// Backends and Route shard the aligned group stream across a backend
-	// set: each group unit is shipped to Backends[Route(gid)] instead of the
-	// local pool. The exchange merges returned batches in group order, so
-	// results stay byte-identical across shard counts. A non-empty backend
-	// set activates the group pipeline even when Sched is nil (local serial
-	// execution, remote group joins). Both are planner-injected.
+	// set: each group unit is shipped to Backends[Route(gid, bytes)] instead
+	// of the local pool (the router sees the unit's batch bytes so it can
+	// balance by size instead of group hash). The exchange merges returned
+	// batches in group order, so results stay byte-identical across shard
+	// counts and routing policies. A non-empty backend set activates the
+	// group pipeline even when Sched is nil (local serial execution, remote
+	// group joins). Both are planner-injected.
 	Backends []Backend
-	Route    func(gid uint64) int
+	Route    func(gid uint64, bytes int64) int
 
 	schema expr.Schema
 	ctx    *Context
+	frag   *Fragment
 
 	buf      *Buffer
 	table    *partJoinTable
@@ -108,31 +111,29 @@ func (j *SandwichHashJoin) Open(ctx *Context) error {
 		return err
 	}
 	ls, rs := j.Left.Schema(), j.Right.Schema()
-	switch j.Type {
-	case InnerJoin:
-		j.schema = append(append(expr.Schema{}, ls...), rs...)
-	case LeftOuterJoin:
-		j.schema = append(append(expr.Schema{}, ls...), rs...)
-		j.schema = append(j.schema, expr.ColMeta{Name: MatchedColName, Kind: vector.Int64})
-	case SemiJoin, AntiJoin:
-		j.schema = append(expr.Schema{}, ls...)
+	// The fragment is the join's frozen group-join configuration — the plan
+	// piece a backend set ships to remote workers at query setup. The serial
+	// path shares its bound state (schema, key indexes, residual) so both
+	// forms execute one configuration.
+	j.frag = &Fragment{
+		Probe: ls, Build: rs,
+		ProbeKeys: j.LeftKeys, BuildKeys: j.RightKeys,
+		Type: j.Type, Residual: j.Residual,
+		NoteGroup: j.noteGroupRows,
 	}
-	var err error
-	j.leftKeyIdx, err = keyIndexes(ls, j.LeftKeys)
-	if err != nil {
-		return errOp("sandwich join probe keys", err)
+	if ctx != nil {
+		j.frag.Mem = ctx.Mem
 	}
+	if err := j.frag.Prepare(); err != nil {
+		return err
+	}
+	j.schema = j.frag.OutSchema()
+	j.leftKeyIdx = j.frag.probeIdx
+	j.rightKeyIdx = j.frag.buildIdx
 	if j.Residual != nil {
 		combined := append(append(expr.Schema{}, ls...), rs...)
-		if err := expr.Bind(j.Residual, combined); err != nil {
-			return errOp("sandwich join residual", err)
-		}
 		j.combined = vector.NewBatch(combined.Kinds())
 		j.resVec = expr.NewScratch(vector.Int64)
-	}
-	j.rightKeyIdx, err = keyIndexes(rs, j.RightKeys)
-	if err != nil {
-		return errOp("sandwich join build keys", err)
 	}
 	j.probeEq = func(head int32) bool {
 		return keysEqualBatchBuf(j.probeBatch, j.leftKeyIdx, j.probeRow, j.buf, j.rightKeyIdx, int(head))
@@ -375,14 +376,24 @@ func (j *SandwichHashJoin) startParallelGroups() {
 			j.ctx.Mem.Grow(grpBytes)
 			grp := g
 			if len(j.Backends) > 0 {
-				// Sharded form: ship the unit to the backend its group hash
-				// routes to; the backend posts result batches back and the
-				// exchange merges them under this job's index, so delivery
-				// order — and therefore the result — is independent of
-				// which backend ran the group.
-				bk := j.Backends[j.Route(gid)]
+				// The remote's decoded fragment has no NoteGroup hook, so
+				// the MaxGroupRows diagnostic is recorded here from the
+				// shipped unit — its build batches are exactly the rows the
+				// remote will materialize.
+				var buildRows int64
+				for _, b := range grp.Build {
+					buildRows += int64(b.Len())
+				}
+				j.noteGroupRows(buildRows)
+				// Sharded form: ship the unit to the backend the router
+				// places it on (by group hash, or by cumulative size under
+				// the balance-by-size policy); the backend posts result
+				// batches back and the exchange merges them under this
+				// job's index, so delivery order — and therefore the
+				// result — is independent of which backend ran the group.
+				bk := j.Backends[j.Route(gid, grpBytes)]
 				e.beginJob()
-				bk.RunGroup(grp, j.joinGroup,
+				bk.RunGroup(grp, j.frag,
 					func(b *vector.Batch) { e.post(job, b) },
 					func(err error) {
 						j.ctx.Mem.Shrink(grpBytes)
@@ -390,149 +401,16 @@ func (j *SandwichHashJoin) startParallelGroups() {
 					})
 				continue
 			}
-			e.submitJob(job, func(w int, emit func(*vector.Batch)) error {
+			e.submitJob(job, func(_ int, emit func(*vector.Batch)) error {
 				var err error
 				if !e.isClosed() {
-					err = j.joinGroup(w, grp, emit)
+					err = j.frag.Run(grp, emit)
 				}
 				j.ctx.Mem.Shrink(grpBytes)
 				return err
 			})
 		}
 	}()
-}
-
-// joinGroup is the group-join body (a GroupWork): build the group's private
-// hash table from the unit's build batches, then probe the unit's probe
-// batches exactly like the serial path — same row order, same BatchSize
-// flush boundaries, same per-probe-batch cuts — so the merged output is
-// byte-identical to the serial join's. It runs on a local pool task or,
-// shipped through a backend, on a shard's executor: it touches only the
-// unit, per-call state, and the operator's frozen build configuration (key
-// indexes, type, residual), plus the thread-safe query meters.
-func (j *SandwichHashJoin) joinGroup(_ int, g *GroupUnit, emit func(*vector.Batch)) error {
-	buf := NewBuffer(j.Right.Schema())
-	table := newPartJoinTable(1)
-	var buildHashes []uint64
-	var buildRow int32
-	buildEq := func(head int32) bool {
-		return keysEqualBufBuf(buf, j.rightKeyIdx, int(buildRow), int(head))
-	}
-	for _, b := range g.Build {
-		base := int32(buf.Len())
-		buf.AppendBatch(b)
-		buildHashes = vector.HashKeys(b, j.rightKeyIdx, buildHashes)
-		for i := 0; i < b.Len(); i++ {
-			buildRow = base + int32(i)
-			table.Insert(buildHashes[i], buildRow, buildEq)
-		}
-	}
-	tableBytes := buf.Bytes() + table.Bytes()
-	j.ctx.Mem.Grow(tableBytes)
-	defer j.ctx.Mem.Shrink(tableBytes)
-	j.noteGroupRows(int64(buf.Len()))
-
-	var combined *vector.Batch
-	var resVec *vector.Vector
-	if j.Residual != nil {
-		cs := append(append(expr.Schema{}, j.Left.Schema()...), j.Right.Schema()...)
-		combined = vector.NewBatch(cs.Kinds())
-		resVec = expr.NewScratch(vector.Int64)
-	}
-	var probeBatch *vector.Batch
-	var probeRow int
-	probeEq := func(head int32) bool {
-		return keysEqualBatchBuf(probeBatch, j.leftKeyIdx, probeRow, buf, j.rightKeyIdx, int(head))
-	}
-	residualOK := func(b *vector.Batch, li int, bi int32) bool {
-		if j.Residual == nil {
-			return true
-		}
-		combined.Reset()
-		nl := len(b.Cols)
-		for c := 0; c < nl; c++ {
-			combined.Cols[c].AppendFrom(b.Cols[c], li)
-		}
-		buf.WriteRow(combined, int(bi), nl)
-		resVec.Reset()
-		j.Residual.Eval(combined, resVec)
-		return resVec.I64[0] != 0
-	}
-
-	var probeHashes []uint64
-	var matches []int32
-	kinds := j.schema.Kinds()
-	for _, b := range g.Probe {
-		probeBatch = b
-		newOut := func() *vector.Batch {
-			out := vector.NewBatch(kinds)
-			out.Grouped = true
-			out.GroupID = b.GroupID
-			return out
-		}
-		out := newOut()
-		nl := len(b.Cols)
-		probeHashes = vector.HashKeys(b, j.leftKeyIdx, probeHashes)
-		for r := 0; r < b.Len(); r++ {
-			probeRow = r
-			head := table.Lookup(probeHashes[r], probeEq)
-			if j.Type == SemiJoin || j.Type == AntiJoin {
-				hit := false
-				for bi := head; bi >= 0; bi = table.ChainNext(bi) {
-					if residualOK(b, r, bi) {
-						hit = true
-						break
-					}
-				}
-				if hit == (j.Type == SemiJoin) {
-					out.AppendRow(b, r)
-				}
-				if out.Len() >= vector.BatchSize {
-					emit(out)
-					out = newOut()
-				}
-				continue
-			}
-			matches = table.Matches(head, matches[:0])
-			emitted := false
-			for _, bi := range matches {
-				if !residualOK(b, r, bi) {
-					continue
-				}
-				for c := 0; c < nl; c++ {
-					out.Cols[c].AppendFrom(b.Cols[c], r)
-				}
-				buf.WriteRow(out, int(bi), nl)
-				if j.Type == LeftOuterJoin {
-					out.Cols[len(out.Cols)-1].AppendInt64(1)
-				}
-				emitted = true
-				if out.Len() >= vector.BatchSize {
-					emit(out)
-					out = newOut()
-				}
-			}
-			if !emitted && j.Type == LeftOuterJoin {
-				for c := 0; c < nl; c++ {
-					out.Cols[c].AppendFrom(b.Cols[c], r)
-				}
-				for c := range j.Right.Schema() {
-					appendZero(out.Cols[nl+c])
-				}
-				out.Cols[len(out.Cols)-1].AppendInt64(0)
-			}
-			if out.Len() >= vector.BatchSize {
-				emit(out)
-				out = newOut()
-			}
-		}
-		// Serial Next flushes at every probe-batch boundary; replicate the
-		// cut so batch shapes match byte-for-byte.
-		if out.Len() > 0 {
-			emit(out)
-		}
-	}
-	return nil
 }
 
 // Next implements Operator. Output batches never exceed BatchSize rows: a
@@ -661,7 +539,9 @@ func (j *SandwichHashJoin) nextSerial() (*vector.Batch, error) {
 }
 
 // MaxGroupRows reports the largest build group materialized, for
-// diagnostics and tests of the sandwich memory effect.
+// diagnostics and tests of the sandwich memory effect. Sharded runs record
+// it from the shipped units' build batches (the rows the remote
+// materializes), so the value is comparable across transports.
 func (j *SandwichHashJoin) MaxGroupRows() int64 { return j.maxGroup }
 
 // Close implements Operator.

@@ -1,0 +1,350 @@
+package expr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"bdcc/internal/vector"
+)
+
+// This file is the expression wire codec: the byte form in which a scalar
+// expression crosses a transport boundary (a sandwich plan fragment carries
+// its residual predicate to a remote worker). Expressions travel in their
+// unbound form — column references as names, result kinds unresolved — and
+// the receiver re-binds the decoded tree against its reconstruction of the
+// schema with Bind, which is what keeps the codec independent of column
+// positions and makes a decoded tree exactly as trustworthy as a freshly
+// built one.
+//
+// The node set is closed (the types of this package), so the encoding is a
+// simple tagged pre-order walk (little endian):
+//
+//	u8 tag, then per node type:
+//	  Col    name
+//	  Const  u8 kind, then i64 / f64 bits / string
+//	  Cmp    u8 op, L, R
+//	  And/Or u32 arity, args
+//	  Not    arg
+//	  Arith  u8 op, L, R
+//	  Case   when, then, else
+//	  Year   arg
+//	  Substr arg, u32 start, u32 length
+//	  In     u8 negate, arg, u32 count, consts
+//	  Like   u8 negate, pattern, arg
+//
+// Strings are u32 byte length + raw bytes.
+
+// Expression node tags of the wire form. Tags are append-only: a new node
+// type takes the next free tag, existing tags never change meaning (see
+// docs/WIRE.md for the protocol's versioning rules).
+const (
+	tagCol = byte(iota + 1)
+	tagConst
+	tagCmp
+	tagAnd
+	tagOr
+	tagNot
+	tagArith
+	tagCase
+	tagYear
+	tagSubstr
+	tagIn
+	tagLike
+)
+
+// AppendString appends the wire form of s (u32 byte length + raw bytes) to
+// buf — the string layout shared by every codec of the wire protocol (this
+// package's expressions, internal/shard's fragments).
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeString decodes one wire-form string from the front of data,
+// returning it and the bytes consumed.
+func DecodeString(data []byte) (string, int, error) {
+	if len(data) < 4 {
+		return "", 0, fmt.Errorf("expr: truncated string length")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if len(data) < 4+n {
+		return "", 0, fmt.Errorf("expr: truncated string (%d of %d bytes)", len(data)-4, n)
+	}
+	return string(data[4 : 4+n]), 4 + n, nil
+}
+
+func encodeConst(c *Const, buf []byte) []byte {
+	buf = append(buf, byte(c.K))
+	switch c.K {
+	case vector.Float64:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.F))
+	case vector.String:
+		buf = AppendString(buf, c.S)
+	default:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.I))
+	}
+	return buf
+}
+
+func decodeConst(data []byte) (*Const, int, error) {
+	if len(data) < 1 {
+		return nil, 0, fmt.Errorf("expr: truncated constant")
+	}
+	c := &Const{K: vector.Kind(data[0])}
+	pos := 1
+	switch c.K {
+	case vector.Float64:
+		if len(data) < pos+8 {
+			return nil, 0, fmt.Errorf("expr: truncated float constant")
+		}
+		c.F = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+	case vector.String:
+		s, n, err := DecodeString(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		c.S = s
+		pos += n
+	case vector.Int64:
+		if len(data) < pos+8 {
+			return nil, 0, fmt.Errorf("expr: truncated int constant")
+		}
+		c.I = int64(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+	default:
+		return nil, 0, fmt.Errorf("expr: constant of unknown kind %d", c.K)
+	}
+	return c, pos, nil
+}
+
+// EncodeExpr appends the wire encoding of e to buf and returns the extended
+// slice. Bound and unbound trees encode identically (binding state does not
+// travel); an unknown node type is an error.
+func EncodeExpr(e Expr, buf []byte) ([]byte, error) {
+	var err error
+	switch n := e.(type) {
+	case *Col:
+		return AppendString(append(buf, tagCol), n.Name), nil
+	case *Const:
+		return encodeConst(n, append(buf, tagConst)), nil
+	case *Cmp:
+		buf = append(buf, tagCmp, byte(n.Op))
+		if buf, err = EncodeExpr(n.L, buf); err != nil {
+			return nil, err
+		}
+		return EncodeExpr(n.R, buf)
+	case *And:
+		return encodeNary(tagAnd, n.Args, buf)
+	case *Or:
+		return encodeNary(tagOr, n.Args, buf)
+	case *Not:
+		return EncodeExpr(n.Arg, append(buf, tagNot))
+	case *Arith:
+		buf = append(buf, tagArith, byte(n.Op))
+		if buf, err = EncodeExpr(n.L, buf); err != nil {
+			return nil, err
+		}
+		return EncodeExpr(n.R, buf)
+	case *Case:
+		buf = append(buf, tagCase)
+		if buf, err = EncodeExpr(n.When, buf); err != nil {
+			return nil, err
+		}
+		if buf, err = EncodeExpr(n.Then, buf); err != nil {
+			return nil, err
+		}
+		return EncodeExpr(n.Else, buf)
+	case *Year:
+		return EncodeExpr(n.Arg, append(buf, tagYear))
+	case *Substr:
+		buf = append(buf, tagSubstr)
+		if buf, err = EncodeExpr(n.Arg, buf); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n.Start))
+		return binary.LittleEndian.AppendUint32(buf, uint32(n.Length)), nil
+	case *InList:
+		buf = append(buf, tagIn, b2b(n.Negate))
+		if buf, err = EncodeExpr(n.Arg, buf); err != nil {
+			return nil, err
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.Values)))
+		for _, c := range n.Values {
+			buf = encodeConst(c, buf)
+		}
+		return buf, nil
+	case *Like:
+		buf = AppendString(append(buf, tagLike, b2b(n.Negate)), n.Pattern)
+		return EncodeExpr(n.Arg, buf)
+	}
+	return nil, fmt.Errorf("expr: cannot encode %T", e)
+}
+
+func encodeNary(tag byte, args []Expr, buf []byte) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(append(buf, tag), uint32(len(args)))
+	var err error
+	for _, a := range args {
+		if buf, err = EncodeExpr(a, buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeExpr decodes one expression from the front of data, returning the
+// tree (unbound — callers Bind it before Eval) and the bytes consumed.
+func DecodeExpr(data []byte) (Expr, int, error) {
+	if len(data) < 1 {
+		return nil, 0, fmt.Errorf("expr: truncated expression")
+	}
+	tag := data[0]
+	pos := 1
+	sub := func() (Expr, error) {
+		e, n, err := DecodeExpr(data[pos:])
+		pos += n
+		return e, err
+	}
+	switch tag {
+	case tagCol:
+		name, n, err := DecodeString(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return C(name), pos + n, nil
+	case tagConst:
+		c, n, err := decodeConst(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return c, pos + n, nil
+	case tagCmp, tagArith:
+		if len(data) < pos+1 {
+			return nil, 0, fmt.Errorf("expr: truncated operator")
+		}
+		op := data[pos]
+		pos++
+		l, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		if tag == tagCmp {
+			return NewCmp(CmpOp(op), l, r), pos, nil
+		}
+		return NewArith(ArithOp(op), l, r), pos, nil
+	case tagAnd, tagOr:
+		if len(data) < pos+4 {
+			return nil, 0, fmt.Errorf("expr: truncated arity")
+		}
+		arity := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		// Every argument occupies at least one byte, so an arity beyond the
+		// remaining data is garbage — checked before it sizes an allocation.
+		if arity > len(data)-pos {
+			return nil, 0, fmt.Errorf("expr: arity %d exceeds %d remaining bytes", arity, len(data)-pos)
+		}
+		args := make([]Expr, 0, arity)
+		for i := 0; i < arity; i++ {
+			a, err := sub()
+			if err != nil {
+				return nil, 0, err
+			}
+			args = append(args, a)
+		}
+		if tag == tagAnd {
+			return NewAnd(args...), pos, nil
+		}
+		return NewOr(args...), pos, nil
+	case tagNot:
+		a, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		return NewNot(a), pos, nil
+	case tagCase:
+		when, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		then, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		els, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		return NewCase(when, then, els), pos, nil
+	case tagYear:
+		a, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		return NewYear(a), pos, nil
+	case tagSubstr:
+		a, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(data) < pos+8 {
+			return nil, 0, fmt.Errorf("expr: truncated substring bounds")
+		}
+		start := int(binary.LittleEndian.Uint32(data[pos:]))
+		length := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		return NewSubstr(a, start, length), pos + 8, nil
+	case tagIn:
+		if len(data) < pos+1 {
+			return nil, 0, fmt.Errorf("expr: truncated IN header")
+		}
+		negate := data[pos] != 0
+		pos++
+		a, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(data) < pos+4 {
+			return nil, 0, fmt.Errorf("expr: truncated IN count")
+		}
+		cnt := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		in := &InList{Arg: a, Negate: negate}
+		for i := 0; i < cnt; i++ {
+			c, n, err := decodeConst(data[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			in.Values = append(in.Values, c)
+			pos += n
+		}
+		return in, pos, nil
+	case tagLike:
+		if len(data) < pos+1 {
+			return nil, 0, fmt.Errorf("expr: truncated LIKE header")
+		}
+		negate := data[pos] != 0
+		pos++
+		pattern, n, err := DecodeString(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += n
+		a, err := sub()
+		if err != nil {
+			return nil, 0, err
+		}
+		return &Like{Arg: a, Pattern: pattern, Negate: negate}, pos, nil
+	}
+	return nil, 0, fmt.Errorf("expr: unknown expression tag %d", tag)
+}
+
+func b2b(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -272,26 +272,43 @@ func (p *Planner) sched() *engine.Sched {
 
 // backends returns the query's backend set — one set per query, installed
 // lazily on the execution context the first time a plan places an operator
-// that can shard its group stream. nil (Shards below 2) keeps execution
-// single-box, preserving the paper's measurement setup. The set's simulated
-// remotes each run max(1, Workers) pool goroutines and share one network
-// accountant (Context.Net); the query owner closes the set via
+// that can shard its group stream. nil (Shards below 2 and no Remotes)
+// keeps execution single-box, preserving the paper's measurement setup.
+// With Remotes configured, the set dials one TCP backend per bdccworker
+// address (a failed dial fails the query); otherwise the set's simulated
+// remotes each run max(1, Workers) pool goroutines. Either set shares one
+// network accountant (Context.Net), records per-backend routed loads
+// (Context.Loads), and places groups by hash or — under Balance "size" —
+// by least cumulative bytes. The query owner closes the set via
 // Context.CloseBackends after execution.
-func (p *Planner) backends() []engine.Backend {
-	if p.Ctx == nil || p.Ctx.Shards < 2 {
-		return nil
+func (p *Planner) backends() ([]engine.Backend, error) {
+	if p.Ctx == nil || (p.Ctx.Shards < 2 && len(p.Ctx.Remotes) == 0) {
+		return nil, nil
 	}
 	if p.Ctx.Backends == nil {
-		workers := p.Ctx.Workers
-		if workers < 1 {
-			workers = 1
+		var set *shard.Set
+		if len(p.Ctx.Remotes) > 0 {
+			var err error
+			set, err = shard.DialSet(p.Ctx.Remotes, shard.PaperNet())
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			workers := p.Ctx.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			set = shard.NewSet(p.Ctx.Shards, workers, shard.PaperNet())
 		}
-		set := shard.NewSet(p.Ctx.Shards, workers, shard.PaperNet())
+		if p.Ctx.Balance == "size" {
+			set.BalanceBySize()
+		}
 		p.Ctx.Backends = set.Backends()
 		p.Ctx.Route = set.Route
 		p.Ctx.Net = set.Net()
+		p.Ctx.Loads = set.Loads
 	}
-	return p.Ctx.Backends
+	return p.Ctx.Backends, nil
 }
 
 func aliasSuffix(alias string) string {
@@ -398,11 +415,17 @@ func (p *Planner) lowerJoin(j *Join, inherited restrictions) (engine.Operator, *
 			BuildShift: uint(buildInfo.groupBits - g),
 			Sched:      p.sched(),
 		}
-		if bks := p.backends(); bks != nil {
+		bks, err := p.backends()
+		if err != nil {
+			return nil, nil, err
+		}
+		if bks != nil {
 			// Scale-out seam: ship the aligned group stream across the
-			// query's backend set, placed by group hash. The group join runs
-			// wherever the router says; the exchange's group-order merge
-			// keeps results byte-identical to the single-box run.
+			// query's backend set (simulated remotes, or dialed bdccworker
+			// daemons when Remotes is configured), placed by the router. The
+			// group join runs wherever the router says — and wherever
+			// failover reroutes it; the exchange's group-order merge keeps
+			// results byte-identical to the single-box run.
 			op.Backends = bks
 			op.Route = p.Ctx.Route
 			p.logf("join: sandwich hash join on %s (%d group bits, groups sharded over %d backends, %d workers each)",

@@ -5,18 +5,33 @@ import (
 	"fmt"
 
 	"bdcc/internal/engine"
+	"bdcc/internal/expr"
 	"bdcc/internal/vector"
 )
 
-// Group-unit wire form: the serialized shape of one engine.GroupUnit as it
-// crosses a backend transport. Layout (little endian):
+// Wire forms of the two plan-side payloads a backend transport carries (see
+// docs/WIRE.md for the full protocol):
+//
+// Group unit — the serialized shape of one engine.GroupUnit. Layout (little
+// endian):
 //
 //	u64 aligned group id
 //	u32 probe batch count, u32 build batch count
 //	probe batches then build batches, each in the vector.Batch wire form
 //
-// The unit codec is exact because the batch codec is: a decoded unit joins
-// to bit-identical results, which is what keeps sharded runs byte-identical.
+// Plan fragment — the serialized shape of one engine.Fragment, shipped once
+// per operator at query setup. Layout (little endian):
+//
+//	probe schema, build schema   (u16 column count; per column: string name
+//	                              as u32 length + bytes, u8 kind)
+//	probe keys, build keys       (u16 count, strings)
+//	u8 join type
+//	u8 residual present, then the expr wire form (unbound; the worker
+//	   re-binds against probe+build)
+//
+// Both codecs are exact because the batch and expression codecs are: a
+// decoded unit joins under a decoded fragment to bit-identical results,
+// which is what keeps sharded runs byte-identical.
 
 // EncodeUnit appends the wire encoding of u to buf and returns the extended
 // slice.
@@ -59,4 +74,119 @@ func DecodeUnit(data []byte) (*engine.GroupUnit, error) {
 		return nil, fmt.Errorf("shard: %d trailing bytes after unit", len(data)-pos)
 	}
 	return u, nil
+}
+
+func appendSchema(buf []byte, s expr.Schema) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	for _, c := range s {
+		buf = expr.AppendString(buf, c.Name)
+		buf = append(buf, byte(c.Kind))
+	}
+	return buf
+}
+
+func decodeSchema(data []byte) (expr.Schema, int, error) {
+	if len(data) < 2 {
+		return nil, 0, fmt.Errorf("shard: truncated schema")
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	pos := 2
+	s := make(expr.Schema, 0, n)
+	for i := 0; i < n; i++ {
+		name, w, err := expr.DecodeString(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += w
+		if len(data) < pos+1 {
+			return nil, 0, fmt.Errorf("shard: truncated column kind")
+		}
+		s = append(s, expr.ColMeta{Name: name, Kind: vector.Kind(data[pos])})
+		pos++
+	}
+	return s, pos, nil
+}
+
+func appendStrs(buf []byte, ss []string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ss)))
+	for _, s := range ss {
+		buf = expr.AppendString(buf, s)
+	}
+	return buf
+}
+
+func decodeStrs(data []byte) ([]string, int, error) {
+	if len(data) < 2 {
+		return nil, 0, fmt.Errorf("shard: truncated string list")
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	pos := 2
+	ss := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		s, w, err := expr.DecodeString(data[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		ss = append(ss, s)
+		pos += w
+	}
+	return ss, pos, nil
+}
+
+// EncodeFragment appends the wire encoding of f's plan description to buf
+// and returns the extended slice. Execution-site state (bound indexes,
+// meters) does not travel — the receiving worker Prepares the decoded
+// fragment itself.
+func EncodeFragment(f *engine.Fragment, buf []byte) ([]byte, error) {
+	buf = appendSchema(buf, f.Probe)
+	buf = appendSchema(buf, f.Build)
+	buf = appendStrs(buf, f.ProbeKeys)
+	buf = appendStrs(buf, f.BuildKeys)
+	buf = append(buf, byte(f.Type))
+	if f.Residual == nil {
+		return append(buf, 0), nil
+	}
+	buf = append(buf, 1)
+	return expr.EncodeExpr(f.Residual, buf)
+}
+
+// DecodeFragment decodes one plan fragment occupying all of data. The
+// returned fragment is unprepared and unmetered; the caller Prepares it and
+// attaches its own execution-site hooks.
+func DecodeFragment(data []byte) (*engine.Fragment, error) {
+	f := &engine.Fragment{}
+	var n int
+	var err error
+	if f.Probe, n, err = decodeSchema(data); err != nil {
+		return nil, fmt.Errorf("shard: fragment probe schema: %w", err)
+	}
+	data = data[n:]
+	if f.Build, n, err = decodeSchema(data); err != nil {
+		return nil, fmt.Errorf("shard: fragment build schema: %w", err)
+	}
+	data = data[n:]
+	if f.ProbeKeys, n, err = decodeStrs(data); err != nil {
+		return nil, fmt.Errorf("shard: fragment probe keys: %w", err)
+	}
+	data = data[n:]
+	if f.BuildKeys, n, err = decodeStrs(data); err != nil {
+		return nil, fmt.Errorf("shard: fragment build keys: %w", err)
+	}
+	data = data[n:]
+	if len(data) < 2 {
+		return nil, fmt.Errorf("shard: truncated fragment trailer")
+	}
+	f.Type = engine.JoinType(data[0])
+	hasResidual := data[1] != 0
+	data = data[2:]
+	if hasResidual {
+		if f.Residual, n, err = expr.DecodeExpr(data); err != nil {
+			return nil, fmt.Errorf("shard: fragment residual: %w", err)
+		}
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after fragment", len(data))
+	}
+	return f, nil
 }

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bdcc/internal/engine"
+	"bdcc/internal/vector"
+)
+
+// Failover: unit-level retry across a backend set. Every backend of a set
+// is wrapped; a unit routed to wrapper i first runs on backend i, and when
+// the attempt fails with an ErrBackendDown-wrapped error (connection loss,
+// a killed worker, a refused dial) the unit is rerouted to the next
+// surviving backend, excluding every backend that already failed it — the
+// reroute never revisits a failed attempt, and a backend observed down is
+// marked so later units skip it up front. Work errors (frameDone text) are
+// never retried: a deterministic group join that failed once fails
+// identically everywhere, so rerouting would only mask the error.
+//
+// Result batches stream straight through to the real emit as they arrive —
+// buffering them until done would hide a whole window of unit output from
+// the exchange's buffer cap and the query's memory meter. What makes
+// streaming retry-safe is determinism: a group join's output is a pure
+// function of (fragment, unit), emitted sequentially, so a retry replays
+// the exact batch sequence the failed attempt produced and the wrapper
+// simply skips the prefix that was already delivered. A backend that died
+// halfway through a group therefore contributes exactly its delivered
+// prefix, and the survivor contributes the rest — byte-identical to an
+// undisturbed run.
+
+// failover is the shared state of one wrapped backend set.
+type failover struct {
+	backends []engine.Backend
+	mu       sync.Mutex
+	down     []bool
+}
+
+// failoverBackend is the wrapper at one set index; it implements
+// engine.Backend and preserves 1:1 index alignment with the router.
+type failoverBackend struct {
+	f   *failover
+	idx int
+}
+
+// NewFailover wraps backends with unit-level failover, returning a slice
+// index-aligned with the input (wrapper i prefers backend i). Closing a
+// wrapper closes its underlying backend.
+func NewFailover(backends []engine.Backend) []engine.Backend {
+	f := &failover{backends: backends, down: make([]bool, len(backends))}
+	out := make([]engine.Backend, len(backends))
+	for i := range backends {
+		out[i] = &failoverBackend{f: f, idx: i}
+	}
+	return out
+}
+
+// Workers implements engine.Backend.
+func (b *failoverBackend) Workers() int { return b.f.backends[b.idx].Workers() }
+
+// Close implements engine.Backend, closing the underlying backend.
+func (b *failoverBackend) Close() error { return b.f.backends[b.idx].Close() }
+
+// RunGroup implements engine.Backend: run the unit on the preferred
+// backend, rerouting to survivors on transport failure.
+func (b *failoverBackend) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error)) {
+	delivered := 0
+	b.f.attempt(u, frag, emit, done, &delivered, b.idx, make([]bool, len(b.f.backends)), nil)
+}
+
+// pick returns the first backend index at or after pref (cyclically) that
+// is neither excluded for this unit nor marked down, or -1 when none
+// survives.
+func (f *failover) pick(pref int, excluded []bool) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.backends)
+	for k := 0; k < n; k++ {
+		i := (pref + k) % n
+		if !excluded[i] && !f.down[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (f *failover) markDown(i int) {
+	f.mu.Lock()
+	f.down[i] = true
+	f.mu.Unlock()
+}
+
+// attempt runs one try of the unit, chaining the next try from the done
+// callback on transport failure. delivered counts the batches already
+// passed to the real emit across attempts: a retry replays the unit's
+// deterministic batch sequence and skips that prefix, so the merged output
+// never duplicates and never misses a batch. The backend contract
+// serializes a unit's emit and done calls, so delivered needs no lock.
+// Exactly-once delivery of done holds: every chain ends in exactly one
+// call — success, a non-retryable error, or exhaustion of surviving
+// backends.
+func (f *failover) attempt(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error), delivered *int, pref int, excluded []bool, lastErr error) {
+	i := f.pick(pref, excluded)
+	if i < 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("%w: no surviving backend for group %d", ErrBackendDown, u.GID)
+		}
+		done(lastErr)
+		return
+	}
+	seen := 0
+	f.backends[i].RunGroup(u, frag,
+		func(b *vector.Batch) {
+			seen++
+			if seen > *delivered {
+				emit(b)
+				*delivered = seen
+			}
+		},
+		func(err error) {
+			if err == nil {
+				done(nil)
+				return
+			}
+			if !errors.Is(err, ErrBackendDown) {
+				done(err) // a work error: deterministic, not worth rerouting
+				return
+			}
+			f.markDown(i)
+			excluded[i] = true
+			f.attempt(u, frag, emit, done, delivered, (i+1)%len(f.backends), excluded, err)
+		})
+}

@@ -6,10 +6,11 @@ import (
 )
 
 // Local is the reference Backend: the existing local pool behind the
-// backend seam. Group units run as tasks on the wrapped executor with no
-// serialization and no transport cost — a single-box shard. It exists so
-// the Backend contract can be exercised (and mixed sets composed) against
-// the executor every other implementation is measured by.
+// backend seam. Group units run as tasks on the wrapped executor against
+// the operator's own prepared fragment, with no serialization and no
+// transport cost — a single-box shard. It exists so the Backend contract
+// can be exercised (and mixed sets composed) against the executor every
+// other implementation is measured by.
 type Local struct {
 	exec engine.Executor
 }
@@ -24,10 +25,12 @@ func NewLocal(exec engine.Executor) *Local {
 // Workers implements engine.Backend.
 func (l *Local) Workers() int { return l.exec.Workers() }
 
-// RunGroup implements engine.Backend: the unit body becomes one pool task.
-func (l *Local) RunGroup(u *engine.GroupUnit, work engine.GroupWork, emit func(*vector.Batch), done func(error)) {
-	l.exec.Submit(-1, func(w int) {
-		done(work(w, u, emit))
+// RunGroup implements engine.Backend: the unit body becomes one pool task
+// running the fragment in place (the fragment is already prepared by the
+// operator that owns it).
+func (l *Local) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error)) {
+	l.exec.Submit(-1, func(int) {
+		done(frag.Run(u, emit))
 	})
 }
 

@@ -1,0 +1,656 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bdcc/internal/engine"
+	"bdcc/internal/iosim"
+	"bdcc/internal/vector"
+)
+
+// This file is the network backend: the framed byte-stream protocol between
+// a query (client half, engine.Backend) and a worker (Server half, the core
+// of cmd/bdccworker), plus Dial for real TCP connections. The simulated
+// remote (sim.go) runs exactly this client against exactly this server over
+// an in-process net.Pipe, so the simulation and the real network share one
+// protocol implementation end to end. The full wire specification lives in
+// docs/WIRE.md.
+
+// Protocol identity. ProtoMagic opens every session's hello frame;
+// ProtoVersion is negotiated in the hello exchange and must match exactly
+// (see docs/WIRE.md for the versioning rules).
+const (
+	ProtoMagic   = "BDCW"
+	ProtoVersion = 1
+)
+
+// Transport frame types. Every frame is one message on the stream:
+// u32 payload length, u64 id, u8 type, payload.
+const (
+	frameHello = byte(1) // both directions at session start: version handshake
+	frameSetup = byte(2) // query → worker: one plan fragment; id = fragment id
+	frameUnit  = byte(3) // query → worker: one group unit; id = unit id
+	frameBatch = byte(4) // worker → query: one result batch; id = unit id
+	frameDone  = byte(5) // worker → query: unit finished; payload = error text
+)
+
+const frameHeader = 4 + 8 + 1
+
+// maxFramePayload bounds what a peer can make us allocate from a 13-byte
+// header: well above any real unit (a group's batches), well below an
+// OOM-by-garbage. A frame claiming more is a protocol violation and drops
+// the session; the send side checks it first, failing only the oversized
+// unit — a work error, not a backend failure, so failover does not cascade
+// it through the set (see docs/WIRE.md).
+const maxFramePayload = 1 << 30
+
+// handshakeTimeout bounds Dial's connect and the hello exchange, so one
+// black-holed address or non-protocol listener fails the set instead of
+// hanging the query at planning.
+const handshakeTimeout = 10 * time.Second
+
+// frameWriteTimeout bounds every single frame write. A peer that is alive
+// at the TCP level but not consuming (a stopped process, a stalled
+// client) would otherwise park the writer forever once the transport
+// window fills — on the query side that blocks the feeder under wmu with
+// failover never triggering, on the worker side it parks unit tasks on
+// the daemon's shared scheduler and starves every other session. With the
+// deadline, a stall becomes a write error: the query side reroutes
+// (ErrBackendDown), the worker side abandons the stalled session's unit.
+// Generous — a 1 GiB frame crosses a 1 Gbps link in ~10 s.
+const frameWriteTimeout = 2 * time.Minute
+
+// ErrBackendDown marks transport-level backend failures — refused dials,
+// connection loss, protocol corruption — as opposed to unit work errors,
+// which cross the transport as frameDone text. The failover wrapper retries
+// a unit on a surviving backend exactly when its error wraps ErrBackendDown;
+// work errors are never retried (a rerun would fail identically).
+var ErrBackendDown = errors.New("shard: backend down")
+
+var errClosed = errors.New("shard: backend closed")
+
+// frameBuf returns a payload buffer with the frame header reserved up
+// front, so encoders append payload bytes directly behind it and writeFrame
+// ships the single buffer with no second copy.
+func frameBuf() []byte { return make([]byte, frameHeader) }
+
+// writeFrame patches the reserved header of frame (a frameBuf-based buffer
+// whose payload starts at frameHeader) and sends it as one message on conn;
+// acct, when non-nil, charges the message to the network model. Callers
+// hold their direction's write mutex (one frame at a time per direction).
+func writeFrame(conn net.Conn, acct *iosim.Accountant, id uint64, typ byte, frame []byte) error {
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-frameHeader))
+	binary.LittleEndian.PutUint64(frame[4:], id)
+	frame[12] = typ
+	if acct != nil {
+		acct.AddRun(1, int64(len(frame)))
+	}
+	conn.SetWriteDeadline(time.Now().Add(frameWriteTimeout))
+	_, err := conn.Write(frame)
+	return err
+}
+
+// readFrame reads one framed message from conn, charging it to acct when
+// non-nil (the query side meters both directions; the worker meters none,
+// so every message is charged exactly once).
+func readFrame(conn net.Conn, acct *iosim.Accountant) (id uint64, typ byte, payload []byte, err error) {
+	var hdr [frameHeader]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	id = binary.LittleEndian.Uint64(hdr[4:])
+	typ = hdr[12]
+	if n > maxFramePayload {
+		return 0, 0, nil, fmt.Errorf("shard: frame claims %d-byte payload (cap %d)", n, maxFramePayload)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(conn, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	if acct != nil {
+		acct.AddRun(1, int64(frameHeader)+int64(n))
+	}
+	return id, typ, payload, nil
+}
+
+// client is the query half of the protocol: an engine.Backend over one
+// framed byte-stream connection. It ships each operator's plan fragment
+// once (frameSetup, keyed by fragment pointer), then one frameUnit per
+// group, and delivers frameBatch/frameDone responses to the unit's
+// emit/done callbacks. Transport failures fail every pending and later
+// unit with an ErrBackendDown-wrapped error.
+type client struct {
+	conn net.Conn
+	name string // dial address, or "sim" for the in-process pipe
+	net  *iosim.Accountant
+
+	wmu      sync.Mutex // frames the request stream; also guards frags
+	frags    map[*engine.Fragment]uint64
+	nextFrag uint64
+
+	// dmu serializes callback delivery: the read loop's emit/done calls and
+	// fail's drain of pending dones are mutually exclusive, so a unit never
+	// sees emit or done concurrently (the backend contract the failover
+	// buffer and the exchange depend on), and a unit drained by fail is
+	// never emitted to afterwards.
+	dmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	broken  error
+	closed  bool
+
+	workers int
+	loop    sync.WaitGroup
+}
+
+// call is the query-side registration of one in-flight unit.
+type call struct {
+	emit func(*vector.Batch)
+	done func(error)
+}
+
+// newClient performs the hello exchange on conn (bounded by
+// handshakeTimeout) and starts the response reader. It owns conn from this
+// point on (Close closes it).
+func newClient(conn net.Conn, name string, acct *iosim.Accountant) (*client, error) {
+	c := &client{
+		conn:    conn,
+		name:    name,
+		net:     acct,
+		frags:   make(map[*engine.Fragment]uint64),
+		pending: make(map[uint64]*call),
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	hello := append(frameBuf(), ProtoMagic...)
+	hello = binary.LittleEndian.AppendUint16(hello, ProtoVersion)
+	if err := writeFrame(conn, c.net, 0, frameHello, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("shard: %s: hello: %w", name, err)
+	}
+	_, typ, payload, err := readFrame(conn, c.net)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("shard: %s: hello reply: %w", name, err)
+	}
+	conn.SetDeadline(time.Time{})
+	if typ != frameHello || len(payload) < 4 {
+		conn.Close()
+		return nil, fmt.Errorf("shard: %s: malformed hello reply (type %d, %d bytes)", name, typ, len(payload))
+	}
+	if v := binary.LittleEndian.Uint16(payload); v != ProtoVersion {
+		conn.Close()
+		return nil, fmt.Errorf("shard: %s speaks protocol version %d, this build speaks %d", name, v, ProtoVersion)
+	}
+	c.workers = int(binary.LittleEndian.Uint16(payload[2:]))
+	if c.workers < 1 {
+		c.workers = 1
+	}
+	c.loop.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Workers implements engine.Backend, reporting the parallelism the worker
+// announced in its hello.
+func (c *client) Workers() int { return c.workers }
+
+// RunGroup implements engine.Backend: register the call, ship the fragment
+// on first use, ship the unit. The read loop delivers results. done is
+// always invoked exactly once, possibly synchronously when the transport is
+// already down.
+func (c *client) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error)) {
+	c.mu.Lock()
+	if err := c.unusable(); err != nil {
+		c.mu.Unlock()
+		done(err)
+		return
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = &call{emit: emit, done: done}
+	c.mu.Unlock()
+
+	// The unit payload is encoded outside the write lock (units can be
+	// large, and reroutes run RunGroup concurrently with the feeder); the
+	// fragment-id slot after the frame header is patched once the id is
+	// known.
+	pl := EncodeUnit(u, append(frameBuf(), make([]byte, 8)...))
+	if len(pl)-frameHeader > maxFramePayload {
+		// Failing only this unit — as a work error, not a backend failure —
+		// keeps an oversized group from cascading through every backend of
+		// the set via failover.
+		c.resolve(id, fmt.Errorf("shard: group %d encodes to %d bytes, over the %d frame cap",
+			u.GID, len(pl)-frameHeader, maxFramePayload))
+		return
+	}
+
+	// wmu is held across the fragment check and both writes: no other
+	// unit's frame can interleave between a fragment's setup frame and its
+	// first unit, so the worker always sees the fragment before any unit
+	// that references it.
+	c.wmu.Lock()
+	fid, known := c.frags[frag]
+	if !known {
+		fid = c.nextFrag
+		c.nextFrag++
+		fpl, err := EncodeFragment(frag, frameBuf())
+		if err != nil {
+			c.wmu.Unlock()
+			c.resolve(id, err) // a plan bug, not a transport failure: no reroute
+			return
+		}
+		if err := writeFrame(c.conn, c.net, fid, frameSetup, fpl); err != nil {
+			c.wmu.Unlock()
+			c.fail(fmt.Errorf("ship fragment: %w", err))
+			return
+		}
+		// Registered only after the setup frame shipped: a failed encode or
+		// send must not leave later units referencing a fragment the worker
+		// never received.
+		c.frags[frag] = fid
+	}
+	binary.LittleEndian.PutUint64(pl[frameHeader:], fid)
+	err := writeFrame(c.conn, c.net, id, frameUnit, pl)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("ship unit: %w", err))
+	}
+}
+
+// unusable reports why new units cannot be accepted. Called with c.mu held.
+func (c *client) unusable() error {
+	if c.closed {
+		return errClosed
+	}
+	return c.broken
+}
+
+// resolve completes one registered unit with err, preserving exactly-once
+// delivery of done.
+func (c *client) resolve(id uint64, err error) {
+	c.mu.Lock()
+	cl := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if cl != nil {
+		cl.done(err)
+	}
+}
+
+// fail marks the transport broken (wrapping the cause in ErrBackendDown so
+// the failover wrapper reroutes), tears the connection down (unblocking any
+// writer parked on the stream), and fails every pending unit; later units
+// fail on arrival. Exactly-once delivery of done is preserved: a call is
+// removed from pending before its done runs.
+func (c *client) fail(err error) {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	c.mu.Lock()
+	if c.broken == nil {
+		if !errors.Is(err, ErrBackendDown) {
+			err = fmt.Errorf("%w: %s: %v", ErrBackendDown, c.name, err)
+		}
+		c.broken = err
+	}
+	err = c.broken
+	calls := make([]*call, 0, len(c.pending))
+	for id, cl := range c.pending {
+		calls = append(calls, cl)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, cl := range calls {
+		cl.done(err)
+	}
+}
+
+// readLoop is the query side of the response stream: it decodes result
+// batches and delivers them (in shipped order) to the unit's emit, then
+// completes the unit. Work errors cross the transport as frameDone text —
+// error identity does not survive the wire — while a broken stream fails
+// everything through fail.
+func (c *client) readLoop() {
+	defer c.loop.Done()
+	for {
+		id, typ, payload, err := readFrame(c.conn, c.net)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if typ != frameBatch && typ != frameDone {
+			c.fail(fmt.Errorf("query side received frame type %d", typ))
+			return
+		}
+		var b *vector.Batch
+		if typ == frameBatch {
+			var n int
+			var derr error
+			b, n, derr = vector.DecodeBatch(payload)
+			if derr == nil && n != len(payload) {
+				derr = fmt.Errorf("%d trailing bytes after result batch", len(payload)-n)
+			}
+			if derr != nil {
+				c.fail(derr)
+				return
+			}
+		}
+		// The pending lookup happens under dmu so it cannot interleave with
+		// fail's drain: a unit fail already completed is skipped here, never
+		// emitted to or completed twice.
+		c.dmu.Lock()
+		c.mu.Lock()
+		cl := c.pending[id]
+		if typ == frameDone {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if cl != nil {
+			switch typ {
+			case frameBatch:
+				cl.emit(b)
+			case frameDone:
+				if len(payload) != 0 {
+					cl.done(errors.New(string(payload)))
+				} else {
+					cl.done(nil)
+				}
+			}
+		}
+		c.dmu.Unlock()
+	}
+}
+
+// Close implements engine.Backend: it tears down the connection and joins
+// the read loop, so a closed backend leaves no goroutines behind. Units
+// must not be in flight (the engine's exchange joins every done callback
+// before operators close); any that are anyway fail with errClosed.
+func (c *client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+	c.loop.Wait()
+	c.fail(errClosed) // defensively complete contract-violating stragglers
+	return nil
+}
+
+// Dial connects to a bdccworker daemon at addr (host:port), performs the
+// hello exchange, and returns the connection as an engine.Backend. Dial
+// failures are wrapped in ErrBackendDown so a set built around survivors
+// can treat an unreachable worker like a lost one.
+func Dial(addr string, acct *iosim.Accountant) (engine.Backend, error) {
+	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrBackendDown, addr, err)
+	}
+	return newClient(conn, addr, acct)
+}
+
+// Server is the worker half of the protocol: the core of the bdccworker
+// daemon, usable in-process (the simulated remote and the loopback tests
+// serve net.Pipe and local TCP connections through it). One Server owns one
+// scheduler and one memory tracker shared by every session; each accepted
+// connection is an independent session with its own fragment registry, so
+// concurrent queries do not observe each other.
+type Server struct {
+	sched *engine.Sched
+	mem   *engine.MemTracker
+
+	// OnUnitDone, when set before serving, is called after each unit
+	// completes with the total completed so far — a diagnostic and test
+	// hook (the failover tests use it to kill a worker mid-stream at a
+	// deterministic point). It must not block; calling Close from the hook
+	// must be done asynchronously.
+	OnUnitDone func(total int64)
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	unitsDone atomic.Int64
+	wg        sync.WaitGroup
+}
+
+// NewServer returns a worker over its own scheduler of `workers` pool
+// goroutines and its own memory tracker (remote group joins are metered on
+// the box that runs them).
+func NewServer(workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Server{
+		sched: engine.NewSched(workers),
+		mem:   &engine.MemTracker{},
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.sched.Retain()
+	return s
+}
+
+// Workers returns the server's scheduler parallelism (announced to clients
+// in the hello exchange).
+func (s *Server) Workers() int { return s.sched.Workers() }
+
+// Mem returns the server's memory tracker: the worker-side analogue of the
+// query's tracker, charged with every remote group's hash table.
+func (s *Server) Mem() *engine.MemTracker { return s.mem }
+
+// UnitsDone returns the number of units completed across all sessions.
+func (s *Server) UnitsDone() int64 { return s.unitsDone.Load() }
+
+// Serve accepts connections on l until the listener fails or the server is
+// closed, serving each connection as an independent session. It returns nil
+// after Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errClosed
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.ServeConn(conn)
+	}
+}
+
+// ServeConn starts one session over an established connection (net.Pipe end,
+// accepted socket) and returns immediately; the session runs on server-owned
+// goroutines until the peer closes or the server does.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.session(conn)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+}
+
+// session is one connection's lifetime: hello exchange, then a setup/unit
+// frame loop spawning one scheduler task per unit, then teardown — the
+// connection is closed first (unblocking any task parked writing a result)
+// and in-flight tasks are joined before the session ends, so Close never
+// returns while a unit still runs.
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	_, typ, payload, err := readFrame(conn, nil)
+	if err != nil || typ != frameHello || len(payload) < len(ProtoMagic)+2 ||
+		string(payload[:len(ProtoMagic)]) != ProtoMagic {
+		return // not a protocol peer (or one that stalled); no reply owed
+	}
+	conn.SetReadDeadline(time.Time{})
+	var wmu sync.Mutex
+	reply := binary.LittleEndian.AppendUint16(frameBuf(), ProtoVersion)
+	reply = binary.LittleEndian.AppendUint16(reply, uint16(s.sched.Workers()))
+	if writeFrame(conn, nil, 0, frameHello, reply) != nil {
+		return
+	}
+	if v := binary.LittleEndian.Uint16(payload[len(ProtoMagic):]); v != ProtoVersion {
+		return // versions must match exactly; the client reports the mismatch
+	}
+
+	frags := make(map[uint64]*engine.Fragment)
+	fragErrs := make(map[uint64]error)
+	var tasks sync.WaitGroup
+	defer tasks.Wait()
+	for {
+		id, typ, payload, err := readFrame(conn, nil)
+		if err != nil {
+			conn.Close() // unblock tasks parked writing before joining them
+			return
+		}
+		switch typ {
+		case frameSetup:
+			frag, err := DecodeFragment(payload)
+			if err == nil {
+				frag.Mem = s.mem
+				err = frag.Prepare()
+			}
+			if err != nil {
+				fragErrs[id] = err
+				continue
+			}
+			frags[id] = frag
+		case frameUnit:
+			if len(payload) < 8 {
+				conn.Close() // protocol corruption: drop the session
+				return
+			}
+			fid := binary.LittleEndian.Uint64(payload)
+			frag := frags[fid]
+			if frag == nil {
+				err := fragErrs[fid]
+				if err == nil {
+					err = fmt.Errorf("shard: unit references unknown fragment %d", fid)
+				}
+				s.finishUnit(conn, &wmu, id, err)
+				continue
+			}
+			body := payload[8:]
+			tasks.Add(1)
+			s.sched.Submit(-1, func(int) {
+				defer tasks.Done()
+				u, err := DecodeUnit(body)
+				var oversized error
+				if err == nil {
+					err = frag.Run(u, func(b *vector.Batch) {
+						if oversized != nil {
+							return // unit already failed; drop the rest
+						}
+						pl := b.Encode(frameBuf())
+						// Mirror the client's send-side cap: shipping an
+						// over-cap result would make the client drop the
+						// session and failover cascade the same group —
+						// deterministically oversized — through every
+						// backend. Failing just this unit keeps it a work
+						// error.
+						if len(pl)-frameHeader > maxFramePayload {
+							if oversized == nil {
+								oversized = fmt.Errorf("shard: group %d result batch encodes to %d bytes, over the %d frame cap",
+									u.GID, len(pl)-frameHeader, maxFramePayload)
+							}
+							return
+						}
+						// A send failure here means the client is gone; the
+						// done frame below fails the same way and the read
+						// loop tears the session down.
+						wmu.Lock()
+						writeFrame(conn, nil, id, frameBatch, pl)
+						wmu.Unlock()
+					})
+					if err == nil {
+						err = oversized
+					}
+				}
+				s.finishUnit(conn, &wmu, id, err)
+			})
+		default:
+			conn.Close()
+			return
+		}
+	}
+}
+
+// finishUnit reports a unit's completion (err == nil) or its work error.
+// The counter (and hook) advance before the done frame ships, so a client
+// that observed a completion always finds it counted.
+func (s *Server) finishUnit(conn net.Conn, wmu *sync.Mutex, id uint64, err error) {
+	n := s.unitsDone.Add(1)
+	if s.OnUnitDone != nil {
+		s.OnUnitDone(n)
+	}
+	msg := frameBuf()
+	if err != nil {
+		msg = append(msg, err.Error()...)
+	}
+	wmu.Lock()
+	writeFrame(conn, nil, id, frameDone, msg)
+	wmu.Unlock()
+}
+
+// Close shuts the worker down: listeners stop accepting, every session's
+// connection is closed (failing the clients' pending units with
+// ErrBackendDown, which is what lets a query fail over to surviving
+// workers), in-flight unit tasks and session goroutines are joined, and
+// the scheduler is released — a closed server leaves no goroutines behind.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := s.listeners
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	s.sched.Release()
+	return nil
+}

@@ -1,0 +1,352 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bdcc/internal/engine"
+	"bdcc/internal/expr"
+	"bdcc/internal/iosim"
+	"bdcc/internal/vector"
+)
+
+// startWorker starts an in-process worker Server on a loopback TCP listener
+// and returns it with its dialable address. Cleanup closes it (idempotent,
+// so tests may close earlier to simulate a crash).
+func startWorker(t *testing.T, workers int) (*Server, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(workers)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String()
+}
+
+// TestFragmentCodecRoundTrip checks the plan-fragment wire form: schemas,
+// keys, type, and residual reproduce exactly, and the decoded fragment
+// prepares and joins like the original.
+func TestFragmentCodecRoundTrip(t *testing.T) {
+	probe, build := testStreams(2, 8)
+	orig := &engine.Fragment{
+		Probe: probe.schema, Build: build.schema,
+		ProbeKeys: []string{"lkey"}, BuildKeys: []string{"rkey"},
+		Type:     engine.InnerJoin,
+		Residual: expr.NewCmp(expr.GT, expr.C("rpay"), expr.Float(0.75)),
+	}
+	buf, err := EncodeFragment(orig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFragment(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.Probe) != fmt.Sprint(orig.Probe) || fmt.Sprint(got.Build) != fmt.Sprint(orig.Build) {
+		t.Fatalf("schemas changed across the wire: %v / %v", got.Probe, got.Build)
+	}
+	if fmt.Sprint(got.ProbeKeys) != fmt.Sprint(orig.ProbeKeys) ||
+		fmt.Sprint(got.BuildKeys) != fmt.Sprint(orig.BuildKeys) || got.Type != orig.Type {
+		t.Fatalf("keys or type changed across the wire")
+	}
+	if got.Residual == nil || got.Residual.String() != orig.Residual.String() {
+		t.Fatalf("residual changed across the wire: %v", got.Residual)
+	}
+	if err := orig.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	u := &engine.GroupUnit{GID: 0,
+		Probe: []*vector.Batch{probe.batches[0]},
+		Build: []*vector.Batch{build.batches[0]},
+	}
+	render := func(f *engine.Fragment) (out []string) {
+		if err := f.Run(u, func(b *vector.Batch) {
+			for i := 0; i < b.Len(); i++ {
+				row := make([]string, len(b.Cols))
+				for c, col := range b.Cols {
+					row[c] = col.GetString(i)
+				}
+				out = append(out, fmt.Sprint(row))
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want, have := render(orig), render(got)
+	if len(want) == 0 {
+		t.Fatal("residual join produced no rows — vacuous test")
+	}
+	if fmt.Sprint(want) != fmt.Sprint(have) {
+		t.Fatalf("decoded fragment joins differently:\n%v\n%v", have, want)
+	}
+
+	// No-residual and truncation paths.
+	plain := &engine.Fragment{Probe: probe.schema, Build: build.schema,
+		ProbeKeys: []string{"lkey"}, BuildKeys: []string{"rkey"}}
+	buf2, err := EncodeFragment(plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := DecodeFragment(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Residual != nil {
+		t.Fatal("nil residual decoded as non-nil")
+	}
+	for n := 0; n < len(buf); n += 3 {
+		if _, err := DecodeFragment(buf[:n]); err == nil {
+			t.Fatalf("truncated fragment (%d of %d bytes) decoded without error", n, len(buf))
+		}
+	}
+}
+
+// TestTCPBackendMatchesSerial is the loopback-TCP equivalence leg: the
+// sandwich join sharded over two real bdccworker servers (dialed over
+// loopback TCP, fragments and batches crossing real sockets) must
+// reproduce the serial join byte-identically, and closing the set must
+// leave no goroutines or connections behind.
+func TestTCPBackendMatchesSerial(t *testing.T) {
+	base := runtime.NumGoroutine()
+	serialCtx := &engine.Context{Mem: &engine.MemTracker{}}
+	serial, err := engine.Run(serialCtx, sandwich(serialCtx, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRows(serial)
+
+	srv1, addr1 := startWorker(t, 2)
+	srv2, addr2 := startWorker(t, 2)
+	for _, balance := range []string{"hash", "size"} {
+		t.Run(balance, func(t *testing.T) {
+			set, err := DialSet([]string{addr1, addr2}, PaperNet())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if balance == "size" {
+				set.BalanceBySize()
+			}
+			ctx := &engine.Context{Mem: &engine.MemTracker{}, Workers: 1}
+			ctx.Backends = set.Backends()
+			ctx.Net = set.Net()
+			res, err := engine.Run(ctx, sandwich(ctx, set.Backends(), set.Route))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderRows(res)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("TCP-sharded run differs from serial (%d vs %d rows)", len(got), len(want))
+			}
+			if cur := ctx.Mem.Current(); cur != 0 {
+				t.Fatalf("%d bytes still accounted after Close", cur)
+			}
+			if st := set.Net().Stats(); st.Runs < 64 || st.Bytes == 0 {
+				t.Fatalf("loopback run recorded implausible transport stats: %+v", st)
+			}
+			if err := ctx.CloseBackends(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if srv1.UnitsDone()+srv2.UnitsDone() < 64 {
+		t.Fatalf("workers completed %d+%d units, want 64 (32 groups × 2 runs)",
+			srv1.UnitsDone(), srv2.UnitsDone())
+	}
+	if srv1.UnitsDone() == 0 || srv2.UnitsDone() == 0 {
+		t.Fatalf("one worker executed nothing (%d / %d) — routing is not spreading groups",
+			srv1.UnitsDone(), srv2.UnitsDone())
+	}
+	srv1.Close()
+	srv2.Close()
+	if cur := srv1.Mem().Current(); cur != 0 {
+		t.Fatalf("worker 1 still accounts %d bytes after close", cur)
+	}
+	waitGoroutines(t, base+2)
+}
+
+// TestFailoverReroutesKilledWorker is the failover acceptance test: one of
+// two workers is killed mid-stream — deterministically, after completing
+// its third unit — and the run must still match the serial oracle byte for
+// byte, because every failed and future unit of the dead worker reroutes to
+// the survivor. No goroutines or connections may leak, and the query-side
+// tracker must balance.
+func TestFailoverReroutesKilledWorker(t *testing.T) {
+	base := runtime.NumGoroutine()
+	serialCtx := &engine.Context{Mem: &engine.MemTracker{}}
+	serial, err := engine.Run(serialCtx, sandwich(serialCtx, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRows(serial)
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			srv1, addr1 := startWorker(t, 2)
+			srv2, addr2 := startWorker(t, 2)
+			var killed atomic.Bool
+			srv2.OnUnitDone = func(total int64) {
+				if total == 3 && !killed.Swap(true) {
+					go srv2.Close() // async: Close joins the calling unit task
+				}
+			}
+			set, err := DialSet([]string{addr1, addr2}, PaperNet())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := &engine.Context{Mem: &engine.MemTracker{}, Workers: workers}
+			ctx.Backends = set.Backends()
+			ctx.Net = set.Net()
+			res, err := engine.Run(ctx, sandwich(ctx, set.Backends(), set.Route))
+			if err != nil {
+				t.Fatalf("run with a killed worker failed instead of failing over: %v", err)
+			}
+			got := renderRows(res)
+			if len(got) != len(want) {
+				t.Fatalf("rerouted run returns %d rows, serial %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("row %d = %s after failover, serial has %s", i, got[i], want[i])
+				}
+			}
+			if !killed.Load() {
+				t.Fatal("worker 2 was never killed — the reroute path went unexercised")
+			}
+			if cur := ctx.Mem.Current(); cur != 0 {
+				t.Fatalf("%d bytes still accounted after failover run", cur)
+			}
+			if err := ctx.CloseBackends(); err != nil {
+				t.Fatal(err)
+			}
+			srv1.Close()
+			srv2.Close()
+		})
+	}
+	waitGoroutines(t, base+2)
+}
+
+// TestFailoverExhaustion checks the terminal case: with every worker dead,
+// units complete with an ErrBackendDown-wrapped error instead of hanging,
+// and the error reaches the consumer.
+func TestFailoverExhaustion(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv1, addr1 := startWorker(t, 1)
+	srv2, addr2 := startWorker(t, 1)
+	set, err := DialSet([]string{addr1, addr2}, PaperNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+	srv2.Close()
+	frag := testFragment(t)
+	probe, _ := testStreams(1, 2)
+	done := make(chan error, 1)
+	set.Backends()[0].RunGroup(
+		&engine.GroupUnit{GID: 1, Probe: []*vector.Batch{probe.batches[0]}},
+		frag, func(*vector.Batch) {}, func(err error) { done <- err })
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrBackendDown) {
+			t.Fatalf("exhausted failover returned %v, want an ErrBackendDown-wrapped error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("unit with no surviving backends never completed")
+	}
+	for _, b := range set.Backends() {
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGoroutines(t, base+2)
+}
+
+// TestDialFailureIsBackendDown checks refused dials carry the reroute
+// marker, and that DialSet reports them rather than returning a partial
+// set.
+func TestDialFailureIsBackendDown(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	if _, err := Dial(dead, nil); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("dial to a dead address returned %v, want ErrBackendDown", err)
+	}
+	_, addr := startWorker(t, 1)
+	if _, err := DialSet([]string{addr, dead}, PaperNet()); !errors.Is(err, ErrBackendDown) {
+		t.Fatalf("DialSet with a dead member returned %v, want ErrBackendDown", err)
+	}
+}
+
+// TestHelloVersionMismatch locks in the versioning rule of docs/WIRE.md: a
+// worker answers a mismatched client hello with its own version and drops
+// the session without executing anything.
+func TestHelloVersionMismatch(t *testing.T) {
+	_, addr := startWorker(t, 1)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := append(frameBuf(), ProtoMagic...)
+	hello = binary.LittleEndian.AppendUint16(hello, ProtoVersion+41)
+	if err := writeFrame(conn, nil, 0, frameHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, typ, payload, err := readFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("no hello reply before drop: %v", err)
+	}
+	if typ != frameHello || binary.LittleEndian.Uint16(payload) != ProtoVersion {
+		t.Fatalf("hello reply type %d version %d, want the worker's real version %d",
+			typ, binary.LittleEndian.Uint16(payload), ProtoVersion)
+	}
+	if _, _, _, err := readFrame(conn, nil); err != io.EOF {
+		t.Fatalf("worker kept a mismatched session open (read returned %v, want EOF)", err)
+	}
+}
+
+// TestSimWorkerMeters checks the remote box meters its own hash tables: a
+// sharded run charges the worker-side tracker, not (beyond in-flight unit
+// clones) the query-side one, and the worker tracker balances after the
+// run.
+func TestSimWorkerMeters(t *testing.T) {
+	ctx := &engine.Context{Mem: &engine.MemTracker{}, Workers: 1}
+	sim := NewSim(2, iosim.NewAccountant(PaperNet()))
+	ctx.Backends = []engine.Backend{sim}
+	res, err := engine.Run(ctx, sandwich(ctx, ctx.Backends, func(uint64, int64) int { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() == 0 {
+		t.Fatal("no rows — vacuous test")
+	}
+	if peak := sim.Worker().Mem().Peak(); peak <= 0 {
+		t.Fatalf("worker-side tracker saw no hash-table memory (peak %d)", peak)
+	}
+	if cur := sim.Worker().Mem().Current(); cur != 0 {
+		t.Fatalf("worker-side tracker still accounts %d bytes", cur)
+	}
+	if done := sim.Worker().UnitsDone(); done != 32 {
+		t.Fatalf("worker completed %d units for 32 groups", done)
+	}
+	if err := sim.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

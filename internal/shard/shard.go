@@ -5,26 +5,72 @@
 // another executor with no cross-shard coordination. This package provides
 // the pieces behind the engine's Backend seam:
 //
-//   - Router: a deterministic group-hash router assigning groups to N
-//     backends (placement stays in the scheduler/backend layer, not in
-//     operators — the morsel paper's locality argument).
-//   - the group-unit wire codec (codec.go): units cross a transport as
-//     vector.Batch bytes, never as shared memory.
-//   - Local: the reference Backend over an engine.Executor — the existing
-//     local pool behind the new interface.
-//   - Sim: the first non-local Backend — an in-process simulated remote
-//     with its own scheduler, a byte-stream transport, and iosim-modeled
-//     network cost.
+//   - Router / Set.Route: group placement — deterministic group-hash by
+//     default, least-loaded-by-bytes under the balance-by-size policy —
+//     with per-backend routed loads recorded either way (placement stays in
+//     the scheduler/backend layer, not in operators).
+//   - the wire codecs (codec.go): plan fragments and group units cross a
+//     transport as bytes, never as shared memory.
+//   - the frame protocol (net.go): the client half (engine.Backend over one
+//     framed byte stream) and the worker half (Server, the core of
+//     cmd/bdccworker), specified in docs/WIRE.md.
+//   - Local: the reference Backend over an engine.Executor — the local pool
+//     behind the seam, no transport.
+//   - Sim: the protocol client and worker server over an in-process
+//     net.Pipe — the real wire protocol with only the network modeled.
+//   - Dial / DialSet: the same client over real TCP connections to
+//     bdccworker daemons (docs/OPERATIONS.md covers deployment).
+//   - NewFailover (failover.go): unit-level retry across a set — failed
+//     units reroute to surviving backends, excluding failed attempts.
+//
+// # The Backend lifecycle contract
+//
+// A third-party backend implements engine.Backend against this contract;
+// the transport backends of this package follow it over their framed
+// streams (hello → setup → units → done/close):
+//
+//   - Connect/handshake: a session begins with the client's hello (magic +
+//     protocol version) and the worker's hello reply (version + worker
+//     parallelism). Versions must match exactly; Workers() reports the
+//     replied parallelism so the engine can size its in-flight lookahead.
+//   - Setup: the first unit of each operator is preceded by the operator's
+//     serialized plan fragment (one frameSetup per fragment, identified by
+//     a client-assigned id). The worker Prepares the decoded fragment once
+//     and executes every later unit of that id against it. A fragment that
+//     fails to decode or Prepare poisons only its own units (each fails
+//     with the preparation error as a work error), never the session.
+//   - Units: RunGroup is asynchronous and concurrent; each unit is
+//     independent. The backend invokes emit sequentially per unit with
+//     result batches that share no memory with the shipped unit, then
+//     done(err) exactly once. Work errors cross the wire as text — error
+//     identity does not survive — and are deterministic: the engine does
+//     not retry them.
+//   - Failure and reroute: transport-level failures (connection loss, a
+//     killed worker, refused dials, protocol corruption) fail every pending
+//     and later unit with an error wrapping ErrBackendDown. That wrapper is
+//     the reroute signal: the failover layer retries exactly such units on
+//     surviving backends, excluding every backend that already failed the
+//     unit; because unit output is deterministic and emitted sequentially,
+//     the retry replays the same batch sequence and skips the prefix a
+//     half-emitted failed attempt already delivered.
+//   - Close: callers Close only after every done callback returned (the
+//     engine's exchange guarantees this). Close tears the transport down
+//     and joins all backend-owned goroutines; a closed backend completes
+//     any contract-violating straggler unit with an error rather than
+//     hanging.
 //
 // One backend Set is installed per query (by the planner, when the Shards
-// knob exceeds one); query results are byte-identical across shard counts
-// because the engine's exchange merges returned batches in group order
-// regardless of where a group ran. A real network backend is a drop-in: it
-// implements engine.Backend over a socket instead of the in-process pipe and
-// receives the plan fragment that Sim's GroupWork closure stands in for.
+// knob exceeds one or worker addresses are configured); query results are
+// byte-identical across shard counts, routing policies, transports, and
+// mid-query worker failures, because the engine's exchange merges returned
+// batches in group order regardless of where — and after how many attempts —
+// a group ran.
 package shard
 
 import (
+	"fmt"
+	"sync"
+
 	"bdcc/internal/engine"
 	"bdcc/internal/iosim"
 	"bdcc/internal/vector"
@@ -58,6 +104,9 @@ func (r *Router) Route(gid uint64) int {
 // derived the same way iosim derives run setup — a 256 KB transfer reaches
 // 80% of line rate, putting message overhead at ~52 µs. Stats.Runs counts
 // messages and Stats.Time is the modeled network time reported as net_ms.
+// Real TCP backends are charged to the same model: their message and byte
+// counts are real, while the modeled time stands beside the wall clock that
+// already contains the real cost.
 func PaperNet() iosim.Device {
 	return iosim.Device{
 		Name:           "10GbE",
@@ -68,12 +117,20 @@ func PaperNet() iosim.Device {
 	}
 }
 
-// Set is the per-query backend group: n simulated-remote backends sharing
-// one network accountant, plus the router that places groups on them.
+// Set is the per-query backend group: n backends (simulated remotes or
+// dialed TCP workers) behind the failover wrapper, one shared network
+// accountant, and the router that places groups on them. The router records
+// each backend's routed load (units, bytes); the balance-by-size policy
+// places every group on the backend with the least cumulative bytes instead
+// of hashing the group id.
 type Set struct {
 	backends []engine.Backend
-	router   *Router
+	hash     *Router
 	net      *iosim.Accountant
+
+	mu     sync.Mutex
+	bySize bool
+	loads  []engine.BackendLoad
 }
 
 // NewSet returns a backend set of n simulated remotes, each with its own
@@ -83,18 +140,97 @@ func NewSet(n, workers int, dev iosim.Device) *Set {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Set{router: NewRouter(n), net: iosim.NewAccountant(dev)}
+	s := newSet(n, iosim.NewAccountant(dev))
+	raw := make([]engine.Backend, n)
 	for i := 0; i < n; i++ {
-		s.backends = append(s.backends, NewSim(workers, s.net))
+		raw[i] = NewSim(workers, s.net)
 	}
+	s.backends = NewFailover(raw)
 	return s
 }
 
-// Backends returns the set's backends, one per shard.
+// DialSet returns a backend set of one TCP backend per bdccworker address,
+// behind the failover wrapper, charging message traffic to one accountant
+// over dev. Every address must answer the handshake; on any failure the
+// already-dialed backends are closed and the error returned.
+func DialSet(addrs []string, dev iosim.Device) (*Set, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: DialSet with no addresses")
+	}
+	s := newSet(len(addrs), iosim.NewAccountant(dev))
+	raw := make([]engine.Backend, 0, len(addrs))
+	for _, addr := range addrs {
+		b, err := Dial(addr, s.net)
+		if err != nil {
+			for _, d := range raw {
+				d.Close()
+			}
+			return nil, err
+		}
+		raw = append(raw, b)
+	}
+	s.backends = NewFailover(raw)
+	return s, nil
+}
+
+func newSet(n int, acct *iosim.Accountant) *Set {
+	return &Set{
+		hash:  NewRouter(n),
+		net:   acct,
+		loads: make([]engine.BackendLoad, n),
+	}
+}
+
+// BalanceBySize switches the set's placement policy from group-hash to
+// least-loaded-by-bytes: each group unit goes to the backend with the
+// smallest cumulative routed bytes (lowest index on ties). With a single
+// sharded operator placement is deterministic (its feeder routes groups
+// serially in stream order); a plan with several sharded operators routes
+// from concurrently running feeders, so the per-backend distribution may
+// vary run to run — unlike the hash policy, which is deterministic per
+// group regardless. Results are byte-identical across policies and
+// placements either way: the exchange merges in group order no matter
+// where a group ran.
+func (s *Set) BalanceBySize() {
+	s.mu.Lock()
+	s.bySize = true
+	s.mu.Unlock()
+}
+
+// Backends returns the set's backends, one per shard, failover-wrapped and
+// index-aligned with Route.
 func (s *Set) Backends() []engine.Backend { return s.backends }
 
-// Route is the set's group-hash placement function (see Router.Route).
-func (s *Set) Route(gid uint64) int { return s.router.Route(gid) }
+// Route is the set's placement function: group id and unit bytes in,
+// backend index out, with the routed load recorded per backend.
+func (s *Set) Route(gid uint64, bytes int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := 0
+	if s.bySize {
+		for i := 1; i < len(s.loads); i++ {
+			if s.loads[i].Bytes < s.loads[k].Bytes {
+				k = i
+			}
+		}
+	} else {
+		k = s.hash.Route(gid)
+	}
+	s.loads[k].Units++
+	s.loads[k].Bytes += bytes
+	return k
+}
+
+// Loads returns a snapshot of the per-backend routed load (group-size
+// counts): how many units and batch bytes the router placed on each shard.
+// After a failover, loads reflect routing, not final execution sites.
+func (s *Set) Loads() []engine.BackendLoad {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]engine.BackendLoad, len(s.loads))
+	copy(out, s.loads)
+	return out
+}
 
 // Net returns the shared network accountant.
 func (s *Set) Net() *iosim.Accountant { return s.net }

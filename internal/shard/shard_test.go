@@ -92,7 +92,7 @@ func testStreams(groups, probePerGroup int) (probe, build *groupStream) {
 	return probe, build
 }
 
-func sandwich(ctx *engine.Context, bks []engine.Backend, route func(uint64) int) *engine.SandwichHashJoin {
+func sandwich(ctx *engine.Context, bks []engine.Backend, route func(uint64, int64) int) *engine.SandwichHashJoin {
 	probe, build := testStreams(32, 400)
 	return &engine.SandwichHashJoin{
 		Left: probe, Right: build,
@@ -102,6 +102,22 @@ func sandwich(ctx *engine.Context, bks []engine.Backend, route func(uint64) int)
 		Backends: bks,
 		Route:    route,
 	}
+}
+
+// testFragment returns a prepared fragment matching testStreams' schemas,
+// for driving backends directly.
+func testFragment(t *testing.T) *engine.Fragment {
+	t.Helper()
+	probe, build := testStreams(1, 2)
+	f := &engine.Fragment{
+		Probe: probe.schema, Build: build.schema,
+		ProbeKeys: []string{"lkey"}, BuildKeys: []string{"rkey"},
+		Type: engine.InnerJoin,
+	}
+	if err := f.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	return f
 }
 
 func renderRows(r *engine.Result) []string {
@@ -207,7 +223,7 @@ func TestShardedSandwichMatchesSerial(t *testing.T) {
 	}
 	want := renderRows(serial)
 
-	check := func(t *testing.T, ctx *engine.Context, bks []engine.Backend, route func(uint64) int) {
+	check := func(t *testing.T, ctx *engine.Context, bks []engine.Backend, route func(uint64, int64) int) {
 		t.Helper()
 		res, err := engine.Run(ctx, sandwich(ctx, bks, route))
 		if err != nil {
@@ -230,18 +246,25 @@ func TestShardedSandwichMatchesSerial(t *testing.T) {
 	t.Run("local-backend", func(t *testing.T) {
 		ctx := &engine.Context{Mem: &engine.MemTracker{}, Workers: 4}
 		l := NewLocal(ctx.Scheduler())
-		check(t, ctx, []engine.Backend{l}, func(uint64) int { return 0 })
+		check(t, ctx, []engine.Backend{l}, func(uint64, int64) int { return 0 })
 		if err := l.Close(); err != nil {
 			t.Fatal(err)
 		}
 	})
-	for _, tc := range []struct{ workers, shards int }{
-		{1, 2}, {1, 4}, {4, 2}, {4, 4},
+	for _, tc := range []struct {
+		workers, shards int
+		bySize          bool
+	}{
+		{1, 2, false}, {1, 4, false}, {4, 2, false}, {4, 4, false},
+		{1, 2, true}, {4, 4, true},
 	} {
 		tc := tc
-		t.Run(fmt.Sprintf("sim/workers=%d/shards=%d", tc.workers, tc.shards), func(t *testing.T) {
+		t.Run(fmt.Sprintf("sim/workers=%d/shards=%d/bySize=%v", tc.workers, tc.shards, tc.bySize), func(t *testing.T) {
 			ctx := &engine.Context{Mem: &engine.MemTracker{}, Workers: tc.workers}
 			set := NewSet(tc.shards, tc.workers, PaperNet())
+			if tc.bySize {
+				set.BalanceBySize()
+			}
 			ctx.Backends = set.Backends()
 			ctx.Net = set.Net()
 			check(t, ctx, set.Backends(), set.Route)
@@ -251,6 +274,27 @@ func TestShardedSandwichMatchesSerial(t *testing.T) {
 			st := set.Net().Stats()
 			if st.Runs == 0 || st.Bytes == 0 || st.Time <= 0 {
 				t.Fatalf("no network activity recorded for a sharded run: %+v", st)
+			}
+			loads := set.Loads()
+			var units, bytes int64
+			for _, l := range loads {
+				units += l.Units
+				bytes += l.Bytes
+			}
+			if units != 32 {
+				t.Fatalf("router recorded %d routed units for 32 groups: %+v", units, loads)
+			}
+			if bytes <= 0 {
+				t.Fatalf("router recorded no routed bytes: %+v", loads)
+			}
+			if tc.bySize {
+				// Least-loaded placement cannot leave a backend empty while
+				// another holds more than one unit's worth of slack.
+				for i, l := range loads {
+					if l.Units == 0 {
+						t.Fatalf("balance-by-size left backend %d empty: %+v", i, loads)
+					}
+				}
 			}
 		})
 	}
@@ -299,7 +343,7 @@ type errBackend struct {
 
 func (e *errBackend) Workers() int { return e.inner.Workers() }
 func (e *errBackend) Close() error { return e.inner.Close() }
-func (e *errBackend) RunGroup(u *engine.GroupUnit, work engine.GroupWork, emit func(*vector.Batch), done func(error)) {
+func (e *errBackend) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error)) {
 	if e.ok <= 0 {
 		// Emit a partial result first: the error arrives mid-group.
 		if len(u.Probe) > 0 {
@@ -309,7 +353,7 @@ func (e *errBackend) RunGroup(u *engine.GroupUnit, work engine.GroupWork, emit f
 		return
 	}
 	e.ok--
-	e.inner.RunGroup(u, work, emit, done)
+	e.inner.RunGroup(u, frag, emit, done)
 }
 
 // TestBackendErrorMidGroupPropagates mirrors TestErrorMidStreamJoinsProducers
@@ -344,28 +388,53 @@ func TestBackendErrorMidGroupPropagates(t *testing.T) {
 	waitGoroutines(t, base+2)
 }
 
-// TestSimWorkErrorCrossesTransport checks a GroupWork error raised on the
-// remote side travels back over the byte stream (as text — a real remote
-// loses error identity the same way) and fails the unit.
+// TestSimWorkErrorCrossesTransport checks a work error raised on the remote
+// side travels back over the byte stream (as text — error identity does not
+// survive the wire) and fails only that fragment's units, as a plain,
+// non-reroutable error. The error is provoked the way a real worker would
+// hit it: a fragment that fails Prepare on arrival.
 func TestSimWorkErrorCrossesTransport(t *testing.T) {
 	base := runtime.NumGoroutine()
 	s := NewSim(2, nil)
-	u := &engine.GroupUnit{GID: 1}
+	probe, build := testStreams(1, 2)
+	bad := &engine.Fragment{
+		Probe: probe.schema, Build: build.schema,
+		ProbeKeys: []string{"no_such_column"}, BuildKeys: []string{"rkey"},
+		Type: engine.InnerJoin,
+	}
+	u := &engine.GroupUnit{GID: 1, Probe: []*vector.Batch{probe.batches[0]}}
 	errCh := make(chan error, 1)
-	s.RunGroup(u,
-		func(int, *engine.GroupUnit, func(*vector.Batch)) error {
-			return errors.New("remote work exploded")
-		},
+	s.RunGroup(u, bad,
 		func(*vector.Batch) { t.Error("emit called for a failed unit") },
 		func(err error) { errCh <- err },
 	)
 	select {
 	case err := <-errCh:
-		if err == nil || !strings.Contains(err.Error(), "remote work exploded") {
-			t.Fatalf("done received %v, want the remote work error", err)
+		if err == nil || !strings.Contains(err.Error(), "no_such_column") {
+			t.Fatalf("done received %v, want the remote preparation error", err)
+		}
+		if errors.Is(err, ErrBackendDown) {
+			t.Fatalf("work error %v is marked as a backend failure — failover would retry it", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("done callback never fired")
+	}
+	// The session survives the poisoned fragment: a healthy fragment still
+	// executes on the same backend.
+	good := testFragment(t)
+	okCh := make(chan error, 1)
+	var rows int
+	s.RunGroup(u, good,
+		func(b *vector.Batch) { rows += b.Len() },
+		func(err error) { okCh <- err },
+	)
+	select {
+	case err := <-okCh:
+		if err != nil {
+			t.Fatalf("healthy fragment after a poisoned one failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy unit never completed")
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -375,20 +444,22 @@ func TestSimWorkErrorCrossesTransport(t *testing.T) {
 
 // TestSimTransportCorruptionFailsFast locks in the fail-path teardown: a
 // corrupt frame on the stream must break the transport, fail in-flight and
-// later units promptly (done still fires exactly once each), and unblock
-// any writer parked on the synchronous pipe so Close returns instead of
-// hanging.
+// later units promptly with an ErrBackendDown-wrapped error (done still
+// fires exactly once each), and unblock any writer parked on the
+// synchronous pipe so Close returns instead of hanging.
 func TestSimTransportCorruptionFailsFast(t *testing.T) {
 	base := runtime.NumGoroutine()
 	s := NewSim(2, nil)
-	// Inject garbage where the backend expects a unit frame: an unknown
-	// frame type makes the remote loop declare the transport broken.
-	if err := s.writeFrame(s.local, &s.wLocal, 99, 42, frameBuf()); err != nil {
+	// Inject garbage where the worker expects a setup or unit frame: an
+	// unknown frame type makes the worker drop the session.
+	s.client.wmu.Lock()
+	err := writeFrame(s.client.conn, nil, 99, 42, frameBuf())
+	s.client.wmu.Unlock()
+	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	s.RunGroup(&engine.GroupUnit{GID: 1},
-		func(int, *engine.GroupUnit, func(*vector.Batch)) error { return nil },
+	s.RunGroup(&engine.GroupUnit{GID: 1}, testFragment(t),
 		func(*vector.Batch) {},
 		func(err error) { done <- err },
 	)
@@ -396,6 +467,9 @@ func TestSimTransportCorruptionFailsFast(t *testing.T) {
 	case err := <-done:
 		if err == nil {
 			t.Fatal("unit on a corrupted transport completed without error")
+		}
+		if !errors.Is(err, ErrBackendDown) {
+			t.Fatalf("transport failure %v does not wrap ErrBackendDown — failover would not reroute", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("unit on a corrupted transport never completed — fail did not unblock the pipe")

@@ -1,291 +1,60 @@
 package shard
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 	"net"
-	"sync"
 
-	"bdcc/internal/engine"
 	"bdcc/internal/iosim"
-	"bdcc/internal/vector"
 )
 
-// Sim is the in-process simulated remote backend: the first non-local
-// implementation of engine.Backend, shaped so a real network backend is a
-// drop-in replacement. It owns a scheduler of its own (the remote box's
-// pool), and every group unit crosses a genuine byte-stream transport — an
-// in-memory full-duplex connection carrying length-framed messages — so the
-// remote side decodes fresh batches and shares no data memory with the
-// query's operators. Transport activity is charged to an iosim accountant
-// over a network device (one "run" per message), producing the modeled
-// net_ms the benchmark grid reports.
+// Sim is the in-process simulated remote backend: the protocol client of
+// net.go talking to the worker Server of net.go — the very same two halves
+// a real deployment runs, speaking the wire protocol of docs/WIRE.md —
+// connected by an in-memory net.Pipe instead of a TCP socket. Nothing is
+// simulated but the wire itself: the plan fragment ships as bytes at
+// setup, every group unit and result batch crosses the stream
+// length-framed and encoded (the remote side decodes fresh memory and
+// shares none with the query's operators), the remote box runs its own
+// scheduler and meters its own hash tables, and transport activity is
+// charged to an iosim accountant over a network device — producing the
+// modeled net_ms the benchmark grid reports where a real deployment pays
+// wall-clock time.
 //
-// One deliberate simulation shortcut: the GroupWork closure does not cross
-// the wire. It stands in for the plan fragment a real remote would receive
-// once at query setup; the remote loop looks it up by unit id from the
-// sender's registry. All batch data — probe, build, results — crosses as
-// bytes in both directions.
+// Because both halves are the production implementations, a passing run
+// over Sim is a passing run of the full wire protocol; swapping the pipe
+// for a dialed connection (Dial) is the only difference between the
+// simulation and a real bdccworker.
 type Sim struct {
-	sched *engine.Sched
-	net   *iosim.Accountant
-
-	local  net.Conn // query side: writes requests, reads responses
-	remote net.Conn // backend side: reads requests, writes responses
-
-	wLocal  sync.Mutex // frames the request stream
-	wRemote sync.Mutex // frames the response stream
-
-	mu      sync.Mutex
-	pending map[uint64]*simCall
-	nextID  uint64
-	broken  error // transport-level failure; fails every later unit
-	closed  bool
-
-	tasks sync.WaitGroup // remote-side in-flight unit tasks
-	loops sync.WaitGroup // the two transport reader goroutines
+	*client
+	srv *Server
 }
 
-// simCall is the query-side registration of one in-flight unit.
-type simCall struct {
-	work engine.GroupWork
-	emit func(*vector.Batch)
-	done func(error)
-}
-
-// Transport frame types. Every frame is one message on the stream:
-// u32 payload length, u64 unit id, u8 type, payload.
-const (
-	frameUnit  = byte(1) // query → backend: one encoded GroupUnit
-	frameBatch = byte(2) // backend → query: one encoded result batch
-	frameDone  = byte(3) // backend → query: unit finished; payload = error text
-)
-
-const frameHeader = 4 + 8 + 1
-
-var errSimClosed = errors.New("shard: backend closed")
-
-// NewSim returns a simulated remote backend with its own pool of `workers`
-// goroutines, charging transport activity to acct (nil disables network
-// accounting).
+// NewSim returns a simulated remote backend whose worker half runs its own
+// pool of `workers` goroutines, charging transport activity to acct (nil
+// disables network accounting).
 func NewSim(workers int, acct *iosim.Accountant) *Sim {
-	s := &Sim{
-		sched:   engine.NewSched(workers),
-		net:     acct,
-		pending: make(map[uint64]*simCall),
+	srv := NewServer(workers)
+	local, remote := net.Pipe()
+	srv.ServeConn(remote)
+	cl, err := newClient(local, "sim", acct)
+	if err != nil {
+		// The handshake runs between two goroutines of this process over a
+		// fresh pipe; it cannot fail without a protocol-implementation bug.
+		panic(fmt.Sprintf("shard: in-process handshake failed: %v", err))
 	}
-	s.local, s.remote = net.Pipe()
-	s.sched.Retain()
-	s.loops.Add(2)
-	go s.remoteLoop()
-	go s.localLoop()
-	return s
+	return &Sim{client: cl, srv: srv}
 }
 
-// Workers implements engine.Backend.
-func (s *Sim) Workers() int { return s.sched.Workers() }
-
-// frameBuf returns a payload buffer with the frame header reserved up
-// front, so encoders append payload bytes directly behind it and writeFrame
-// ships the single buffer with no second copy.
-func frameBuf() []byte { return make([]byte, frameHeader) }
-
-// writeFrame patches the reserved header of frame (a frameBuf-based buffer
-// whose payload starts at frameHeader) and sends it as one message on conn,
-// charging its bytes to the network model.
-func (s *Sim) writeFrame(conn net.Conn, mu *sync.Mutex, id uint64, typ byte, frame []byte) error {
-	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-frameHeader))
-	binary.LittleEndian.PutUint64(frame[4:], id)
-	frame[12] = typ
-	if s.net != nil {
-		s.net.AddRun(1, int64(len(frame)))
-	}
-	mu.Lock()
-	defer mu.Unlock()
-	_, err := conn.Write(frame)
+// Close implements engine.Backend: it closes the client half (joining its
+// read loop) and shuts the in-process worker down (joining its session and
+// in-flight unit tasks), so a closed backend leaves no goroutines behind on
+// either side of the pipe.
+func (s *Sim) Close() error {
+	err := s.client.Close()
+	s.srv.Close()
 	return err
 }
 
-// readFrame reads one framed message from conn.
-func readFrame(conn net.Conn) (id uint64, typ byte, payload []byte, err error) {
-	var hdr [frameHeader]byte
-	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
-		return 0, 0, nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	id = binary.LittleEndian.Uint64(hdr[4:])
-	typ = hdr[12]
-	payload = make([]byte, n)
-	if _, err = io.ReadFull(conn, payload); err != nil {
-		return 0, 0, nil, err
-	}
-	return id, typ, payload, nil
-}
-
-// RunGroup implements engine.Backend: encode the unit, register the call,
-// and ship it. The remote loop schedules execution; the local loop delivers
-// results. done is always invoked exactly once, possibly synchronously when
-// the transport is already down.
-func (s *Sim) RunGroup(u *engine.GroupUnit, work engine.GroupWork, emit func(*vector.Batch), done func(error)) {
-	s.mu.Lock()
-	if err := s.unusable(); err != nil {
-		s.mu.Unlock()
-		done(err)
-		return
-	}
-	id := s.nextID
-	s.nextID++
-	s.pending[id] = &simCall{work: work, emit: emit, done: done}
-	s.mu.Unlock()
-
-	if err := s.writeFrame(s.local, &s.wLocal, id, frameUnit, EncodeUnit(u, frameBuf())); err != nil {
-		s.fail(fmt.Errorf("shard: ship unit: %w", err))
-	}
-}
-
-// unusable reports why new units cannot be accepted. Called with s.mu held.
-func (s *Sim) unusable() error {
-	if s.closed {
-		return errSimClosed
-	}
-	return s.broken
-}
-
-// fail marks the transport broken, tears the pipe down (unblocking any
-// writer parked on the synchronous stream — without this a remote task
-// blocked shipping a result after the local reader died would hang Close
-// forever), and fails every pending unit; later units fail on arrival.
-// Exactly-once delivery of done is preserved: a call is removed from
-// pending before its done runs.
-func (s *Sim) fail(err error) {
-	s.mu.Lock()
-	if s.broken == nil {
-		s.broken = err
-	}
-	err = s.broken
-	calls := make([]*simCall, 0, len(s.pending))
-	for id, c := range s.pending {
-		calls = append(calls, c)
-		delete(s.pending, id)
-	}
-	s.mu.Unlock()
-	s.local.Close()
-	s.remote.Close()
-	for _, c := range calls {
-		c.done(err)
-	}
-}
-
-// remoteLoop is the backend box: it reads unit frames off the request
-// stream and turns each into a task on the backend's own scheduler. The
-// task decodes the unit (so decoding parallelizes on the remote pool), runs
-// the group work against the decoded batches, streams every result batch
-// back as bytes, then reports completion.
-func (s *Sim) remoteLoop() {
-	defer s.loops.Done()
-	for {
-		id, typ, payload, err := readFrame(s.remote)
-		if err != nil {
-			return // transport closed (Close) or broken (local side reports)
-		}
-		if typ != frameUnit {
-			s.fail(fmt.Errorf("shard: backend received frame type %d", typ))
-			return
-		}
-		s.mu.Lock()
-		call := s.pending[id]
-		s.mu.Unlock()
-		if call == nil {
-			continue // unit already failed locally
-		}
-		s.tasks.Add(1)
-		s.sched.Submit(-1, func(w int) {
-			defer s.tasks.Done()
-			u, err := DecodeUnit(payload)
-			if err == nil {
-				err = call.work(w, u, func(b *vector.Batch) {
-					if werr := s.writeFrame(s.remote, &s.wRemote, id, frameBatch, b.Encode(frameBuf())); werr != nil {
-						s.fail(fmt.Errorf("shard: ship result: %w", werr))
-					}
-				})
-			}
-			msg := frameBuf()
-			if err != nil {
-				msg = append(msg, err.Error()...)
-			}
-			if werr := s.writeFrame(s.remote, &s.wRemote, id, frameDone, msg); werr != nil {
-				s.fail(fmt.Errorf("shard: ship completion: %w", werr))
-			}
-		})
-	}
-}
-
-// localLoop is the query side of the response stream: it decodes result
-// batches and delivers them (in shipped order) to the unit's emit, then
-// completes the unit. Work errors cross the transport as text — a real
-// remote loses error identity the same way.
-func (s *Sim) localLoop() {
-	defer s.loops.Done()
-	for {
-		id, typ, payload, err := readFrame(s.local)
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		call := s.pending[id]
-		if typ == frameDone {
-			delete(s.pending, id)
-		}
-		s.mu.Unlock()
-		if call == nil {
-			continue
-		}
-		switch typ {
-		case frameBatch:
-			b, n, derr := vector.DecodeBatch(payload)
-			if derr == nil && n != len(payload) {
-				derr = fmt.Errorf("shard: %d trailing bytes after result batch", len(payload)-n)
-			}
-			if derr != nil {
-				s.fail(derr)
-				return
-			}
-			call.emit(b)
-		case frameDone:
-			if len(payload) != 0 {
-				call.done(errors.New(string(payload)))
-			} else {
-				call.done(nil)
-			}
-		default:
-			s.fail(fmt.Errorf("shard: query side received frame type %d", typ))
-			return
-		}
-	}
-}
-
-// Close implements engine.Backend: it joins the remote pool's in-flight
-// tasks, releases the pool (idle workers exit), tears down the transport,
-// and joins both reader loops, so a closed backend leaves no goroutines
-// behind. Units must not be in flight (the engine's exchange joins every
-// done callback before operators close); any that are anyway fail with
-// errSimClosed.
-func (s *Sim) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	s.mu.Unlock()
-
-	s.tasks.Wait()
-	s.sched.Release()
-	s.local.Close()
-	s.remote.Close()
-	s.loops.Wait()
-	s.fail(errSimClosed) // defensively complete contract-violating stragglers
-	return nil
-}
+// Worker returns the backend's in-process worker half — its memory tracker
+// and unit counters are the remote box's meters.
+func (s *Sim) Worker() *Server { return s.srv }

@@ -27,8 +27,16 @@ type Benchmark struct {
 	// executes; values below 2 keep the paper's single-threaded setup.
 	Workers int
 	// Shards is the scale-out knob applied to every query RunAll executes;
-	// values below 2 keep the paper's single-box setup.
+	// values below 2 keep the paper's single-box setup. Ignored when
+	// Remotes is set (the worker count is then len(Remotes)).
 	Shards int
+	// Remotes lists bdccworker daemon addresses; when non-empty every query
+	// shards its group streams over dialed TCP backends instead of
+	// simulated remotes.
+	Remotes []string
+	// Balance is the group-placement policy of sharded runs: "" or "hash"
+	// for group-hash placement, "size" for least-loaded-by-bytes.
+	Balance string
 }
 
 // majorMinorOptions returns build options for the hand-tuned major-minor
@@ -103,6 +111,14 @@ func NewEnvShards(db *plan.DB, workers, shards int) *Env {
 	return e
 }
 
+// NewEnvOpts returns an environment with the full knob set applied.
+func NewEnvOpts(db *plan.DB, opt RunOptions) *Env {
+	e := NewEnvShards(db, opt.Workers, opt.Shards)
+	e.Ctx.Remotes = opt.Remotes
+	e.Ctx.Balance = opt.Balance
+	return e
+}
+
 // Close releases the environment's per-query resources (the backend set of
 // sharded runs). Safe on never-sharded environments.
 func (e *Env) Close() error { return e.Ctx.CloseBackends() }
@@ -168,12 +184,32 @@ type Stats struct {
 	// Sched is the per-query scheduler activity (zero when serial),
 	// reported by tpchbench -v.
 	Sched engine.SchedStats
-	// Net is the modeled cross-backend transport activity of a sharded run
+	// Net is the cross-backend transport activity of a sharded run
 	// (runs = messages); zero when single-box. Reported as net_ms in the
 	// JSON grid. Network time is tracked separately from device time — it
 	// does not enter Cold, which keeps single-box cold numbers comparable
-	// across the shards knob.
+	// across the shards knob. Against real TCP workers the message and byte
+	// counts are real while the time remains the 10 GbE model's (the wall
+	// clock already contains the real cost).
 	Net iosim.Stats
+	// Shard is the per-backend routed load of a sharded run (group units
+	// and batch bytes the router placed on each backend); nil when
+	// single-box. Reported as shard_units in the JSON grid, and the
+	// quantity the balance-by-size policy equalizes.
+	Shard []engine.BackendLoad
+}
+
+// RunOptions is the full execution knob set of one query run.
+type RunOptions struct {
+	// Workers is the local pool size (below 2 = serial).
+	Workers int
+	// Shards is the simulated-remote count (below 2 = single-box); ignored
+	// when Remotes is set.
+	Shards int
+	// Remotes lists bdccworker addresses to dial instead of simulating.
+	Remotes []string
+	// Balance is the placement policy: "" or "hash", or "size".
+	Balance string
 }
 
 // RunQuery executes one query against one database and reports results and
@@ -192,10 +228,18 @@ func RunQueryWorkers(db *plan.DB, q QueryDef, workers int) (*engine.Result, *Sta
 // RunQueryShards is RunQueryWorkers with the scale-out knob: shards below 2
 // mean single-box; with shards ≥ 2 the planner installs a backend set and
 // BDCC group streams shard across it. Results are byte-identical across
-// both knobs; the run's modeled network activity is reported in Stats.Net.
-// The per-query backend set is closed before returning.
+// both knobs; the run's network activity is reported in Stats.Net. The
+// per-query backend set is closed before returning.
 func RunQueryShards(db *plan.DB, q QueryDef, workers, shards int) (*engine.Result, *Stats, []string, error) {
-	env := NewEnvShards(db, workers, shards)
+	return RunQueryOpts(db, q, RunOptions{Workers: workers, Shards: shards})
+}
+
+// RunQueryOpts is the full-knob query runner: workers, shards, real worker
+// addresses (dialed TCP backends instead of simulated remotes), and the
+// placement policy. Results are byte-identical across every knob cell —
+// including runs where a worker dies mid-query and its units fail over.
+func RunQueryOpts(db *plan.DB, q QueryDef, opt RunOptions) (*engine.Result, *Stats, []string, error) {
+	env := NewEnvOpts(db, opt)
 	defer env.Close()
 	start := time.Now()
 	node, err := q.Build(env)
@@ -213,6 +257,7 @@ func RunQueryShards(db *plan.DB, q QueryDef, workers, shards int) (*engine.Resul
 		IO:      env.Ctx.Acct.Stats(),
 		PeakMem: env.Ctx.Mem.Peak(),
 		Net:     env.Ctx.NetStats(),
+		Shard:   env.Ctx.ShardLoads(),
 	}
 	st.Cold = st.IO.ColdTime(wall)
 	if s := env.Ctx.Scheduler(); s != nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"bdcc/internal/engine"
 	"bdcc/internal/plan"
 )
 
@@ -19,8 +20,10 @@ type QueryRun struct {
 // Report holds the full Figure 2 / Figure 3 measurement grid.
 type Report struct {
 	SF      float64
-	Workers int // morsel-parallelism knob the grid ran with (0/1 = serial)
-	Shards  int // scale-out knob the grid ran with (0/1 = single-box)
+	Workers int      // morsel-parallelism knob the grid ran with (0/1 = serial)
+	Shards  int      // scale-out knob the grid ran with (0/1 = single-box)
+	Remotes []string // bdccworker addresses the grid ran against (empty = simulated)
+	Balance string   // placement policy ("hash" default, "size")
 	Schemes []plan.Scheme
 	Runs    map[plan.Scheme][]QueryRun // indexed by query position
 	Explain map[string][]string        // per "scheme/query"
@@ -30,13 +33,23 @@ type Report struct {
 // benchmark, with fresh meters per run (cold execution, as in the paper's
 // Figure 2). The benchmark's Workers knob applies to every run.
 func (b *Benchmark) RunAll() (*Report, error) {
+	shards := b.Shards
+	if len(b.Remotes) > 0 {
+		shards = len(b.Remotes)
+	}
 	rep := &Report{
 		SF:      b.SF,
 		Workers: b.Workers,
-		Shards:  b.Shards,
+		Shards:  shards,
+		Remotes: b.Remotes,
+		Balance: b.Balance,
 		Runs:    make(map[plan.Scheme][]QueryRun),
 		Explain: make(map[string][]string),
 	}
+	if rep.Balance == "" {
+		rep.Balance = "hash"
+	}
+	opt := RunOptions{Workers: b.Workers, Shards: b.Shards, Remotes: b.Remotes, Balance: b.Balance}
 	for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
 		db, ok := b.DBs[scheme]
 		if !ok {
@@ -44,7 +57,7 @@ func (b *Benchmark) RunAll() (*Report, error) {
 		}
 		rep.Schemes = append(rep.Schemes, scheme)
 		for _, q := range Queries {
-			_, st, explain, err := RunQueryShards(db, q, b.Workers, b.Shards)
+			_, st, explain, err := RunQueryOpts(db, q, opt)
 			if err != nil {
 				return nil, fmt.Errorf("tpch: %s under %s: %w", q.Name, scheme, err)
 			}
@@ -157,11 +170,13 @@ func (r *Report) WriteIO(w io.Writer) {
 // time) and the hidden (overlapped) device time, for tpchbench -v. All
 // numbers are zero in serial runs.
 func (r *Report) WriteSched(w io.Writer) {
-	fmt.Fprintf(w, "Scheduler — per-query pool activity over the 22 queries (workers=%d shards=%d)\n", r.Workers, r.Shards)
+	fmt.Fprintf(w, "Scheduler — per-query pool activity over the 22 queries (workers=%d shards=%d remotes=%d balance=%s)\n",
+		r.Workers, r.Shards, len(r.Remotes), r.Balance)
 	fmt.Fprintf(w, "%-6s %10s %10s %12s %12s %10s %10s\n", "scheme", "tasks", "steals", "idle-ms", "hidden-io-ms", "net-msgs", "net-ms")
 	for _, s := range r.Schemes {
 		var tasks, steals, msgs int64
 		var idle, hidden, netT time.Duration
+		var loads []engine.BackendLoad
 		for _, run := range r.Runs[s] {
 			tasks += run.Stats.Sched.Tasks
 			steals += run.Stats.Sched.Steals
@@ -169,10 +184,24 @@ func (r *Report) WriteSched(w io.Writer) {
 			hidden += run.Stats.IO.Hidden
 			msgs += run.Stats.Net.Runs
 			netT += run.Stats.Net.Time
+			for i, l := range run.Stats.Shard {
+				if i >= len(loads) {
+					loads = append(loads, engine.BackendLoad{})
+				}
+				loads[i].Units += l.Units
+				loads[i].Bytes += l.Bytes
+			}
 		}
 		fmt.Fprintf(w, "%-6s %10d %10d %12.1f %12.1f %10d %10.1f\n", s, tasks, steals,
 			float64(idle.Microseconds())/1000, float64(hidden.Microseconds())/1000,
 			msgs, float64(netT.Microseconds())/1000)
+		if len(loads) > 0 {
+			fmt.Fprintf(w, "       routed group units per backend:")
+			for _, l := range loads {
+				fmt.Fprintf(w, " %d (%.1f MB)", l.Units, float64(l.Bytes)/(1<<20))
+			}
+			fmt.Fprintln(w)
+		}
 	}
 }
 
@@ -196,9 +225,14 @@ type JSONQueryRun struct {
 	SchedSteals int64   `json:"sched_steals,omitempty"`
 	// NetMS is the modeled cross-backend transport time of a sharded run
 	// (shards ≥ 2); zero and omitted when single-box. NetMsgs counts the
-	// transport messages behind it.
+	// transport messages behind it (real messages when the run dialed
+	// bdccworker daemons).
 	NetMS   float64 `json:"net_ms,omitempty"`
 	NetMsgs int64   `json:"net_msgs,omitempty"`
+	// ShardUnits is the routed group-unit count per backend of a sharded
+	// run (index = backend), the distribution the balance knob shapes;
+	// omitted when single-box.
+	ShardUnits []int64 `json:"shard_units,omitempty"`
 }
 
 // JSONReport is the machine-readable form of the full measurement grid.
@@ -206,17 +240,31 @@ type JSONReport struct {
 	SF float64 `json:"sf"`
 	// Workers and Shards are the knobs of the run: local pool size and
 	// backend count (0/1 = serial, single-box respectively).
-	Workers int            `json:"workers"`
-	Shards  int            `json:"shards"`
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+	// Remotes is the number of real bdccworker daemons the grid ran
+	// against (0 = simulated backends); Balance is the group-placement
+	// policy ("hash" or "size").
+	Remotes int            `json:"remotes"`
+	Balance string         `json:"balance"`
 	Queries []JSONQueryRun `json:"queries"`
 }
 
 // WriteJSON renders the report as indented JSON.
 func (r *Report) WriteJSON(w io.Writer) error {
-	out := JSONReport{SF: r.SF, Workers: r.Workers, Shards: r.Shards}
+	balance := r.Balance
+	if balance == "" {
+		balance = "hash"
+	}
+	out := JSONReport{SF: r.SF, Workers: r.Workers, Shards: r.Shards,
+		Remotes: len(r.Remotes), Balance: balance}
 	for _, scheme := range r.Schemes {
 		for _, run := range r.Runs[scheme] {
 			st := run.Stats
+			var units []int64
+			for _, l := range st.Shard {
+				units = append(units, l.Units)
+			}
 			out.Queries = append(out.Queries, JSONQueryRun{
 				Scheme:      scheme.String(),
 				Query:       run.Query,
@@ -231,6 +279,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 				SchedSteals: st.Sched.Steals,
 				NetMS:       float64(st.Net.Time.Microseconds()) / 1000,
 				NetMsgs:     st.Net.Runs,
+				ShardUnits:  units,
 			})
 		}
 	}

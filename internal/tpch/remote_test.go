@@ -1,0 +1,145 @@
+package tpch
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"bdcc/internal/plan"
+	"bdcc/internal/shard"
+)
+
+// startWorkers launches n in-process bdccworker servers on loopback TCP and
+// returns them with their dialable addresses.
+func startWorkers(t *testing.T, n, workers int) ([]*shard.Server, []string) {
+	t.Helper()
+	srvs := make([]*shard.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := shard.NewServer(workers)
+		go srv.Serve(l)
+		t.Cleanup(func() { srv.Close() })
+		srvs[i], addrs[i] = srv, l.Addr().String()
+	}
+	return srvs, addrs
+}
+
+// assertSameResult compares two results byte for byte: rows, order, and
+// exact float bits.
+func assertSameResult(t *testing.T, label string, got, want interface {
+	Rows() int
+	Row(int) []string
+}) {
+	t.Helper()
+	if got.Rows() != want.Rows() {
+		t.Fatalf("%s returns %d rows, baseline returns %d", label, got.Rows(), want.Rows())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		if g, w := fmt.Sprint(got.Row(i)), fmt.Sprint(want.Row(i)); g != w {
+			t.Fatalf("%s: row %d = %s, baseline has %s", label, i, g, w)
+		}
+	}
+}
+
+// TestRemoteEquivalence is the loopback-TCP leg of the scale-out oracle:
+// every TPC-H query under every scheme, sharded over two real bdccworker
+// servers dialed over TCP (plan fragments shipped at setup, every group and
+// result batch crossing real sockets), must return byte-identical results
+// to the serial single-box baseline — including exact float bits — under
+// both placement policies.
+func TestRemoteEquivalence(t *testing.T) {
+	b := benchmarkFixture(t)
+	srvs, addrs := startWorkers(t, 2, 2)
+	for _, q := range Queries {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
+				serial, _, _, err := RunQueryShards(b.DBs[scheme], q, 1, 1)
+				if err != nil {
+					t.Fatalf("%s under %s serial: %v", q.Name, scheme, err)
+				}
+				remote, st, _, err := RunQueryOpts(b.DBs[scheme], q,
+					RunOptions{Workers: 2, Remotes: addrs})
+				if err != nil {
+					t.Fatalf("%s under %s remotes: %v", q.Name, scheme, err)
+				}
+				label := fmt.Sprintf("%s under %s via TCP workers", q.Name, scheme)
+				assertSameResult(t, label, remote, serial)
+				for c := range serial.Cols {
+					for i, v := range serial.Cols[c].F64 {
+						if pv := remote.Cols[c].F64[i]; pv != v {
+							t.Fatalf("%s: col %d row %d = %v, %v at baseline — floats must be bit-identical",
+								label, c, i, pv, v)
+						}
+					}
+				}
+				if scheme != plan.BDCC && st.Net.Runs != 0 {
+					t.Fatalf("%s under %s dialed workers but has no group streams to ship: %+v",
+						q.Name, scheme, st.Net)
+				}
+				if scheme == plan.BDCC && st.Net.Runs > 0 {
+					if len(st.Shard) != len(addrs) {
+						t.Fatalf("%s: %d shard loads recorded for %d workers", q.Name, len(st.Shard), len(addrs))
+					}
+					// balance-by-size must reproduce the same bytes too.
+					sized, _, _, err := RunQueryOpts(b.DBs[scheme], q,
+						RunOptions{Workers: 2, Remotes: addrs, Balance: "size"})
+					if err != nil {
+						t.Fatalf("%s balance=size: %v", q.Name, err)
+					}
+					assertSameResult(t, label+" (balance=size)", sized, serial)
+				}
+			}
+		})
+	}
+	var total int64
+	for _, s := range srvs {
+		total += s.UnitsDone()
+	}
+	if total == 0 {
+		t.Fatal("no group unit ever reached a TCP worker — the remote path went unexercised")
+	}
+}
+
+// TestRemoteFailoverMidQuery kills one of two TCP workers mid-query —
+// deterministically, after its second completed unit — on the
+// sandwich-heavy queries and asserts the rerouted run still matches the
+// serial oracle byte for byte, with the query-side tracker balanced.
+func TestRemoteFailoverMidQuery(t *testing.T) {
+	b := benchmarkFixture(t)
+	for _, qn := range []int{9, 13} {
+		q := Query(qn)
+		t.Run(q.Name, func(t *testing.T) {
+			serial, _, _, err := RunQueryShards(b.DBs[plan.BDCC], q, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srvs, addrs := startWorkers(t, 2, 2)
+			victim := srvs[1]
+			var killed atomic.Bool
+			victim.OnUnitDone = func(total int64) {
+				if total == 2 && !killed.Swap(true) {
+					go victim.Close()
+				}
+			}
+			remote, st, _, err := RunQueryOpts(b.DBs[plan.BDCC], q,
+				RunOptions{Workers: 2, Remotes: addrs})
+			if err != nil {
+				t.Fatalf("%s with a worker killed mid-query failed instead of failing over: %v", q.Name, err)
+			}
+			assertSameResult(t, q.Name+" after mid-query worker kill", remote, serial)
+			if !killed.Load() {
+				t.Fatalf("%s: the victim worker completed %d units and was never killed — reroute unexercised",
+					q.Name, victim.UnitsDone())
+			}
+			if st.Net.Runs == 0 {
+				t.Fatalf("%s recorded no transport activity", q.Name)
+			}
+		})
+	}
+}

@@ -83,20 +83,28 @@ func DecodeBatch(data []byte) (*Batch, int, error) {
 		pos++
 		n := int(binary.LittleEndian.Uint32(data[pos:]))
 		pos += 4
-		v := NewVector(kind, n)
+		// The remaining data bounds any honest row count (8 bytes per
+		// scalar, at least 4 per string), so a wire-supplied count is
+		// validated before it sizes an allocation — a garbage frame cannot
+		// make the decoder reserve gigabytes.
 		switch kind {
-		case Int64:
+		case Int64, Float64:
 			if err := need(8 * n); err != nil {
 				return nil, 0, err
 			}
+		case String:
+			if err := need(4 * n); err != nil {
+				return nil, 0, err
+			}
+		}
+		v := NewVector(kind, n)
+		switch kind {
+		case Int64:
 			for j := 0; j < n; j++ {
 				v.I64 = append(v.I64, int64(binary.LittleEndian.Uint64(data[pos:])))
 				pos += 8
 			}
 		case Float64:
-			if err := need(8 * n); err != nil {
-				return nil, 0, err
-			}
 			for j := 0; j < n; j++ {
 				v.F64 = append(v.F64, math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])))
 				pos += 8
