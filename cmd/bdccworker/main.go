@@ -8,11 +8,12 @@
 //
 // Usage:
 //
-//	bdccworker [-listen :4710] [-workers N] [-v]
+//	bdccworker [-listen :4710] [-workers N] [-drain-timeout 30s] [-v]
 //
 // Point a query at one or more daemons with tpchbench -remotes
-// host:port,host:port — results are byte-identical to the single-box run,
-// and if a worker dies mid-query its units fail over to the survivors. See
+// host:port,host:port — results are byte-identical to the single-box run;
+// if a worker dies mid-query its units fail over to the survivors, and a
+// restarted worker is re-admitted by the queries' health probers. See
 // docs/OPERATIONS.md for deployment, failover behavior, and metering.
 package main
 
@@ -32,6 +33,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":4710", "TCP address to accept query sessions on")
 	workers := flag.Int("workers", engine.DefaultWorkers(), "scheduler pool goroutines")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain; sessions still running after it are abandoned (0 waits forever)")
 	verbose := flag.Bool("v", false, "log a status line per completed unit batch (every 1000 units)")
 	flag.Parse()
 
@@ -52,13 +54,19 @@ func main() {
 		l.Addr(), shard.ProtoVersion, srv.Workers())
 
 	// A signal drains and exits: stop accepting, close sessions (their
-	// queries fail over to surviving workers), join in-flight units.
+	// queries fail over to surviving workers), join in-flight units — for
+	// at most the drain timeout, so a wedged session cannot hang shutdown.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("bdccworker: shutting down")
-		srv.Close()
+		fmt.Printf("bdccworker: shutting down (drain bounded by %v)\n", *drain)
+		abandoned, _ := srv.CloseWithin(*drain)
+		if abandoned > 0 {
+			fmt.Printf("bdccworker: drain timed out after %v; abandoning %d wedged session(s)\n",
+				*drain, abandoned)
+			os.Exit(1)
+		}
 	}()
 
 	start := time.Now()

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] BENCH_tpch.json
+//	benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P]
+//	           [-downs-min N] [-readmits-min N] BENCH_tpch.json
 //
 // Checks:
 //   - top level carries sf > 0, workers ≥ 1, the shards knob
@@ -26,7 +27,13 @@
 //     a single-box grid;
 //   - every cell with transport messages carries per-backend routed unit
 //     counts (shard_units) with one slot per shard, totalling at least one
-//     routed group.
+//     routed group, and the per-backend failover health arrays
+//     (shard_retries, shard_downs, shard_readmits), also one slot per
+//     shard;
+//   - the chaos leg's scripted worker restart is provable from the grid:
+//     -downs-min and -readmits-min fail the gate unless the summed downs /
+//     re-admissions across all cells reach the floor (-1 skips), and
+//     local_fallback_units, when present, is a non-negative count.
 //
 // The file is decoded into generic JSON, not the tpch structs, so a field
 // rename in the producer cannot silently satisfy the guard.
@@ -50,19 +57,21 @@ func main() {
 	shardsExpected := flag.Int("shards-expected", -1, "fail unless the grid's shards knob equals this (-1 skips)")
 	remotesExpected := flag.Int("remotes-expected", -1, "fail unless the grid ran against this many bdccworker daemons (-1 skips)")
 	balanceExpected := flag.String("balance-expected", "", "fail unless the grid's balance policy equals this (empty skips)")
+	downsMin := flag.Int("downs-min", -1, "fail unless backend down transitions summed across the grid reach this (-1 skips)")
+	readmitsMin := flag.Int("readmits-min", -1, "fail unless mid-query re-admissions summed across the grid reach this (-1 skips)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] BENCH_tpch.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] BENCH_tpch.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected); err != nil {
+	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: grid OK")
 }
 
-func check(path string, shardsExpected, remotesExpected int, balanceExpected string) error {
+func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin int) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -107,6 +116,7 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 
 	seen := make(map[string]bool)
 	netCells := 0
+	var downsTotal, readmitsTotal float64
 	for i, qa := range queries {
 		cell, ok := qa.(map[string]any)
 		if !ok {
@@ -123,7 +133,7 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 		}
 		seen[key] = true
 		num := make(map[string]float64)
-		for _, f := range []string{"rows", "device_ms", "mb_read", "peak_mb", "cold_ms", "wall_ms", "hidden_ms", "net_ms", "net_msgs"} {
+		for _, f := range []string{"rows", "device_ms", "mb_read", "peak_mb", "cold_ms", "wall_ms", "hidden_ms", "net_ms", "net_msgs", "local_fallback_units"} {
 			v, ok := cell[f]
 			if !ok {
 				continue
@@ -170,6 +180,29 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 			if total < 1 {
 				return fmt.Errorf("%s paid for transport but routed no group units", key)
 			}
+			// ... and the failover health behind it (the recovery
+			// subsystem's measurement), one slot per shard.
+			for _, f := range []string{"shard_retries", "shard_downs", "shard_readmits"} {
+				arr, ok := cell[f].([]any)
+				if !ok {
+					return fmt.Errorf("%s reports transport messages but no %s (schema regression)", key, f)
+				}
+				if len(arr) != int(shards) {
+					return fmt.Errorf("%s carries %d %s slots, grid ran %d shards", key, len(arr), f, int(shards))
+				}
+				for i, v := range arr {
+					n, ok := v.(float64)
+					if !ok || n < 0 {
+						return fmt.Errorf("%s: %s[%d] = %v is not a non-negative number", key, f, i, v)
+					}
+					switch f {
+					case "shard_downs":
+						downsTotal += n
+					case "shard_readmits":
+						readmitsTotal += n
+					}
+				}
+			}
 		}
 	}
 	for _, s := range schemes {
@@ -186,7 +219,13 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if int(shards) >= 2 && netCells == 0 {
 		return fmt.Errorf("sharded grid (shards=%d) records no transport activity on any BDCC cell", int(shards))
 	}
-	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity\n",
-		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells)
+	if downsMin >= 0 && downsTotal < float64(downsMin) {
+		return fmt.Errorf("grid records %d backend down transitions, expected at least %d — the chaos restart left no trace", int(downsTotal), downsMin)
+	}
+	if readmitsMin >= 0 && readmitsTotal < float64(readmitsMin) {
+		return fmt.Errorf("grid records %d re-admissions, expected at least %d — the chaos restart left no trace", int(readmitsTotal), readmitsMin)
+	}
+	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity, %d downs, %d readmits\n",
+		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells, int(downsTotal), int(readmitsTotal))
 	return nil
 }

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	tpchbench [-sf 0.05] [-workers N] [-shards N] [-remotes host:port,...]
-//	          [-balance hash|size] [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
+//	          [-balance hash|size] [-probe-base D] [-probe-max D]
+//	          [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
 //
 // The -workers knob (default: all cores) runs every query on a shared
 // per-query scheduler of that many workers; -workers 1 reproduces the
@@ -21,7 +22,9 @@
 // -remotes knob replaces the simulated backends with real TCP connections
 // to bdccworker daemons (comma-separated host:port list; see
 // docs/OPERATIONS.md) — results remain byte-identical, message counts
-// become real, and a worker lost mid-query fails over to the survivors.
+// become real, and a worker lost mid-query fails over to the survivors
+// while a health prober re-dials it (bounded jittered backoff, tuned by
+// -probe-base / -probe-max) and re-admits it once it answers.
 // The -balance knob picks the group-placement policy: "hash" (default)
 // places groups by group-id hash, "size" places each group on the backend
 // with the least cumulative routed bytes. The -v flag prints the per-scheme
@@ -50,6 +53,8 @@ func main() {
 	shards := flag.Int("shards", 1, "backends to shard BDCC group streams across (1 = single-box)")
 	remotes := flag.String("remotes", "", "comma-separated bdccworker addresses (host:port); replaces simulated backends")
 	balance := flag.String("balance", "hash", "group placement policy: hash | size")
+	probeBase := flag.Duration("probe-base", 0, "first reconnect backoff of the worker health prober (0 = default)")
+	probeMax := flag.Duration("probe-max", 0, "reconnect backoff cap of the worker health prober (0 = default)")
 	verbose := flag.Bool("v", false, "print scheduler stats (tasks, steals, idle time)")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
@@ -81,6 +86,8 @@ func main() {
 	b.Shards = *shards
 	b.Remotes = remoteAddrs
 	b.Balance = *balance
+	b.ProbeBase = *probeBase
+	b.ProbeMax = *probeMax
 	rep, err := b.RunAll()
 	if err != nil {
 		fatal(err)

@@ -82,3 +82,17 @@ type BackendLoad struct {
 	Units int64
 	Bytes int64
 }
+
+// BackendHealth is the failover-health snapshot of one backend of a query's
+// set, recorded by the shard failover layer (Context.Health): how many unit
+// attempts failed on it, how often it was marked down, how often the health
+// prober re-admitted it mid-query, and how many units its re-admitted
+// incarnations served. State is the prober's view of the slot: "up",
+// "probing" (down, reconnects under way), or "down" (not reconnectable).
+type BackendHealth struct {
+	State        string
+	Retries      int64
+	Downs        int64
+	Readmits     int64
+	ReadmitUnits int64
+}

@@ -94,6 +94,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"bdcc/internal/expr"
 	"bdcc/internal/iosim"
@@ -149,6 +150,18 @@ type Context struct {
 	// and bytes placed on each shard); nil when single-box. Installed by
 	// the planner together with Backends.
 	Loads func() []BackendLoad
+	// ProbeBase and ProbeMax tune the health prober's reconnect backoff for
+	// dialed TCP backends (first delay and cap of the jittered exponential
+	// sequence); zero values select the shard layer's defaults.
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
+	// Health reports the per-backend failover health of the query's set
+	// (retries, downs, re-admissions); nil when single-box. Installed by
+	// the planner together with Backends.
+	Health func() []BackendHealth
+	// FallbackUnits reports how many units ran on the coordinator's local
+	// fallback because no remote backend survived them; nil when single-box.
+	FallbackUnits func() int64
 
 	sched *Sched
 }
@@ -171,6 +184,25 @@ func (c *Context) NetStats() iosim.Stats {
 	return c.Net.Stats()
 }
 
+// HealthStats returns the per-backend failover health of the query's
+// backend set; nil when single-box. Like ShardLoads, it must be read before
+// CloseBackends.
+func (c *Context) HealthStats() []BackendHealth {
+	if c == nil || c.Health == nil {
+		return nil
+	}
+	return c.Health()
+}
+
+// LocalFallbackUnits returns how many units ran on the coordinator's local
+// fallback because no remote backend survived them; zero when single-box.
+func (c *Context) LocalFallbackUnits() int64 {
+	if c == nil || c.FallbackUnits == nil {
+		return 0
+	}
+	return c.FallbackUnits()
+}
+
 // CloseBackends shuts down the query's backend set, joining every backend's
 // goroutines, and returns the first close error. It is idempotent and a
 // no-op for single-box contexts. Callers close after the operator tree is
@@ -185,6 +217,8 @@ func (c *Context) CloseBackends() error {
 	c.Backends = nil
 	c.Route = nil
 	c.Loads = nil
+	c.Health = nil
+	c.FallbackUnits = nil
 	return first
 }
 

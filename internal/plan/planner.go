@@ -275,10 +275,12 @@ func (p *Planner) sched() *engine.Sched {
 // that can shard its group stream. nil (Shards below 2 and no Remotes)
 // keeps execution single-box, preserving the paper's measurement setup.
 // With Remotes configured, the set dials one TCP backend per bdccworker
-// address (a failed dial fails the query); otherwise the set's simulated
-// remotes each run max(1, Workers) pool goroutines. Either set shares one
-// network accountant (Context.Net), records per-backend routed loads
-// (Context.Loads), and places groups by hash or — under Balance "size" —
+// address — a worker down at dial time joins the set down and the health
+// prober re-admits it when it answers, so only an empty address list fails
+// the query; otherwise the set's simulated remotes each run max(1, Workers)
+// pool goroutines. Either set shares one network accountant (Context.Net),
+// records per-backend routed loads (Context.Loads) and failover health
+// (Context.Health), and places groups by hash or — under Balance "size" —
 // by least cumulative bytes. The query owner closes the set via
 // Context.CloseBackends after execution.
 func (p *Planner) backends() ([]engine.Backend, error) {
@@ -289,7 +291,9 @@ func (p *Planner) backends() ([]engine.Backend, error) {
 		var set *shard.Set
 		if len(p.Ctx.Remotes) > 0 {
 			var err error
-			set, err = shard.DialSet(p.Ctx.Remotes, shard.PaperNet())
+			set, err = shard.DialSetConfig(p.Ctx.Remotes, shard.PaperNet(), shard.SetConfig{
+				Probe: shard.ProbeConfig{Base: p.Ctx.ProbeBase, Max: p.Ctx.ProbeMax},
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -307,6 +311,8 @@ func (p *Planner) backends() ([]engine.Backend, error) {
 		p.Ctx.Route = set.Route
 		p.Ctx.Net = set.Net()
 		p.Ctx.Loads = set.Loads
+		p.Ctx.Health = set.Health
+		p.Ctx.FallbackUnits = set.LocalFallbackUnits
 	}
 	return p.Ctx.Backends, nil
 }

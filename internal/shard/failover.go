@@ -1,40 +1,84 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"bdcc/internal/engine"
+	"bdcc/internal/iosim"
 	"bdcc/internal/vector"
 )
 
-// Failover: unit-level retry across a backend set. Every backend of a set
-// is wrapped; a unit routed to wrapper i first runs on backend i, and when
-// the attempt fails with an ErrBackendDown-wrapped error (connection loss,
-// a killed worker, a refused dial) the unit is rerouted to the next
-// surviving backend, excluding every backend that already failed it — the
-// reroute never revisits a failed attempt, and a backend observed down is
-// marked so later units skip it up front. Work errors (frameDone text) are
-// never retried: a deterministic group join that failed once fails
-// identically everywhere, so rerouting would only mask the error.
+// Failover: unit-level retry across a backend set, plus the recovery half —
+// re-admission and graceful degradation. Every backend of a set is wrapped;
+// a unit routed to wrapper i first runs on backend i, and when the attempt
+// fails with an ErrBackendDown-wrapped error (connection loss, a killed
+// worker, a refused dial) the unit is rerouted to the next surviving
+// backend, excluding every backend that already failed it in its current
+// incarnation. Work errors (frameDone text) are never retried: a
+// deterministic group join that failed once fails identically everywhere,
+// so rerouting would only mask the error.
+//
+// A backend observed down is marked so later units skip it up front, and —
+// when the slot has a dialable address — a health prober (health.go) starts
+// re-dialing it under bounded jittered backoff. On reconnect the prober
+// re-ships the session's plan fragments over the fresh connection and
+// re-admits the slot: its epoch advances, so the per-unit exclusion chain
+// (which records the epoch a slot failed at) resets and later units — even
+// ones that failed on the dead incarnation — can land on the recovered
+// worker again.
+//
+// When no backend survives a unit's exclusion chain, the set degrades
+// gracefully instead of failing the query: the unit runs on the
+// coordinator's own copy of the fragment (every sharded fragment is also
+// prepared query-side), and a counter records the downgrade.
 //
 // Result batches stream straight through to the real emit as they arrive —
 // buffering them until done would hide a whole window of unit output from
 // the exchange's buffer cap and the query's memory meter. What makes
 // streaming retry-safe is determinism: a group join's output is a pure
-// function of (fragment, unit), emitted sequentially, so a retry replays
-// the exact batch sequence the failed attempt produced and the wrapper
-// simply skips the prefix that was already delivered. A backend that died
-// halfway through a group therefore contributes exactly its delivered
-// prefix, and the survivor contributes the rest — byte-identical to an
-// undisturbed run.
+// function of (fragment, unit), emitted sequentially, so a retry — on a
+// survivor, a re-admitted worker, or the local fallback — replays the exact
+// batch sequence the failed attempt produced and the wrapper simply skips
+// the prefix that was already delivered. A backend that died halfway
+// through a group therefore contributes exactly its delivered prefix, and
+// the survivor contributes the rest — byte-identical to an undisturbed run.
 
 // failover is the shared state of one wrapped backend set.
 type failover struct {
-	backends []engine.Backend
-	mu       sync.Mutex
-	down     []bool
+	mu            sync.Mutex
+	slots         []*slot
+	health        []engine.BackendHealth
+	frags         map[*engine.Fragment]struct{}
+	fallbackUnits int64
+	closed        bool
+
+	fallback bool // run orphaned units locally instead of erroring
+	probe    ProbeConfig
+	acct     *iosim.Accountant
+	rng      *rand.Rand
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	probers sync.WaitGroup
+}
+
+// slot is one position of the set: the live backend (nil while down with no
+// connection), the address the prober re-dials ("" = not reconnectable, e.g.
+// a simulated remote), and the down → probing → up state. epoch counts
+// re-admissions: a unit excludes (slot, epoch) pairs, so a slot that failed
+// it becomes eligible again once a fresh incarnation is admitted.
+type slot struct {
+	backend engine.Backend
+	addr    string
+	workers int
+	down    bool
+	probing bool
+	epoch   uint64
 }
 
 // failoverBackend is the wrapper at one set index; it implements
@@ -44,51 +88,156 @@ type failoverBackend struct {
 	idx int
 }
 
+// failoverOptions configures newFailover beyond the slot list.
+type failoverOptions struct {
+	localFallback bool
+	probe         ProbeConfig
+	acct          *iosim.Accountant
+}
+
 // NewFailover wraps backends with unit-level failover, returning a slice
-// index-aligned with the input (wrapper i prefers backend i). Closing a
-// wrapper closes its underlying backend.
+// index-aligned with the input (wrapper i prefers backend i). Closing any
+// wrapper closes the whole set's probers; closing wrapper i closes backend
+// i. This plain form has neither re-admission (no addresses to re-dial) nor
+// local fallback — exhaustion of the set fails the unit with
+// ErrBackendDown, as PR 5 shipped it.
 func NewFailover(backends []engine.Backend) []engine.Backend {
-	f := &failover{backends: backends, down: make([]bool, len(backends))}
-	out := make([]engine.Backend, len(backends))
-	for i := range backends {
-		out[i] = &failoverBackend{f: f, idx: i}
+	slots := make([]*slot, len(backends))
+	for i, b := range backends {
+		slots[i] = &slot{backend: b, workers: b.Workers()}
 	}
+	out, _ := newFailover(slots, failoverOptions{})
 	return out
 }
 
-// Workers implements engine.Backend.
-func (b *failoverBackend) Workers() int { return b.f.backends[b.idx].Workers() }
-
-// Close implements engine.Backend, closing the underlying backend.
-func (b *failoverBackend) Close() error { return b.f.backends[b.idx].Close() }
-
-// RunGroup implements engine.Backend: run the unit on the preferred
-// backend, rerouting to survivors on transport failure.
-func (b *failoverBackend) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error)) {
-	delivered := 0
-	b.f.attempt(u, frag, emit, done, &delivered, b.idx, make([]bool, len(b.f.backends)), nil)
-}
-
-// pick returns the first backend index at or after pref (cyclically) that
-// is neither excluded for this unit nor marked down, or -1 when none
-// survives.
-func (f *failover) pick(pref int, excluded []bool) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n := len(f.backends)
-	for k := 0; k < n; k++ {
-		i := (pref + k) % n
-		if !excluded[i] && !f.down[i] {
-			return i
+// newFailover builds the wrapped set over prepared slots and starts a
+// prober for every slot that is already down (a worker unreachable at dial
+// time joins the set down and is re-admitted when it comes up).
+func newFailover(slots []*slot, opt failoverOptions) ([]engine.Backend, *failover) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &failover{
+		slots:    slots,
+		health:   make([]engine.BackendHealth, len(slots)),
+		frags:    make(map[*engine.Fragment]struct{}),
+		fallback: opt.localFallback,
+		probe:    opt.probe.withDefaults(),
+		acct:     opt.acct,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	out := make([]engine.Backend, len(slots))
+	for i, s := range slots {
+		out[i] = &failoverBackend{f: f, idx: i}
+		if s.backend == nil {
+			s.down = true
+			f.health[i].Downs++
+			if s.addr != "" {
+				s.probing = true
+				f.startProber(i)
+			}
 		}
 	}
-	return -1
+	return out, f
 }
 
-func (f *failover) markDown(i int) {
+// startProber launches the probe loop of slot i. Callers hold f.mu or own
+// the set exclusively (construction); slot i's probing flag is already set.
+func (f *failover) startProber(i int) {
+	f.probers.Add(1)
+	go func() {
+		defer f.probers.Done()
+		f.probeLoop(i)
+	}()
+}
+
+// Workers implements engine.Backend. The worker count is the slot's cached
+// one, so a down slot still reports its last-known parallelism (sizing the
+// exchange lookahead must not collapse mid-query).
+func (b *failoverBackend) Workers() int {
+	b.f.mu.Lock()
+	defer b.f.mu.Unlock()
+	if w := b.f.slots[b.idx].workers; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// Close implements engine.Backend. The first wrapper closed shuts the whole
+// set's recovery machinery down — the context cancels, stopping every
+// prober mid-backoff or mid-dial — then each wrapper closes its own slot's
+// backend.
+func (b *failoverBackend) Close() error {
+	f := b.f
 	f.mu.Lock()
-	f.down[i] = true
+	if !f.closed {
+		f.closed = true
+		f.cancel()
+	}
+	s := f.slots[b.idx]
+	bk := s.backend
+	s.backend = nil
 	f.mu.Unlock()
+	f.probers.Wait()
+	if bk != nil {
+		return bk.Close()
+	}
+	return nil
+}
+
+// RunGroup implements engine.Backend: run the unit on the preferred
+// backend, rerouting to survivors on transport failure. The fragment is
+// remembered for the session so re-admission can re-ship it to recovered
+// workers.
+func (b *failoverBackend) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error)) {
+	f := b.f
+	if frag != nil {
+		f.mu.Lock()
+		f.frags[frag] = struct{}{}
+		f.mu.Unlock()
+	}
+	t := &try{
+		u: u, frag: frag, emit: emit, done: done,
+		excluded: make([]uint64, len(f.slots)),
+	}
+	f.attempt(t, b.idx, nil)
+}
+
+// try is the cross-attempt state of one unit: the delivered-batch prefix
+// and the exclusion chain. excluded[i] holds epoch+1 of slot i at the
+// attempt that failed on it (0 = never failed there), so a re-admitted
+// incarnation — a higher epoch — is eligible again.
+type try struct {
+	u         *engine.GroupUnit
+	frag      *engine.Fragment
+	emit      func(*vector.Batch)
+	done      func(error)
+	delivered int
+	excluded  []uint64
+	attempts  int
+}
+
+// pick returns the first usable slot at or after pref (cyclically): not
+// down, holding a live backend, and not excluded by this unit's chain at
+// its current epoch. It returns the backend and epoch observed under the
+// lock, so a concurrent readmit between pick and the attempt's failure is
+// detected as a stale epoch.
+func (f *failover) pick(pref int, t *try) (int, engine.Backend, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.slots)
+	for k := 0; k < n; k++ {
+		i := (pref + k) % n
+		s := f.slots[i]
+		if s.down || s.backend == nil {
+			continue
+		}
+		if t.excluded[i] == s.epoch+1 {
+			continue
+		}
+		return i, s.backend, s.epoch
+	}
+	return -1, nil, 0
 }
 
 // attempt runs one try of the unit, chaining the next try from the done
@@ -96,39 +245,179 @@ func (f *failover) markDown(i int) {
 // passed to the real emit across attempts: a retry replays the unit's
 // deterministic batch sequence and skips that prefix, so the merged output
 // never duplicates and never misses a batch. The backend contract
-// serializes a unit's emit and done calls, so delivered needs no lock.
+// serializes a unit's emit and done calls, so the try needs no lock.
 // Exactly-once delivery of done holds: every chain ends in exactly one
-// call — success, a non-retryable error, or exhaustion of surviving
-// backends.
-func (f *failover) attempt(u *engine.GroupUnit, frag *engine.Fragment, emit func(*vector.Batch), done func(error), delivered *int, pref int, excluded []bool, lastErr error) {
-	i := f.pick(pref, excluded)
+// call — success, a non-retryable error, local fallback, or exhaustion.
+func (f *failover) attempt(t *try, pref int, lastErr error) {
+	// Epoch churn bounds each (slot, epoch) pair to one attempt, but a
+	// worker flapping in lockstep with retries could in principle chain
+	// forever; cap the chain and degrade.
+	t.attempts++
+	exhausted := t.attempts > 2*len(f.slots)+2
+	i, bk, epoch := -1, engine.Backend(nil), uint64(0)
+	if !exhausted {
+		i, bk, epoch = f.pick(pref, t)
+	}
 	if i < 0 {
-		if lastErr == nil {
-			lastErr = fmt.Errorf("%w: no surviving backend for group %d", ErrBackendDown, u.GID)
+		if f.fallback && t.frag != nil {
+			f.runLocal(t)
+			return
 		}
-		done(lastErr)
+		if lastErr == nil {
+			lastErr = fmt.Errorf("%w: no surviving backend for group %d", ErrBackendDown, t.u.GID)
+		}
+		t.done(lastErr)
 		return
 	}
 	seen := 0
-	f.backends[i].RunGroup(u, frag,
+	bk.RunGroup(t.u, t.frag,
 		func(b *vector.Batch) {
 			seen++
-			if seen > *delivered {
-				emit(b)
-				*delivered = seen
+			if seen > t.delivered {
+				t.emit(b)
+				t.delivered = seen
 			}
 		},
 		func(err error) {
 			if err == nil {
-				done(nil)
+				if epoch > 0 {
+					// A re-admitted incarnation served this unit: the proof
+					// the chaos harness asserts on.
+					f.mu.Lock()
+					f.health[i].ReadmitUnits++
+					f.mu.Unlock()
+				}
+				t.done(nil)
 				return
 			}
 			if !errors.Is(err, ErrBackendDown) {
-				done(err) // a work error: deterministic, not worth rerouting
+				t.done(err) // a work error: deterministic, not worth rerouting
 				return
 			}
-			f.markDown(i)
-			excluded[i] = true
-			f.attempt(u, frag, emit, done, delivered, (i+1)%len(f.backends), excluded, err)
+			f.noteFailure(i, epoch)
+			t.excluded[i] = epoch + 1
+			f.attempt(t, (i+1)%len(f.slots), err)
 		})
+}
+
+// noteFailure records a failed attempt on slot i at the given epoch: the
+// retry counter always advances, but the slot is only marked down if the
+// failing connection is still the slot's current incarnation — a failure
+// observed on a connection that was already replaced by a readmit must not
+// take the fresh one down. Marking down starts the prober when the slot is
+// reconnectable.
+func (f *failover) noteFailure(i int, epoch uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.health[i].Retries++
+	s := f.slots[i]
+	if s.epoch != epoch || s.down {
+		return
+	}
+	s.down = true
+	f.health[i].Downs++
+	if s.addr != "" && !s.probing && !f.closed {
+		s.probing = true
+		f.startProber(i)
+	}
+}
+
+// readmitResult is the outcome of offering a fresh connection to a slot.
+type readmitResult int
+
+const (
+	readmitOK     readmitResult = iota // published; the prober is done
+	readmitRetry                       // preload failed; keep probing
+	readmitClosed                      // the set closed; stop probing
+)
+
+// readmit re-admits slot i over the fresh connection cl: the session's plan
+// fragments are re-shipped first (a recovered worker has an empty fragment
+// registry, and units may reference any fragment of the query), then the
+// slot is published up with its epoch advanced — resetting every unit's
+// exclusion of it. The previous dead backend, if any, is closed.
+func (f *failover) readmit(i int, cl *client) readmitResult {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return readmitClosed
+	}
+	frags := make([]*engine.Fragment, 0, len(f.frags))
+	for fr := range f.frags {
+		frags = append(frags, fr)
+	}
+	f.mu.Unlock()
+	for _, fr := range frags {
+		if err := cl.Preload(fr); err != nil {
+			return readmitRetry
+		}
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return readmitClosed
+	}
+	s := f.slots[i]
+	old := s.backend
+	s.backend = cl
+	s.workers = cl.Workers()
+	s.down, s.probing = false, false
+	s.epoch++
+	f.health[i].Readmits++
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return readmitOK
+}
+
+// runLocal is graceful degradation: with no backend surviving the unit's
+// exclusion chain, the unit runs on the coordinator's own copy of the
+// fragment (sharded fragments are always prepared query-side too) instead
+// of failing the query. The same delivered-prefix skip applies, so a unit
+// that streamed half its batches from a now-dead worker finishes locally
+// byte-identically. Runs on its own goroutine — the caller may be a
+// client read loop, which must not block on local join work.
+func (f *failover) runLocal(t *try) {
+	f.mu.Lock()
+	f.fallbackUnits++
+	f.mu.Unlock()
+	go func() {
+		seen := 0
+		t.done(t.frag.Run(t.u, func(b *vector.Batch) {
+			seen++
+			if seen > t.delivered {
+				t.emit(b)
+				t.delivered = seen
+			}
+		}))
+	}()
+}
+
+// Health returns a snapshot of the per-slot failover health counters and
+// prober states.
+func (f *failover) Health() []engine.BackendHealth {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]engine.BackendHealth, len(f.health))
+	copy(out, f.health)
+	for i, s := range f.slots {
+		switch {
+		case !s.down:
+			out[i].State = "up"
+		case s.probing:
+			out[i].State = "probing"
+		default:
+			out[i].State = "down"
+		}
+	}
+	return out
+}
+
+// FallbackUnits returns how many units ran on the coordinator's local
+// fallback because no remote survived them.
+func (f *failover) FallbackUnits() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fallbackUnits
 }

@@ -25,10 +25,12 @@ import (
 
 // Protocol identity. ProtoMagic opens every session's hello frame;
 // ProtoVersion is negotiated in the hello exchange and must match exactly
-// (see docs/WIRE.md for the versioning rules).
+// (see docs/WIRE.md for the versioning rules). Version 2 added the
+// ping/pong liveness pair — an old worker would drop a pinged session, so
+// the version was bumped rather than kept additive.
 const (
 	ProtoMagic   = "BDCW"
-	ProtoVersion = 1
+	ProtoVersion = 2
 )
 
 // Transport frame types. Every frame is one message on the stream:
@@ -39,6 +41,8 @@ const (
 	frameUnit  = byte(3) // query → worker: one group unit; id = unit id
 	frameBatch = byte(4) // worker → query: one result batch; id = unit id
 	frameDone  = byte(5) // worker → query: unit finished; payload = error text
+	framePing  = byte(6) // query → worker: liveness probe; id = ping id
+	framePong  = byte(7) // worker → query: ping echo; id = the ping's id
 )
 
 const frameHeader = 4 + 8 + 1
@@ -143,11 +147,13 @@ type client struct {
 	// never emitted to afterwards.
 	dmu sync.Mutex
 
-	mu      sync.Mutex
-	pending map[uint64]*call
-	nextID  uint64
-	broken  error
-	closed  bool
+	mu       sync.Mutex
+	pending  map[uint64]*call
+	nextID   uint64
+	pings    map[uint64]chan error
+	nextPing uint64
+	broken   error
+	closed   bool
 
 	workers int
 	loop    sync.WaitGroup
@@ -169,6 +175,7 @@ func newClient(conn net.Conn, name string, acct *iosim.Accountant) (*client, err
 		net:     acct,
 		frags:   make(map[*engine.Fragment]uint64),
 		pending: make(map[uint64]*call),
+		pings:   make(map[uint64]chan error),
 	}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	hello := append(frameBuf(), ProtoMagic...)
@@ -267,6 +274,71 @@ func (c *client) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(
 	}
 }
 
+// Ping performs one application-level liveness round-trip, bounded by
+// timeout: the worker echoes the ping id as a pong. A pong proves the whole
+// session — socket, frame loop, hello state — is live, which is stronger
+// than a successful dial. The health prober pings a fresh connection before
+// re-admitting its backend to the routing set.
+func (c *client) Ping(timeout time.Duration) error {
+	ch := make(chan error, 1)
+	c.mu.Lock()
+	if err := c.unusable(); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	id := c.nextPing
+	c.nextPing++
+	c.pings[id] = ch
+	c.mu.Unlock()
+	c.wmu.Lock()
+	err := writeFrame(c.conn, c.net, id, framePing, frameBuf())
+	c.wmu.Unlock()
+	if err != nil {
+		// fail drains c.pings, so the select below resolves promptly.
+		c.fail(fmt.Errorf("ping: %w", err))
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case err := <-ch:
+		return err
+	case <-t.C:
+		c.mu.Lock()
+		delete(c.pings, id)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s: no pong within %v", ErrBackendDown, c.name, timeout)
+	}
+}
+
+// Preload ships frag's setup frame now, instead of lazily on the first
+// unit. Re-admission preloads every fragment the session already shipped,
+// so a recovered worker can take any later unit of the query without a
+// first-unit setup race.
+func (c *client) Preload(frag *engine.Fragment) error {
+	c.wmu.Lock()
+	if _, known := c.frags[frag]; known {
+		c.wmu.Unlock()
+		return nil
+	}
+	fid := c.nextFrag
+	c.nextFrag++
+	fpl, err := EncodeFragment(frag, frameBuf())
+	if err != nil {
+		c.wmu.Unlock()
+		return err
+	}
+	werr := writeFrame(c.conn, c.net, fid, frameSetup, fpl)
+	if werr == nil {
+		c.frags[frag] = fid
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.fail(fmt.Errorf("ship fragment: %w", werr))
+		return fmt.Errorf("%w: %s: ship fragment: %v", ErrBackendDown, c.name, werr)
+	}
+	return nil
+}
+
 // unusable reports why new units cannot be accepted. Called with c.mu held.
 func (c *client) unusable() error {
 	if c.closed {
@@ -308,10 +380,18 @@ func (c *client) fail(err error) {
 		calls = append(calls, cl)
 		delete(c.pending, id)
 	}
+	waiters := make([]chan error, 0, len(c.pings))
+	for id, ch := range c.pings {
+		waiters = append(waiters, ch)
+		delete(c.pings, id)
+	}
 	c.mu.Unlock()
 	c.conn.Close()
 	for _, cl := range calls {
 		cl.done(err)
+	}
+	for _, ch := range waiters {
+		ch <- err
 	}
 }
 
@@ -328,9 +408,19 @@ func (c *client) readLoop() {
 			c.fail(err)
 			return
 		}
-		if typ != frameBatch && typ != frameDone {
+		if typ != frameBatch && typ != frameDone && typ != framePong {
 			c.fail(fmt.Errorf("query side received frame type %d", typ))
 			return
+		}
+		if typ == framePong {
+			c.mu.Lock()
+			ch := c.pings[id]
+			delete(c.pings, id)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- nil // a timed-out ping already removed its channel
+			}
+			continue
 		}
 		var b *vector.Batch
 		if typ == frameBatch {
@@ -418,6 +508,12 @@ type Server struct {
 	// must be done asynchronously.
 	OnUnitDone func(total int64)
 
+	// OnUnitStart, when set before serving, runs at the start of each unit
+	// task, on the scheduler goroutine that executes it. Unlike OnUnitDone
+	// it may block — the chaos and drain tests use it to throttle a worker
+	// or wedge a session at a deterministic point.
+	OnUnitStart func()
+
 	mu        sync.Mutex
 	listeners []net.Listener
 	conns     map[net.Conn]struct{}
@@ -425,6 +521,7 @@ type Server struct {
 
 	unitsDone atomic.Int64
 	wg        sync.WaitGroup
+	release   sync.Once
 }
 
 // NewServer returns a worker over its own scheduler of `workers` pool
@@ -549,6 +646,10 @@ func (s *Server) session(conn net.Conn) {
 				continue
 			}
 			frags[id] = frag
+		case framePing:
+			wmu.Lock()
+			writeFrame(conn, nil, id, framePong, frameBuf())
+			wmu.Unlock()
 		case frameUnit:
 			if len(payload) < 8 {
 				conn.Close() // protocol corruption: drop the session
@@ -568,6 +669,9 @@ func (s *Server) session(conn net.Conn) {
 			tasks.Add(1)
 			s.sched.Submit(-1, func(int) {
 				defer tasks.Done()
+				if s.OnUnitStart != nil {
+					s.OnUnitStart()
+				}
 				u, err := DecodeUnit(body)
 				var oversized error
 				if err == nil {
@@ -632,13 +736,28 @@ func (s *Server) finishUnit(conn net.Conn, wmu *sync.Mutex, id uint64, err error
 // workers), in-flight unit tasks and session goroutines are joined, and
 // the scheduler is released — a closed server leaves no goroutines behind.
 func (s *Server) Close() error {
+	_, err := s.shutdown(0)
+	return err
+}
+
+// CloseWithin is Close with a bounded drain: sessions that have not ended
+// within d are abandoned rather than waited for, and their count is
+// returned. A wedged session — a unit task parked on a blocked write or a
+// stuck hook — can otherwise hang Close forever; the bdccworker daemon
+// bounds its SIGTERM drain with this and exits, letting the OS reap the
+// wedged work. The scheduler is only released on a clean drain (abandoned
+// tasks may still be running on it); an abandoning caller is expected to
+// exit the process.
+func (s *Server) CloseWithin(d time.Duration) (abandoned int, err error) {
+	return s.shutdown(d)
+}
+
+// shutdown is the shared teardown: d <= 0 waits for the drain forever.
+func (s *Server) shutdown(d time.Duration) (int, error) {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
 	s.closed = true
 	listeners := s.listeners
+	s.listeners = nil
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -650,7 +769,28 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
-	s.wg.Wait()
-	s.sched.Release()
-	return nil
+	if d > 0 {
+		drained := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(drained)
+		}()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-drained:
+		case <-t.C:
+			s.mu.Lock()
+			n := len(s.conns)
+			s.mu.Unlock()
+			if n > 0 {
+				return n, nil
+			}
+			<-drained // the last session ended between the timeout and the count
+		}
+	} else {
+		s.wg.Wait()
+	}
+	s.release.Do(s.sched.Release)
+	return 0, nil
 }

@@ -239,45 +239,119 @@ func TestFailoverReroutesKilledWorker(t *testing.T) {
 	waitGoroutines(t, base+2)
 }
 
-// TestFailoverExhaustion checks the terminal case: with every worker dead,
-// units complete with an ErrBackendDown-wrapped error instead of hanging,
-// and the error reaches the consumer.
+// renderBatch renders a batch's rows as display strings, for comparing
+// emitted unit output against a direct fragment run.
+func renderBatch(b *vector.Batch) []string {
+	out := make([]string, b.Len())
+	for i := range out {
+		row := make([]string, len(b.Cols))
+		for c, col := range b.Cols {
+			row[c] = col.GetString(i)
+		}
+		out[i] = fmt.Sprint(row)
+	}
+	return out
+}
+
+// TestFailoverExhaustion checks the terminal cases of a set with no
+// survivors. By default the unit degrades gracefully: it runs on the
+// coordinator's own copy of the fragment, byte-identical to a worker run,
+// with the downgrade counted and every dead slot left probing for
+// re-admission. Under NoLocalFallback it completes with an
+// ErrBackendDown-wrapped error instead of hanging.
 func TestFailoverExhaustion(t *testing.T) {
 	base := runtime.NumGoroutine()
-	srv1, addr1 := startWorker(t, 1)
-	srv2, addr2 := startWorker(t, 1)
-	set, err := DialSet([]string{addr1, addr2}, PaperNet())
-	if err != nil {
+	frag := testFragment(t)
+	probe, build := testStreams(1, 2)
+	unit := func() *engine.GroupUnit {
+		return &engine.GroupUnit{GID: 0,
+			Probe: []*vector.Batch{probe.batches[0], probe.batches[1]},
+			Build: []*vector.Batch{build.batches[0]},
+		}
+	}
+	var want []string
+	if err := frag.Run(unit(), func(b *vector.Batch) {
+		want = append(want, renderBatch(b)...)
+	}); err != nil {
 		t.Fatal(err)
 	}
-	srv1.Close()
-	srv2.Close()
-	frag := testFragment(t)
-	probe, _ := testStreams(1, 2)
-	done := make(chan error, 1)
-	set.Backends()[0].RunGroup(
-		&engine.GroupUnit{GID: 1, Probe: []*vector.Batch{probe.batches[0]}},
-		frag, func(*vector.Batch) {}, func(err error) { done <- err })
-	select {
-	case err := <-done:
-		if !errors.Is(err, ErrBackendDown) {
-			t.Fatalf("exhausted failover returned %v, want an ErrBackendDown-wrapped error", err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("unit with no surviving backends never completed")
+	if len(want) == 0 {
+		t.Fatal("test unit joins to no rows — vacuous test")
 	}
-	for _, b := range set.Backends() {
-		if err := b.Close(); err != nil {
+
+	t.Run("local-fallback", func(t *testing.T) {
+		srv1, addr1 := startWorker(t, 1)
+		srv2, addr2 := startWorker(t, 1)
+		set, err := DialSet([]string{addr1, addr2}, PaperNet())
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
+		srv1.Close()
+		srv2.Close()
+		var got []string
+		done := make(chan error, 1)
+		set.Backends()[0].RunGroup(unit(), frag,
+			func(b *vector.Batch) { got = append(got, renderBatch(b)...) },
+			func(err error) { done <- err })
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("all-down unit failed instead of degrading to the local fragment: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("unit with no surviving backends never completed")
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("local fallback produced %d rows != direct run's %d", len(got), len(want))
+		}
+		if n := set.LocalFallbackUnits(); n != 1 {
+			t.Fatalf("local fallback recorded %d units, want 1", n)
+		}
+		for i, h := range set.Health() {
+			if h.State != "probing" || h.Downs < 1 {
+				t.Fatalf("slot %d after all-down: %+v, want probing with a down recorded", i, h)
+			}
+		}
+		for _, b := range set.Backends() {
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+
+	t.Run("no-fallback", func(t *testing.T) {
+		srv1, addr1 := startWorker(t, 1)
+		srv2, addr2 := startWorker(t, 1)
+		set, err := DialSetConfig([]string{addr1, addr2}, PaperNet(), SetConfig{NoLocalFallback: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv1.Close()
+		srv2.Close()
+		done := make(chan error, 1)
+		set.Backends()[0].RunGroup(unit(), frag, func(*vector.Batch) {}, func(err error) { done <- err })
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrBackendDown) {
+				t.Fatalf("exhausted failover returned %v, want an ErrBackendDown-wrapped error", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("unit with no surviving backends never completed")
+		}
+		for _, b := range set.Backends() {
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
 	waitGoroutines(t, base+2)
 }
 
 // TestDialFailureIsBackendDown checks refused dials carry the reroute
-// marker, and that DialSet reports them rather than returning a partial
-// set.
+// marker, and that a dead member no longer fails DialSet: its slot joins
+// the set down and probing, and units preferring it route to the survivor.
 func TestDialFailureIsBackendDown(t *testing.T) {
+	base := runtime.NumGoroutine()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -287,10 +361,39 @@ func TestDialFailureIsBackendDown(t *testing.T) {
 	if _, err := Dial(dead, nil); !errors.Is(err, ErrBackendDown) {
 		t.Fatalf("dial to a dead address returned %v, want ErrBackendDown", err)
 	}
-	_, addr := startWorker(t, 1)
-	if _, err := DialSet([]string{addr, dead}, PaperNet()); !errors.Is(err, ErrBackendDown) {
-		t.Fatalf("DialSet with a dead member returned %v, want ErrBackendDown", err)
+	srv, addr := startWorker(t, 1)
+	set, err := DialSet([]string{addr, dead}, PaperNet())
+	if err != nil {
+		t.Fatalf("DialSet with a dead member failed instead of admitting it down: %v", err)
 	}
+	if h := set.Health(); h[1].State != "probing" || h[1].Downs != 1 {
+		t.Fatalf("dead member health %+v, want probing with one down transition", h[1])
+	}
+	frag := testFragment(t)
+	probe, _ := testStreams(1, 2)
+	done := make(chan error, 1)
+	rows := 0
+	set.Backends()[1].RunGroup(
+		&engine.GroupUnit{GID: 0, Probe: []*vector.Batch{probe.batches[0]}},
+		frag, func(b *vector.Batch) { rows += b.Len() }, func(err error) { done <- err })
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("unit preferring the dead slot failed instead of routing around it: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("unit preferring the dead slot never completed")
+	}
+	if srv.UnitsDone() != 1 {
+		t.Fatalf("survivor served %d units, want the rerouted 1", srv.UnitsDone())
+	}
+	for _, b := range set.Backends() {
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	waitGoroutines(t, base+2)
 }
 
 // TestHelloVersionMismatch locks in the versioning rule of docs/WIRE.md: a

@@ -22,6 +22,11 @@
 //     bdccworker daemons (docs/OPERATIONS.md covers deployment).
 //   - NewFailover (failover.go): unit-level retry across a set — failed
 //     units reroute to surviving backends, excluding failed attempts.
+//   - the health prober (health.go): down backends with dialable addresses
+//     are re-dialed under bounded jittered backoff, liveness-checked with a
+//     ping/pong round-trip, and re-admitted to the routing set mid-query;
+//     when every remote is down, units degrade to the coordinator's local
+//     copy of the fragment instead of failing the query.
 //
 // # The Backend lifecycle contract
 //
@@ -53,6 +58,11 @@
 //     unit; because unit output is deterministic and emitted sequentially,
 //     the retry replays the same batch sequence and skips the prefix a
 //     half-emitted failed attempt already delivered.
+//   - Recovery: a down backend with a dialable address is probed (bounded
+//     jittered backoff, ping-verified sessions) and re-admitted mid-query
+//     with the session's fragments re-shipped; its exclusion records reset,
+//     so later units land on it again. With no remote surviving, units run
+//     on the coordinator's local fragment copy (graceful degradation).
 //   - Close: callers Close only after every done callback returned (the
 //     engine's exchange guarantees this). Close tears the transport down
 //     and joins all backend-owned goroutines; a closed backend completes
@@ -125,6 +135,7 @@ func PaperNet() iosim.Device {
 // of hashing the group id.
 type Set struct {
 	backends []engine.Backend
+	f        *failover
 	hash     *Router
 	net      *iosim.Accountant
 
@@ -133,43 +144,67 @@ type Set struct {
 	loads  []engine.BackendLoad
 }
 
+// SetConfig tunes a set's recovery behavior.
+type SetConfig struct {
+	// Probe tunes the health prober's reconnect backoff and deadlines; the
+	// zero value selects the defaults (see ProbeConfig).
+	Probe ProbeConfig
+	// NoLocalFallback disables graceful degradation: with it set, a unit
+	// that exhausts the set fails with ErrBackendDown instead of running on
+	// the coordinator's local fragment copy.
+	NoLocalFallback bool
+}
+
 // NewSet returns a backend set of n simulated remotes, each with its own
 // scheduler of `workers` goroutines, all charging transport activity to one
-// accountant over dev.
+// accountant over dev. Simulated remotes have no dialable address, so there
+// is no re-admission; local fallback still applies when the whole set dies.
 func NewSet(n, workers int, dev iosim.Device) *Set {
 	if workers < 1 {
 		workers = 1
 	}
 	s := newSet(n, iosim.NewAccountant(dev))
-	raw := make([]engine.Backend, n)
+	slots := make([]*slot, n)
 	for i := 0; i < n; i++ {
-		raw[i] = NewSim(workers, s.net)
+		b := NewSim(workers, s.net)
+		slots[i] = &slot{backend: b, workers: b.Workers()}
 	}
-	s.backends = NewFailover(raw)
+	s.backends, s.f = newFailover(slots, failoverOptions{localFallback: true, acct: s.net})
 	return s
 }
 
-// DialSet returns a backend set of one TCP backend per bdccworker address,
-// behind the failover wrapper, charging message traffic to one accountant
-// over dev. Every address must answer the handshake; on any failure the
-// already-dialed backends are closed and the error returned.
+// DialSet returns a backend set of one TCP backend per bdccworker address
+// with the default recovery configuration; see DialSetConfig.
 func DialSet(addrs []string, dev iosim.Device) (*Set, error) {
+	return DialSetConfig(addrs, dev, SetConfig{})
+}
+
+// DialSetConfig returns a backend set of one TCP backend per bdccworker
+// address, behind the failover wrapper, charging message traffic to one
+// accountant over dev. A worker that is down at dial time no longer fails
+// the query: its slot joins the set down and the health prober re-dials it
+// under bounded jittered backoff, re-admitting it once it answers — the
+// same path a worker lost mid-query recovers through. Only an empty
+// address list is an error.
+func DialSetConfig(addrs []string, dev iosim.Device, cfg SetConfig) (*Set, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("shard: DialSet with no addresses")
 	}
 	s := newSet(len(addrs), iosim.NewAccountant(dev))
-	raw := make([]engine.Backend, 0, len(addrs))
-	for _, addr := range addrs {
+	slots := make([]*slot, len(addrs))
+	for i, addr := range addrs {
 		b, err := Dial(addr, s.net)
 		if err != nil {
-			for _, d := range raw {
-				d.Close()
-			}
-			return nil, err
+			slots[i] = &slot{addr: addr, workers: 1}
+			continue
 		}
-		raw = append(raw, b)
+		slots[i] = &slot{backend: b, addr: addr, workers: b.Workers()}
 	}
-	s.backends = NewFailover(raw)
+	s.backends, s.f = newFailover(slots, failoverOptions{
+		localFallback: !cfg.NoLocalFallback,
+		probe:         cfg.Probe,
+		acct:          s.net,
+	})
 	return s, nil
 }
 
@@ -234,3 +269,11 @@ func (s *Set) Loads() []engine.BackendLoad {
 
 // Net returns the shared network accountant.
 func (s *Set) Net() *iosim.Accountant { return s.net }
+
+// Health returns a snapshot of the set's per-backend failover health:
+// retry/down/readmit counters and the prober state of each slot.
+func (s *Set) Health() []engine.BackendHealth { return s.f.Health() }
+
+// LocalFallbackUnits returns how many units ran on the coordinator's local
+// fallback because no remote backend survived them.
+func (s *Set) LocalFallbackUnits() int64 { return s.f.FallbackUnits() }

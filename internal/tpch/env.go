@@ -37,6 +37,11 @@ type Benchmark struct {
 	// Balance is the group-placement policy of sharded runs: "" or "hash"
 	// for group-hash placement, "size" for least-loaded-by-bytes.
 	Balance string
+	// ProbeBase and ProbeMax tune the failover health prober's reconnect
+	// backoff against real workers (RunAll passes them through to every
+	// query); zero values keep the defaults.
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
 }
 
 // majorMinorOptions returns build options for the hand-tuned major-minor
@@ -116,6 +121,8 @@ func NewEnvOpts(db *plan.DB, opt RunOptions) *Env {
 	e := NewEnvShards(db, opt.Workers, opt.Shards)
 	e.Ctx.Remotes = opt.Remotes
 	e.Ctx.Balance = opt.Balance
+	e.Ctx.ProbeBase = opt.ProbeBase
+	e.Ctx.ProbeMax = opt.ProbeMax
 	return e
 }
 
@@ -197,6 +204,14 @@ type Stats struct {
 	// single-box. Reported as shard_units in the JSON grid, and the
 	// quantity the balance-by-size policy equalizes.
 	Shard []engine.BackendLoad
+	// Health is the per-backend failover health of a sharded run (retries,
+	// downs, mid-query re-admissions); nil when single-box. Reported as
+	// shard_retries / shard_downs / shard_readmits in the JSON grid.
+	Health []engine.BackendHealth
+	// LocalFallbackUnits counts units that ran on the coordinator's local
+	// fallback because no remote backend survived them (graceful
+	// degradation); reported as local_fallback_units in the JSON grid.
+	LocalFallbackUnits int64
 }
 
 // RunOptions is the full execution knob set of one query run.
@@ -210,6 +225,10 @@ type RunOptions struct {
 	Remotes []string
 	// Balance is the placement policy: "" or "hash", or "size".
 	Balance string
+	// ProbeBase and ProbeMax tune the failover health prober's reconnect
+	// backoff (first delay and cap); zero values keep the defaults.
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
 }
 
 // RunQuery executes one query against one database and reports results and
@@ -252,12 +271,14 @@ func RunQueryOpts(db *plan.DB, q QueryDef, opt RunOptions) (*engine.Result, *Sta
 	}
 	wall := time.Since(start)
 	st := &Stats{
-		Rows:    res.Rows(),
-		Wall:    wall,
-		IO:      env.Ctx.Acct.Stats(),
-		PeakMem: env.Ctx.Mem.Peak(),
-		Net:     env.Ctx.NetStats(),
-		Shard:   env.Ctx.ShardLoads(),
+		Rows:               res.Rows(),
+		Wall:               wall,
+		IO:                 env.Ctx.Acct.Stats(),
+		PeakMem:            env.Ctx.Mem.Peak(),
+		Net:                env.Ctx.NetStats(),
+		Shard:              env.Ctx.ShardLoads(),
+		Health:             env.Ctx.HealthStats(),
+		LocalFallbackUnits: env.Ctx.LocalFallbackUnits(),
 	}
 	st.Cold = st.IO.ColdTime(wall)
 	if s := env.Ctx.Scheduler(); s != nil {

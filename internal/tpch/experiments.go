@@ -49,7 +49,8 @@ func (b *Benchmark) RunAll() (*Report, error) {
 	if rep.Balance == "" {
 		rep.Balance = "hash"
 	}
-	opt := RunOptions{Workers: b.Workers, Shards: b.Shards, Remotes: b.Remotes, Balance: b.Balance}
+	opt := RunOptions{Workers: b.Workers, Shards: b.Shards, Remotes: b.Remotes, Balance: b.Balance,
+		ProbeBase: b.ProbeBase, ProbeMax: b.ProbeMax}
 	for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
 		db, ok := b.DBs[scheme]
 		if !ok {
@@ -192,6 +193,15 @@ func (r *Report) WriteSched(w io.Writer) {
 				loads[i].Bytes += l.Bytes
 			}
 		}
+		var retries, downs, readmits, fallback int64
+		for _, run := range r.Runs[s] {
+			for _, h := range run.Stats.Health {
+				retries += h.Retries
+				downs += h.Downs
+				readmits += h.Readmits
+			}
+			fallback += run.Stats.LocalFallbackUnits
+		}
 		fmt.Fprintf(w, "%-6s %10d %10d %12.1f %12.1f %10d %10.1f\n", s, tasks, steals,
 			float64(idle.Microseconds())/1000, float64(hidden.Microseconds())/1000,
 			msgs, float64(netT.Microseconds())/1000)
@@ -201,6 +211,10 @@ func (r *Report) WriteSched(w io.Writer) {
 				fmt.Fprintf(w, " %d (%.1f MB)", l.Units, float64(l.Bytes)/(1<<20))
 			}
 			fmt.Fprintln(w)
+		}
+		if retries+downs+readmits+fallback > 0 {
+			fmt.Fprintf(w, "       failover: %d retries, %d downs, %d readmits, %d local-fallback units\n",
+				retries, downs, readmits, fallback)
 		}
 	}
 }
@@ -233,6 +247,17 @@ type JSONQueryRun struct {
 	// run (index = backend), the distribution the balance knob shapes;
 	// omitted when single-box.
 	ShardUnits []int64 `json:"shard_units,omitempty"`
+	// ShardRetries / ShardDowns / ShardReadmits are the per-backend failover
+	// health counters of a sharded run (index = backend): failed unit
+	// attempts, down transitions, and mid-query re-admissions. All zero on
+	// an undisturbed run; omitted when single-box.
+	ShardRetries  []int64 `json:"shard_retries,omitempty"`
+	ShardDowns    []int64 `json:"shard_downs,omitempty"`
+	ShardReadmits []int64 `json:"shard_readmits,omitempty"`
+	// LocalFallbackUnits counts group units that degraded to the
+	// coordinator's local backend because no remote survived them; omitted
+	// when zero.
+	LocalFallbackUnits int64 `json:"local_fallback_units,omitempty"`
 }
 
 // JSONReport is the machine-readable form of the full measurement grid.
@@ -265,21 +290,31 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			for _, l := range st.Shard {
 				units = append(units, l.Units)
 			}
+			var retries, downs, readmits []int64
+			for _, h := range st.Health {
+				retries = append(retries, h.Retries)
+				downs = append(downs, h.Downs)
+				readmits = append(readmits, h.Readmits)
+			}
 			out.Queries = append(out.Queries, JSONQueryRun{
-				Scheme:      scheme.String(),
-				Query:       run.Query,
-				Rows:        st.Rows,
-				DeviceMS:    float64(st.IO.Time.Microseconds()) / 1000,
-				MBRead:      float64(st.IO.Bytes) / (1 << 20),
-				PeakMB:      PeakMB(st),
-				ColdMS:      float64(st.Cold.Microseconds()) / 1000,
-				WallMS:      float64(st.Wall.Microseconds()) / 1000,
-				HiddenMS:    float64(st.IO.Hidden.Microseconds()) / 1000,
-				SchedTasks:  st.Sched.Tasks,
-				SchedSteals: st.Sched.Steals,
-				NetMS:       float64(st.Net.Time.Microseconds()) / 1000,
-				NetMsgs:     st.Net.Runs,
-				ShardUnits:  units,
+				Scheme:             scheme.String(),
+				Query:              run.Query,
+				Rows:               st.Rows,
+				DeviceMS:           float64(st.IO.Time.Microseconds()) / 1000,
+				MBRead:             float64(st.IO.Bytes) / (1 << 20),
+				PeakMB:             PeakMB(st),
+				ColdMS:             float64(st.Cold.Microseconds()) / 1000,
+				WallMS:             float64(st.Wall.Microseconds()) / 1000,
+				HiddenMS:           float64(st.IO.Hidden.Microseconds()) / 1000,
+				SchedTasks:         st.Sched.Tasks,
+				SchedSteals:        st.Sched.Steals,
+				NetMS:              float64(st.Net.Time.Microseconds()) / 1000,
+				NetMsgs:            st.Net.Runs,
+				ShardUnits:         units,
+				ShardRetries:       retries,
+				ShardDowns:         downs,
+				ShardReadmits:      readmits,
+				LocalFallbackUnits: st.LocalFallbackUnits,
 			})
 		}
 	}
