@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	bdccworker [-listen :4710] [-workers N] [-drain-timeout 30s] [-v]
+//	bdccworker [-listen :4710] [-workers N] [-auth-token SECRET]
+//	           [-drain-timeout 30s] [-v]
 //
 // Point a query at one or more daemons with tpchbench -remotes
 // host:port,host:port — results are byte-identical to the single-box run;
@@ -34,6 +35,7 @@ func main() {
 	listen := flag.String("listen", ":4710", "TCP address to accept query sessions on")
 	workers := flag.Int("workers", engine.DefaultWorkers(), "scheduler pool goroutines")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain; sessions still running after it are abandoned (0 waits forever)")
+	token := flag.String("auth-token", "", "shared secret sessions must present in their hello (constant-time compare; mismatch drops the connection)")
 	verbose := flag.Bool("v", false, "log a status line per completed unit batch (every 1000 units)")
 	flag.Parse()
 
@@ -42,6 +44,7 @@ func main() {
 		fatal(err)
 	}
 	srv := shard.NewServer(*workers)
+	srv.SetAuthToken(*token)
 	if *verbose {
 		srv.OnUnitDone = func(total int64) {
 			if total%1000 == 0 {

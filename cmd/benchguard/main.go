@@ -8,7 +8,8 @@
 // Usage:
 //
 //	benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P]
-//	           [-downs-min N] [-readmits-min N] BENCH_tpch.json
+//	           [-downs-min N] [-readmits-min N] [-concurrency-expected N]
+//	           BENCH_tpch.json
 //
 // Checks:
 //   - top level carries sf > 0, workers ≥ 1, the shards knob
@@ -33,7 +34,12 @@
 //   - the chaos leg's scripted worker restart is provable from the grid:
 //     -downs-min and -readmits-min fail the gate unless the summed downs /
 //     re-admissions across all cells reach the floor (-1 skips), and
-//     local_fallback_units, when present, is a non-negative count.
+//     local_fallback_units, when present, is a non-negative count;
+//   - the daemon leg: a present concurrency section must carry one
+//     well-formed record per scheme (clients, requests, qps, latency
+//     quantiles, admission counters, no errors); -concurrency-expected N
+//     additionally fails the gate unless the leg exists, covers all three
+//     schemes with N clients each, and recorded real throughput.
 //
 // The file is decoded into generic JSON, not the tpch structs, so a field
 // rename in the producer cannot silently satisfy the guard.
@@ -59,19 +65,20 @@ func main() {
 	balanceExpected := flag.String("balance-expected", "", "fail unless the grid's balance policy equals this (empty skips)")
 	downsMin := flag.Int("downs-min", -1, "fail unless backend down transitions summed across the grid reach this (-1 skips)")
 	readmitsMin := flag.Int("readmits-min", -1, "fail unless mid-query re-admissions summed across the grid reach this (-1 skips)")
+	concExpected := flag.Int("concurrency-expected", -1, "fail unless the grid carries a concurrency leg of this many clients per scheme (-1 skips)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] BENCH_tpch.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] [-concurrency-expected N] BENCH_tpch.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin); err != nil {
+	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin, *concExpected); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: grid OK")
 }
 
-func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin int) error {
+func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin, concExpected int) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -225,7 +232,74 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if readmitsMin >= 0 && readmitsTotal < float64(readmitsMin) {
 		return fmt.Errorf("grid records %d re-admissions, expected at least %d — the chaos restart left no trace", int(readmitsTotal), readmitsMin)
 	}
-	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity, %d downs, %d readmits\n",
-		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells, int(downsTotal), int(readmitsTotal))
+	concCells, err := checkConcurrency(top, concExpected)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity, %d downs, %d readmits, %d concurrency records\n",
+		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells, int(downsTotal), int(readmitsTotal), concCells)
 	return nil
+}
+
+// checkConcurrency validates the daemon leg of the grid: one record per
+// scheme of the N-client closed-loop run through bdccd. With expected ≥ 0
+// the leg must be present, cover every scheme with that client count, and
+// record error-free throughput; without it, a present leg is still
+// structurally validated.
+func checkConcurrency(top map[string]any, expected int) (int, error) {
+	rawConc, present := top["concurrency"]
+	if !present {
+		if expected >= 0 {
+			return 0, fmt.Errorf("grid has no concurrency leg, expected %d clients per scheme — the daemon leg did not run", expected)
+		}
+		return 0, nil
+	}
+	conc, ok := rawConc.([]any)
+	if !ok || len(conc) == 0 {
+		return 0, fmt.Errorf("grid concurrency leg is not a non-empty array: %v", rawConc)
+	}
+	seen := make(map[string]bool)
+	for i, ra := range conc {
+		rec, ok := ra.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("concurrency[%d] is not an object", i)
+		}
+		scheme, _ := rec["scheme"].(string)
+		if seen[scheme] {
+			return 0, fmt.Errorf("duplicate concurrency record for scheme %q", scheme)
+		}
+		seen[scheme] = true
+		num := make(map[string]float64)
+		for _, f := range []string{"clients", "requests", "qps", "p50_ms", "p99_ms", "queued", "rejected"} {
+			v, ok := rec[f]
+			if !ok {
+				return 0, fmt.Errorf("concurrency[%s] lacks required field %q (schema regression)", scheme, f)
+			}
+			n, ok := v.(float64)
+			if !ok || n < 0 {
+				return 0, fmt.Errorf("concurrency[%s]: field %q = %v is not a non-negative number", scheme, f, v)
+			}
+			num[f] = n
+		}
+		if errs, ok := rec["errors"].(float64); ok && errs > 0 {
+			return 0, fmt.Errorf("concurrency[%s] records %d non-rejection errors — the daemon leg is unhealthy", scheme, int(errs))
+		}
+		if expected >= 0 {
+			if int(num["clients"]) != expected {
+				return 0, fmt.Errorf("concurrency[%s] ran %d clients, expected %d", scheme, int(num["clients"]), expected)
+			}
+			if num["requests"] < num["clients"] || num["qps"] <= 0 {
+				return 0, fmt.Errorf("concurrency[%s] recorded no meaningful throughput (requests=%d qps=%g)",
+					scheme, int(num["requests"]), num["qps"])
+			}
+		}
+	}
+	if expected >= 0 {
+		for _, s := range schemes {
+			if !seen[s] {
+				return 0, fmt.Errorf("concurrency leg lacks scheme %s", s)
+			}
+		}
+	}
+	return len(conc), nil
 }

@@ -8,6 +8,8 @@
 //
 //	tpchbench [-sf 0.05] [-workers N] [-shards N] [-remotes host:port,...]
 //	          [-balance hash|size] [-probe-base D] [-probe-max D]
+//	          [-clients N] [-rounds N] [-daemon host:port] [-pools N]
+//	          [-auth-token SECRET]
 //	          [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
 //
 // The -workers knob (default: all cores) runs every query on a shared
@@ -34,16 +36,28 @@
 // scheme, plus the workers/shards/remotes/balance knobs) as
 // machine-readable JSON so the performance trajectory can be tracked
 // across changes; pass -json "" to disable.
+//
+// The -clients knob adds the concurrency leg to the grid: N closed-loop
+// clients each issue the 22 queries -rounds times per scheme through a
+// bdccd daemon — the one named by -daemon (authenticating with
+// -auth-token), or an in-process loopback daemon with -pools scheduler
+// pools over the already-materialized benchmark. The leg reports qps,
+// latency quantiles and the daemon's admission counters per scheme, both
+// on stdout and in the JSON grid's "concurrency" section.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
+	"time"
 
 	"bdcc/internal/engine"
+	"bdcc/internal/iosim"
 	"bdcc/internal/plan"
+	"bdcc/internal/serve"
 	"bdcc/internal/tpch"
 )
 
@@ -53,9 +67,15 @@ func main() {
 	shards := flag.Int("shards", 1, "backends to shard BDCC group streams across (1 = single-box)")
 	remotes := flag.String("remotes", "", "comma-separated bdccworker addresses (host:port); replaces simulated backends")
 	balance := flag.String("balance", "hash", "group placement policy: hash | size")
+	workerToken := flag.String("worker-token", "", "shared secret presented to the bdccworker daemons of -remotes")
 	probeBase := flag.Duration("probe-base", 0, "first reconnect backoff of the worker health prober (0 = default)")
 	probeMax := flag.Duration("probe-max", 0, "reconnect backoff cap of the worker health prober (0 = default)")
 	verbose := flag.Bool("v", false, "print scheduler stats (tasks, steals, idle time)")
+	clients := flag.Int("clients", 0, "closed-loop daemon clients for the concurrency leg (0 disables)")
+	rounds := flag.Int("rounds", 1, "rounds of the 22 queries each concurrency client issues")
+	daemonAddr := flag.String("daemon", "", "bdccd address the concurrency leg dials (empty starts a loopback daemon in-process)")
+	pools := flag.Int("pools", 2, "scheduler pools of the in-process loopback daemon")
+	authToken := flag.String("auth-token", "", "shared secret for the daemon sessions of the concurrency leg")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
@@ -86,6 +106,7 @@ func main() {
 	b.Shards = *shards
 	b.Remotes = remoteAddrs
 	b.Balance = *balance
+	b.AuthToken = *workerToken
 	b.ProbeBase = *probeBase
 	b.ProbeMax = *probeMax
 	rep, err := b.RunAll()
@@ -101,6 +122,49 @@ func main() {
 	if *verbose {
 		fmt.Println()
 		rep.WriteSched(os.Stdout)
+	}
+
+	// The concurrency leg: N closed-loop clients through a bdccd daemon —
+	// dialed when -daemon names one, otherwise started in-process on a
+	// loopback listener over the already-materialized benchmark.
+	if *clients > 0 {
+		addr := *daemonAddr
+		var srv *serve.Server
+		if addr == "" {
+			svc := tpch.NewService(b)
+			dev := iosim.PaperSSD()
+			srv = serve.NewServer(serve.Config{
+				Pools:      *pools,
+				Workers:    *workers,
+				QueueCap:   4 * *clients,
+				QueueWait:  time.Minute,
+				AuthToken:  *authToken,
+				NewContext: func() *engine.Context { return engine.Options{Workers: *workers}.NewContext(dev) },
+				Handler:    svc.Handle,
+			})
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			go srv.Serve(l)
+			addr = l.Addr().String()
+		}
+		var qnames []string
+		for _, q := range tpch.Queries {
+			qnames = append(qnames, q.Name)
+		}
+		for _, scheme := range rep.Schemes {
+			st, err := tpch.RunConcurrency(addr, *authToken, scheme, qnames, *clients, *rounds)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Concurrency = append(rep.Concurrency, *st)
+		}
+		if srv != nil {
+			srv.Close()
+		}
+		fmt.Println()
+		rep.WriteConcurrency(os.Stdout)
 	}
 
 	if *jsonPath != "" {

@@ -131,6 +131,15 @@ type Context struct {
 	// hash; "size" places each group on the backend with the least
 	// cumulative routed bytes. Results are byte-identical across policies.
 	Balance string
+	// AuthToken is the shared secret presented in the wire protocol's hello
+	// frame when dialing remote backends; empty means no token. It must
+	// match the workers' configured token or the dial is dropped.
+	AuthToken string
+	// SharedBackends marks Backends as owned by a longer-lived host (the
+	// bdccd daemon's process-lifetime worker sessions, multiplexed across
+	// queries) rather than by this query: CloseBackends becomes a no-op and
+	// the host tears the set down at process shutdown.
+	SharedBackends bool
 	// Backends is the per-query backend set the planner installed when
 	// Shards exceeds one (one entry per shard); nil means single-box. The
 	// query owner closes it via CloseBackends once execution finishes.
@@ -205,9 +214,14 @@ func (c *Context) LocalFallbackUnits() int64 {
 
 // CloseBackends shuts down the query's backend set, joining every backend's
 // goroutines, and returns the first close error. It is idempotent and a
-// no-op for single-box contexts. Callers close after the operator tree is
-// closed — the exchanges have joined all in-flight units by then.
+// no-op for single-box contexts and for contexts borrowing a shared set
+// (SharedBackends) — those sessions outlive the query and are closed by
+// their host. Callers close after the operator tree is closed — the
+// exchanges have joined all in-flight units by then.
 func (c *Context) CloseBackends() error {
+	if c.SharedBackends {
+		return nil
+	}
 	var first error
 	for _, b := range c.Backends {
 		if err := b.Close(); err != nil && first == nil {
@@ -237,18 +251,82 @@ func (c *Context) Scheduler() *Sched {
 	return c.sched
 }
 
+// SetScheduler installs a pre-created scheduler pool on the context in
+// place of the lazily created per-query pool, aligning the Workers knob
+// with the pool's size so operators fan out consistently. The caller owns
+// the pool's lifecycle: it must hold its own Retain for as long as the pool
+// is shared (operators' paired Retain/Release then never drop it to zero)
+// and Release it when done. This is how the daemon runs many queries on a
+// bounded number of process-lifetime pools.
+func (c *Context) SetScheduler(s *Sched) {
+	c.sched = s
+	if s != nil {
+		c.Workers = s.Workers()
+	}
+}
+
 // NewContext returns a context with fresh meters for the given device.
 func NewContext(dev iosim.Device) *Context {
 	return &Context{Acct: iosim.NewAccountant(dev), Mem: &MemTracker{}}
 }
 
+// Options bundles the execution knobs every front end (tpchbench, the tpch
+// test harness, bdccd) applies to a query context, so the knob wiring
+// lives in exactly one place.
+type Options struct {
+	// Workers is Context.Workers (morsel parallelism; <2 = serial).
+	Workers int
+	// Shards is Context.Shards (simulated backend count; <2 = single-box).
+	Shards int
+	// Remotes is Context.Remotes (bdccworker addresses; overrides Shards).
+	Remotes []string
+	// Balance is Context.Balance (group placement: "hash" | "size").
+	Balance string
+	// ProbeBase/ProbeMax tune the health prober's reconnect backoff.
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
+	// AuthToken is the shared secret for the workers' hello frames.
+	AuthToken string
+}
+
+// Apply copies the option set's knobs onto a context.
+func (o Options) Apply(c *Context) {
+	c.Workers = o.Workers
+	c.Shards = o.Shards
+	c.Remotes = o.Remotes
+	c.Balance = o.Balance
+	c.ProbeBase = o.ProbeBase
+	c.ProbeMax = o.ProbeMax
+	c.AuthToken = o.AuthToken
+}
+
+// NewContext returns a context with fresh meters for the given device and
+// the option set's knobs applied.
+func (o Options) NewContext(dev iosim.Device) *Context {
+	c := NewContext(dev)
+	o.Apply(c)
+	return c
+}
+
 // MemTracker accounts the bytes of materialized operator state (hash
 // tables, buffered groups, sort runs). Peak is the query's high-water mark —
 // the metric of the paper's Figure 3.
+//
+// A tracker is optionally hierarchical: AttachBudget ties it to a
+// process-global MemBudget shared by concurrent queries (see membudget.go).
+// The cur/peak arithmetic below is identical with and without a parent;
+// governance only adds quantum-granular reservations on the side.
 type MemTracker struct {
 	mu   sync.Mutex
 	cur  int64
 	peak int64
+
+	// Hierarchical state (membudget.go); all zero for a standalone tracker.
+	parent   *MemBudget
+	quantum  int64
+	reserved int64
+	failed   error
+	resMu    sync.Mutex
 }
 
 // Grow records the allocation of n bytes.
@@ -261,7 +339,11 @@ func (m *MemTracker) Grow(n int64) {
 	if m.cur > m.peak {
 		m.peak = m.cur
 	}
+	covered := m.parent == nil || m.cur <= m.reserved || m.failed != nil
 	m.mu.Unlock()
+	if !covered {
+		m.ensureReserved()
+	}
 }
 
 // Shrink records the release of n bytes.
@@ -271,7 +353,21 @@ func (m *MemTracker) Shrink(n int64) {
 	}
 	m.mu.Lock()
 	m.cur -= n
+	var give int64
+	var parent *MemBudget
+	if m.parent != nil {
+		keep := int64(0)
+		if m.cur > 0 {
+			keep = (m.cur + m.quantum - 1) / m.quantum * m.quantum
+		}
+		if m.reserved > keep {
+			give = m.reserved - keep
+			m.reserved = keep
+			parent = m.parent
+		}
+	}
 	m.mu.Unlock()
+	parent.Release(give)
 }
 
 // Peak returns the high-water mark in bytes.
@@ -343,6 +439,13 @@ func Run(ctx *Context, op Operator) (*Result, error) {
 		res.Cols = append(res.Cols, vector.NewVector(c.Kind, vector.BatchSize))
 	}
 	for {
+		// A tracker governed by a process budget latches rejection instead
+		// of erroring inside Grow (which has no error path and runs on pool
+		// goroutines); surface it here so an over-budget query aborts
+		// between batches and its operators unwind normally.
+		if err := ctx.Mem.Err(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err

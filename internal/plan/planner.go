@@ -31,6 +31,11 @@ type Planner struct {
 	scanChoice map[*Scan]*useChoice
 	alignment  map[*Join]*sharedPair
 	joinPairs  map[*Join][]sharedPair
+
+	// memo/sites support plan caching (cache.go): an attached incomplete
+	// memo records this planner's decisions, a completed one replays them.
+	memo  *Memo
+	sites *siteIndex
 }
 
 // NewPlanner returns a planner for one query execution.
@@ -74,12 +79,27 @@ type streamInfo struct {
 	restr restrictions
 }
 
+// UseMemo attaches a plan memo (see cache.go). An incomplete memo records
+// this planner's decisions during Plan; a completed one replays them onto
+// the fresh tree, skipping preanalysis and pre-execution subqueries. The
+// caller must present the same logical plan shape, database, and
+// plan-shaping knobs the memo was recorded against.
+func (p *Planner) UseMemo(m *Memo) { p.memo = m }
+
 // Plan lowers a logical plan into an executable operator tree.
 func (p *Planner) Plan(n Node) (engine.Operator, error) {
-	if p.DB.Scheme == BDCC {
+	if p.memo != nil {
+		p.sites = indexSites(n)
+	}
+	if p.memo.Completed() {
+		p.replayAnalysis()
+	} else if p.DB.Scheme == BDCC {
 		p.preanalyze(n, nil)
 	}
 	op, _, err := p.lower(n, restrictions{})
+	if err == nil && p.memo != nil && !p.memo.Completed() {
+		p.recordAnalysis()
+	}
 	return op, err
 }
 
@@ -292,7 +312,8 @@ func (p *Planner) backends() ([]engine.Backend, error) {
 		if len(p.Ctx.Remotes) > 0 {
 			var err error
 			set, err = shard.DialSetConfig(p.Ctx.Remotes, shard.PaperNet(), shard.SetConfig{
-				Probe: shard.ProbeConfig{Base: p.Ctx.ProbeBase, Max: p.Ctx.ProbeMax},
+				Probe:     shard.ProbeConfig{Base: p.Ctx.ProbeBase, Max: p.Ctx.ProbeMax},
+				AuthToken: p.Ctx.AuthToken,
 			})
 			if err != nil {
 				return nil, err
@@ -469,13 +490,48 @@ func hasOrderPrefix(order []string, col string) bool {
 	return len(order) > 0 && order[0] == col
 }
 
+// mergeTransferredBins intersects bins into transferred under key k,
+// allocating a fresh merged set on overlap so neither input is mutated —
+// the recorded bin sets of a memo replay alias into transferred safely.
+func mergeTransferredBins(transferred restrictions, k string, bins binSet) {
+	if cur, ok := transferred[k]; ok {
+		merged := make(binSet)
+		for b := range cur {
+			if bins[b] {
+				merged[b] = true
+			}
+		}
+		transferred[k] = merged
+	} else {
+		transferred[k] = bins
+	}
+}
+
 // preExecPropagate executes a small build subtree to convert its join-key
 // set into probe-side bin restrictions. For sandwich joins the subtree runs
 // once more in grouped form, so the planning run is charged to neither the
 // I/O nor the memory meter (the rewriter-style lookup); for plain hash
 // joins the materialized rows feed the real join and the run is charged
 // normally.
+//
+// Under a completed memo the subtree does not run at all: the recorded raw
+// bin sets replay through the same merge as recording used, and a recorded
+// materialized build result substitutes for re-executing the build.
 func (p *Planner) preExecPropagate(j *Join, sandwich bool, buildOp engine.Operator, transferred restrictions) (engine.Operator, error) {
+	if p.memo.Completed() {
+		pe := p.memo.preExec[p.sites.joinOf[j]]
+		if pe == nil {
+			return buildOp, nil
+		}
+		for k, bins := range pe.raw {
+			mergeTransferredBins(transferred, k, bins)
+			p.logf("join: replayed pre-executed build restriction %s (%d bins)", k, len(bins))
+		}
+		if pe.res != nil {
+			return &engine.Values{Rows: pe.res}, nil
+		}
+		return buildOp, nil
+	}
 	probeBase := baseScan(j.Left)
 	if probeBase == nil || probeBase.Alias != "" {
 		return buildOp, nil
@@ -511,10 +567,15 @@ func (p *Planner) preExecPropagate(j *Join, sandwich bool, buildOp engine.Operat
 	if err != nil {
 		return buildOp, err
 	}
+	rec := &preExecMemo{}
+	if p.memo != nil && p.sites != nil {
+		p.memo.preExec[p.sites.joinOf[j]] = rec
+	}
 	if res.Rows() > p.PreExecRowCap {
 		if sandwich {
 			return buildOp, nil
 		}
+		rec.res = res
 		return &engine.Values{Rows: res}, nil
 	}
 	ci := res.Schema.IndexOf(j.RightKeys[0])
@@ -522,6 +583,7 @@ func (p *Planner) preExecPropagate(j *Join, sandwich bool, buildOp engine.Operat
 		vals := distinctInt64(res.Cols[ci].I64)
 		equated := make(map[string]bool)
 		equatedPairs(j.Left, equated)
+		raw := make(map[string]binSet)
 		for _, u := range bt.Uses {
 			bins, err := p.binsForKeyValues(u, probeCol, vals, equated)
 			if err != nil {
@@ -531,24 +593,17 @@ func (p *Planner) preExecPropagate(j *Join, sandwich bool, buildOp engine.Operat
 				continue
 			}
 			k := useKey(u)
-			if cur, ok := transferred[k]; ok {
-				merged := make(binSet)
-				for b := range cur {
-					if bins[b] {
-						merged[b] = true
-					}
-				}
-				transferred[k] = merged
-			} else {
-				transferred[k] = bins
-			}
+			raw[k] = bins
+			mergeTransferredBins(transferred, k, bins)
 			p.logf("join: pre-executed build (%d keys) restricts %s via %s to %d bins",
 				len(vals), probeBase.Table, k, len(bins))
 		}
+		rec.raw = raw
 	}
 	if sandwich {
 		return buildOp, nil
 	}
+	rec.res = res
 	return &engine.Values{Rows: res}, nil
 }
 

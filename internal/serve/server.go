@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bdcc/internal/engine"
+)
+
+// Handler runs one admitted query on the prepared context and returns its
+// materialized result. The tpch layer provides the implementation (name
+// lookup, plan cache, execution); serve owns everything around it —
+// admission, the scheduler pool, the memory budget lease.
+type Handler func(ctx *engine.Context, scheme, query string) (*engine.Result, error)
+
+// Config assembles a daemon.
+type Config struct {
+	// Pools is the number of queries that execute simultaneously, each on
+	// its own pre-created process-lifetime scheduler pool (<1 means 1).
+	Pools int
+	// Workers is the goroutine count of each pool (<2 keeps pools serial).
+	Workers int
+	// QueueCap bounds how many admitted-but-waiting queries may queue for a
+	// pool; a query arriving past it is rejected immediately (0 = no queue).
+	QueueCap int
+	// QueueWait bounds how long a queued query waits for a pool before
+	// rejection; <=0 waits indefinitely.
+	QueueWait time.Duration
+	// MemBudget is the process-global operator memory budget shared by all
+	// running queries (0 = ungoverned). Per-query trackers reserve against
+	// it in quanta; a query it cannot cover queues inside the budget for up
+	// to MemWait and is then rejected (see engine.MemBudget).
+	MemBudget int64
+	// MemWait bounds a query's wait for budget headroom (<=0: reject
+	// immediately when hot).
+	MemWait time.Duration
+	// MemQuantum is the reservation granularity (0 = engine default).
+	MemQuantum int64
+	// AuthToken is the shared secret client hellos must present (empty
+	// accepts only token-less hellos). Constant-time compared; a mismatch
+	// drops the connection without a reply.
+	AuthToken string
+	// NewContext returns a fresh execution context per query: device meters,
+	// knobs, and — when the daemon shares worker sessions across queries —
+	// the pre-installed backend set with Context.SharedBackends set. serve
+	// then installs the scheduler pool and the memory budget lease on it.
+	NewContext func() *engine.Context
+	// Handler executes one query on the prepared context.
+	Handler Handler
+}
+
+// Stats is a snapshot of the daemon's admission and memory counters.
+type Stats struct {
+	// Active is the number of queries executing right now; Queued the number
+	// waiting for a pool.
+	Active int `json:"active"`
+	Queued int `json:"queued"`
+	// Admitted counts queries that reached a pool; QueuedTotal how many of
+	// all arrivals had to queue first; Rejected those turned away (queue
+	// full, queue wait expired, or memory budget); Done completed runs.
+	Admitted    int64 `json:"admitted"`
+	QueuedTotal int64 `json:"queued_total"`
+	Rejected    int64 `json:"rejected"`
+	Done        int64 `json:"done"`
+	// Memory budget counters (zero when ungoverned): current and peak
+	// reserved bytes, queued and rejected reservations.
+	MemReserved int64 `json:"mem_reserved"`
+	MemPeak     int64 `json:"mem_peak"`
+	MemQueued   int64 `json:"mem_queued"`
+	MemRejected int64 `json:"mem_rejected"`
+}
+
+// Server is the daemon: a listener loop accepting client sessions, an
+// admission gate in front of Config.Pools scheduler pools, and one optional
+// process-global memory budget over every admitted query.
+type Server struct {
+	cfg    Config
+	budget *engine.MemBudget
+	pools  chan *engine.Sched
+	owned  []*engine.Sched
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	queued    int
+	active    int
+	admitted  int64
+	queuedTot int64
+	rejected  int64
+	done      int64
+
+	wg sync.WaitGroup
+}
+
+// NewServer assembles a daemon from cfg; Start serving with Serve or
+// ServeConn, tear down with Close.
+func NewServer(cfg Config) *Server {
+	if cfg.Pools < 1 {
+		cfg.Pools = 1
+	}
+	s := &Server{
+		cfg:   cfg,
+		pools: make(chan *engine.Sched, cfg.Pools),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.MemBudget > 0 {
+		s.budget = engine.NewMemBudget(cfg.MemBudget, cfg.MemWait)
+	}
+	for i := 0; i < cfg.Pools; i++ {
+		var pool *engine.Sched
+		if cfg.Workers >= 2 {
+			pool = engine.NewSched(cfg.Workers)
+			pool.Retain() // process-lifetime: queries' Retain/Release never drop it
+			s.owned = append(s.owned, pool)
+		}
+		s.pools <- pool
+	}
+	return s
+}
+
+// Budget exposes the process memory budget (nil when ungoverned).
+func (s *Server) Budget() *engine.MemBudget { return s.budget }
+
+// Stats snapshots the admission and memory counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Active:      s.active,
+		Queued:      s.queued,
+		Admitted:    s.admitted,
+		QueuedTotal: s.queuedTot,
+		Rejected:    s.rejected,
+		Done:        s.done,
+	}
+	s.mu.Unlock()
+	if s.budget != nil {
+		st.MemReserved = s.budget.Reserved()
+		st.MemPeak = s.budget.PeakReserved()
+		st.MemQueued = s.budget.Queued()
+		st.MemRejected = s.budget.Rejected()
+	}
+	return st
+}
+
+// admit gates one query: an idle pool admits immediately; otherwise the
+// query joins the bounded queue and waits up to QueueWait. The returned
+// error (ErrRejected-wrapped) names which bound turned it away.
+func (s *Server) admit() (*engine.Sched, error) {
+	select {
+	case p := <-s.pools:
+		s.noteAdmit()
+		return p, nil
+	default:
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errClosed
+	}
+	if s.queued >= s.cfg.QueueCap {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: all %d pools busy, queue full (%d waiting)",
+			ErrRejected, s.cfg.Pools, s.cfg.QueueCap)
+	}
+	s.queued++
+	s.queuedTot++
+	s.mu.Unlock()
+	var timeout <-chan time.Time
+	if s.cfg.QueueWait > 0 {
+		t := time.NewTimer(s.cfg.QueueWait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case p := <-s.pools:
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		s.noteAdmit()
+		return p, nil
+	case <-timeout:
+	}
+	s.mu.Lock()
+	s.queued--
+	s.mu.Unlock()
+	// A pool may have freed between the timeout firing and our giving up;
+	// prefer admission over a racy rejection.
+	select {
+	case p := <-s.pools:
+		s.noteAdmit()
+		return p, nil
+	default:
+	}
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+	return nil, fmt.Errorf("%w: no pool freed within the %v queue wait", ErrRejected, s.cfg.QueueWait)
+}
+
+func (s *Server) noteAdmit() {
+	s.mu.Lock()
+	s.admitted++
+	s.active++
+	s.mu.Unlock()
+}
+
+// runQuery executes one admitted query end to end: fresh context, the
+// pool installed, a budget lease attached, the handler run, everything
+// released — pool last, so a freed slot always means a fully unwound query.
+func (s *Server) runQuery(scheme, query string) (*engine.Result, error) {
+	pool, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.done++
+		s.mu.Unlock()
+		s.pools <- pool
+	}()
+	ctx := s.cfg.NewContext()
+	if pool != nil {
+		ctx.SetScheduler(pool)
+	}
+	if s.budget != nil {
+		ctx.Mem.AttachBudget(s.budget, s.cfg.MemQuantum)
+		defer ctx.Mem.DetachBudget()
+	}
+	defer ctx.CloseBackends() // no-op for daemon-shared sets (SharedBackends)
+	res, err := s.cfg.Handler(ctx, scheme, query)
+	if err != nil && errors.Is(err, engine.ErrMemBudget) {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	return res, err
+}
+
+// Serve accepts client sessions on l until the listener fails or the server
+// closes. It returns nil after Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errClosed
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.ServeConn(conn)
+	}
+}
+
+// ServeConn starts one client session over an established connection and
+// returns immediately.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		s.session(conn)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+}
+
+// session is one client connection's lifetime: authenticated hello, then a
+// frame loop running each query on its own goroutine (a session is a
+// multiplexed pipe, not a serial one — concurrent requests from one client
+// interleave freely), joined before the session ends.
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	_, typ, payload, err := readFrame(conn)
+	if err != nil || typ != frameHello || len(payload) < len(ProtoMagic)+4 ||
+		string(payload[:len(ProtoMagic)]) != ProtoMagic {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	// Authenticate before replying, exactly like the worker protocol: a
+	// wrong-secret peer learns nothing, not even the version.
+	var token []byte
+	if n := int(binary.LittleEndian.Uint16(payload[len(ProtoMagic)+2:])); len(payload) >= len(ProtoMagic)+4+n {
+		token = payload[len(ProtoMagic)+4 : len(ProtoMagic)+4+n]
+	}
+	if subtle.ConstantTimeCompare(token, []byte(s.cfg.AuthToken)) != 1 {
+		return
+	}
+	var wmu sync.Mutex
+	reply := binary.LittleEndian.AppendUint16(frameBuf(), ProtoVersion)
+	reply = binary.LittleEndian.AppendUint16(reply, uint16(s.cfg.Pools))
+	if writeFrame(conn, 0, frameHello, reply) != nil {
+		return
+	}
+	if v := binary.LittleEndian.Uint16(payload[len(ProtoMagic):]); v != ProtoVersion {
+		return
+	}
+
+	var requests sync.WaitGroup
+	defer requests.Wait()
+	for {
+		id, typ, payload, err := readFrame(conn)
+		if err != nil {
+			conn.Close() // unblock request goroutines parked writing
+			return
+		}
+		switch typ {
+		case frameStats:
+			st, _ := json.Marshal(s.Stats())
+			wmu.Lock()
+			writeFrame(conn, id, frameStatsReply, append(frameBuf(), st...))
+			wmu.Unlock()
+		case frameQuery:
+			scheme, query, derr := decodeQuery(payload)
+			if derr != nil {
+				conn.Close()
+				return
+			}
+			requests.Add(1)
+			go func(id uint64) {
+				defer requests.Done()
+				res, err := s.runQuery(scheme, query)
+				out := frameBuf()
+				switch {
+				case err == nil:
+					out = append(out, statusOK)
+					out = encodeResult(res, out)
+					if len(out)-frameHeader > maxFramePayload {
+						out = append(frameBuf(), statusError)
+						out = append(out, fmt.Sprintf("serve: result encodes to %d bytes, over the %d frame cap",
+							len(out)-frameHeader, maxFramePayload)...)
+					}
+				case errors.Is(err, ErrRejected):
+					out = append(out, statusRejected)
+					out = append(out, err.Error()...)
+				default:
+					out = append(out, statusError)
+					out = append(out, err.Error()...)
+				}
+				wmu.Lock()
+				writeFrame(conn, id, frameResult, out)
+				wmu.Unlock()
+			}(id)
+		default:
+			conn.Close()
+			return
+		}
+	}
+}
+
+// Close shuts the daemon down: listeners stop, sessions close (in-flight
+// queries finish against their closed connections and unwind), request
+// goroutines are joined, and the owned scheduler pools are released.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := s.listeners
+	s.listeners = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	for _, p := range s.owned {
+		p.Release()
+	}
+	return nil
+}

@@ -59,6 +59,7 @@ type failover struct {
 
 	fallback bool // run orphaned units locally instead of erroring
 	probe    ProbeConfig
+	token    string // auth token the prober presents on re-dials
 	acct     *iosim.Accountant
 	rng      *rand.Rand
 
@@ -92,6 +93,7 @@ type failoverBackend struct {
 type failoverOptions struct {
 	localFallback bool
 	probe         ProbeConfig
+	token         string
 	acct          *iosim.Accountant
 }
 
@@ -121,6 +123,7 @@ func newFailover(slots []*slot, opt failoverOptions) ([]engine.Backend, *failove
 		frags:    make(map[*engine.Fragment]struct{}),
 		fallback: opt.localFallback,
 		probe:    opt.probe.withDefaults(),
+		token:    opt.token,
 		acct:     opt.acct,
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 		ctx:      ctx,

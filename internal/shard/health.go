@@ -73,7 +73,7 @@ func (p ProbeConfig) backoff(attempt int, rng *rand.Rand) time.Duration {
 // dialProbe is one reconnect attempt: dial, hello exchange, ping. The dial
 // honours ctx (a cancelled query abandons the attempt immediately) and the
 // handshake is aborted on cancellation by closing the connection under it.
-func dialProbe(ctx context.Context, addr string, acct *iosim.Accountant, cfg ProbeConfig) (*client, error) {
+func dialProbe(ctx context.Context, addr, token string, acct *iosim.Accountant, cfg ProbeConfig) (*client, error) {
 	dctx, cancel := context.WithTimeout(ctx, cfg.DialTimeout)
 	defer cancel()
 	var d net.Dialer
@@ -83,7 +83,7 @@ func dialProbe(ctx context.Context, addr string, acct *iosim.Accountant, cfg Pro
 	}
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	cl, err := newClient(conn, addr, acct)
+	cl, err := newClient(conn, addr, token, acct)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func (f *failover) probeLoop(i int) {
 			return
 		case <-t.C:
 		}
-		cl, err := dialProbe(f.ctx, s.addr, f.acct, f.probe)
+		cl, err := dialProbe(f.ctx, s.addr, f.token, f.acct, f.probe)
 		if err != nil {
 			if f.ctx.Err() != nil {
 				return

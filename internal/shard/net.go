@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,10 +28,13 @@ import (
 // ProtoVersion is negotiated in the hello exchange and must match exactly
 // (see docs/WIRE.md for the versioning rules). Version 2 added the
 // ping/pong liveness pair — an old worker would drop a pinged session, so
-// the version was bumped rather than kept additive.
+// the version was bumped rather than kept additive. Version 3 added the
+// shared-secret auth token to the client hello (compared constant-time by
+// the worker, mismatch drops the session without a reply); the payload
+// grew, so again a bump, not an addition.
 const (
 	ProtoMagic   = "BDCW"
-	ProtoVersion = 2
+	ProtoVersion = 3
 )
 
 // Transport frame types. Every frame is one message on the stream:
@@ -136,9 +140,15 @@ type client struct {
 	name string // dial address, or "sim" for the in-process pipe
 	net  *iosim.Accountant
 
-	wmu      sync.Mutex // frames the request stream; also guards frags
-	frags    map[*engine.Fragment]uint64
-	nextFrag uint64
+	wmu sync.Mutex // frames the request stream; also guards frags
+	// frags is the by-pointer registry of shipped fragments; fragsByKey
+	// indexes the same registrations by encoded content, so two Fragment
+	// values with identical wire forms — e.g. the same cached plan
+	// instantiated by two queries sharing this session — ship one setup
+	// frame and alias one fragment id.
+	frags      map[*engine.Fragment]uint64
+	fragsByKey map[string]uint64
+	nextFrag   uint64
 
 	// dmu serializes callback delivery: the read loop's emit/done calls and
 	// fail's drain of pending dones are mutually exclusive, so a unit never
@@ -166,20 +176,29 @@ type call struct {
 }
 
 // newClient performs the hello exchange on conn (bounded by
-// handshakeTimeout) and starts the response reader. It owns conn from this
-// point on (Close closes it).
-func newClient(conn net.Conn, name string, acct *iosim.Accountant) (*client, error) {
+// handshakeTimeout), presenting token as the shared secret (empty = none
+// configured), and starts the response reader. It owns conn from this point
+// on (Close closes it). A worker whose token differs drops the connection
+// without a reply, which surfaces here as a hello-reply read error.
+func newClient(conn net.Conn, name, token string, acct *iosim.Accountant) (*client, error) {
 	c := &client{
-		conn:    conn,
-		name:    name,
-		net:     acct,
-		frags:   make(map[*engine.Fragment]uint64),
-		pending: make(map[uint64]*call),
-		pings:   make(map[uint64]chan error),
+		conn:       conn,
+		name:       name,
+		net:        acct,
+		frags:      make(map[*engine.Fragment]uint64),
+		fragsByKey: make(map[string]uint64),
+		pending:    make(map[uint64]*call),
+		pings:      make(map[uint64]chan error),
+	}
+	if len(token) > 1<<16-1 {
+		conn.Close()
+		return nil, fmt.Errorf("shard: %s: auth token longer than the hello's u16 length field", name)
 	}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	hello := append(frameBuf(), ProtoMagic...)
 	hello = binary.LittleEndian.AppendUint16(hello, ProtoVersion)
+	hello = binary.LittleEndian.AppendUint16(hello, uint16(len(token)))
+	hello = append(hello, token...)
 	if err := writeFrame(conn, c.net, 0, frameHello, hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("shard: %s: hello: %w", name, err)
@@ -248,23 +267,32 @@ func (c *client) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(
 	c.wmu.Lock()
 	fid, known := c.frags[frag]
 	if !known {
-		fid = c.nextFrag
-		c.nextFrag++
 		fpl, err := EncodeFragment(frag, frameBuf())
 		if err != nil {
 			c.wmu.Unlock()
 			c.resolve(id, err) // a plan bug, not a transport failure: no reroute
 			return
 		}
-		if err := writeFrame(c.conn, c.net, fid, frameSetup, fpl); err != nil {
-			c.wmu.Unlock()
-			c.fail(fmt.Errorf("ship fragment: %w", err))
-			return
+		key := string(fpl[frameHeader:])
+		if aliased, ok := c.fragsByKey[key]; ok {
+			// Identical wire form already on the worker (another query's
+			// instantiation of the same cached plan): alias its id.
+			fid = aliased
+			c.frags[frag] = fid
+		} else {
+			fid = c.nextFrag
+			c.nextFrag++
+			if err := writeFrame(c.conn, c.net, fid, frameSetup, fpl); err != nil {
+				c.wmu.Unlock()
+				c.fail(fmt.Errorf("ship fragment: %w", err))
+				return
+			}
+			// Registered only after the setup frame shipped: a failed encode
+			// or send must not leave later units referencing a fragment the
+			// worker never received.
+			c.frags[frag] = fid
+			c.fragsByKey[key] = fid
 		}
-		// Registered only after the setup frame shipped: a failed encode or
-		// send must not leave later units referencing a fragment the worker
-		// never received.
-		c.frags[frag] = fid
 	}
 	binary.LittleEndian.PutUint64(pl[frameHeader:], fid)
 	err := writeFrame(c.conn, c.net, id, frameUnit, pl)
@@ -320,16 +348,23 @@ func (c *client) Preload(frag *engine.Fragment) error {
 		c.wmu.Unlock()
 		return nil
 	}
-	fid := c.nextFrag
-	c.nextFrag++
 	fpl, err := EncodeFragment(frag, frameBuf())
 	if err != nil {
 		c.wmu.Unlock()
 		return err
 	}
+	key := string(fpl[frameHeader:])
+	if aliased, ok := c.fragsByKey[key]; ok {
+		c.frags[frag] = aliased
+		c.wmu.Unlock()
+		return nil
+	}
+	fid := c.nextFrag
+	c.nextFrag++
 	werr := writeFrame(c.conn, c.net, fid, frameSetup, fpl)
 	if werr == nil {
 		c.frags[frag] = fid
+		c.fragsByKey[key] = fid
 	}
 	c.wmu.Unlock()
 	if werr != nil {
@@ -484,11 +519,18 @@ func (c *client) Close() error {
 // failures are wrapped in ErrBackendDown so a set built around survivors
 // can treat an unreachable worker like a lost one.
 func Dial(addr string, acct *iosim.Accountant) (engine.Backend, error) {
+	return DialToken(addr, "", acct)
+}
+
+// DialToken is Dial presenting a shared-secret auth token in the hello
+// (empty = no token). A token-mismatched worker drops the connection
+// without a reply, which surfaces as an ErrBackendDown-wrapped dial error.
+func DialToken(addr, token string, acct *iosim.Accountant) (engine.Backend, error) {
 	conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrBackendDown, addr, err)
 	}
-	return newClient(conn, addr, acct)
+	return newClient(conn, addr, token, acct)
 }
 
 // Server is the worker half of the protocol: the core of the bdccworker
@@ -500,6 +542,7 @@ func Dial(addr string, acct *iosim.Accountant) (engine.Backend, error) {
 type Server struct {
 	sched *engine.Sched
 	mem   *engine.MemTracker
+	token string
 
 	// OnUnitDone, when set before serving, is called after each unit
 	// completes with the total completed so far — a diagnostic and test
@@ -539,6 +582,12 @@ func NewServer(workers int) *Server {
 	s.sched.Retain()
 	return s
 }
+
+// SetAuthToken configures the shared secret sessions must present in their
+// hello frames (empty, the default, accepts only clients presenting no
+// token). Set before serving; the comparison is constant-time and a
+// mismatch drops the connection without a reply.
+func (s *Server) SetAuthToken(token string) { s.token = token }
 
 // Workers returns the server's scheduler parallelism (announced to clients
 // in the hello exchange).
@@ -614,6 +663,20 @@ func (s *Server) session(conn net.Conn) {
 		return // not a protocol peer (or one that stalled); no reply owed
 	}
 	conn.SetReadDeadline(time.Time{})
+	// Authenticate before replying: a peer with the wrong shared secret
+	// learns nothing — not the version, not that anything listens here
+	// beyond TCP. The token field is v3's addition; a well-formed older
+	// hello simply has no token bytes, which only matches a server that
+	// requires none (and is then dropped by the version check below).
+	var token []byte
+	if rest := payload[len(ProtoMagic)+2:]; len(rest) >= 2 {
+		if n := int(binary.LittleEndian.Uint16(rest)); len(rest) >= 2+n {
+			token = rest[2 : 2+n]
+		}
+	}
+	if subtle.ConstantTimeCompare(token, []byte(s.token)) != 1 {
+		return // auth mismatch: drop without a reply
+	}
 	var wmu sync.Mutex
 	reply := binary.LittleEndian.AppendUint16(frameBuf(), ProtoVersion)
 	reply = binary.LittleEndian.AppendUint16(reply, uint16(s.sched.Workers()))

@@ -453,3 +453,105 @@ func TestSimWorkerMeters(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHelloAuthToken locks in the v3 auth rule: a session presenting the
+// worker's shared secret works end to end, any mismatch — wrong token, or a
+// token where none is configured — is dropped without a reply.
+func TestHelloAuthToken(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(1)
+	srv.SetAuthToken("sesame")
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	addr := l.Addr().String()
+
+	b, err := DialToken(addr, "sesame", nil)
+	if err != nil {
+		t.Fatalf("matching token rejected: %v", err)
+	}
+	if err := b.(*client).Ping(5 * time.Second); err != nil {
+		t.Fatalf("authenticated session not live: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DialToken(addr, "wrong", nil); err == nil {
+		t.Fatal("wrong token produced a session")
+	}
+	if _, err := Dial(addr, nil); err == nil {
+		t.Fatal("missing token produced a session")
+	}
+
+	// The reverse mismatch: a tokenless worker only accepts tokenless peers.
+	_, open := startWorker(t, 1)
+	if _, err := DialToken(open, "extra", nil); err == nil {
+		t.Fatal("unexpected token accepted by a tokenless worker")
+	}
+	if b, err := Dial(open, nil); err != nil {
+		t.Fatalf("tokenless dial to a tokenless worker: %v", err)
+	} else {
+		b.Close()
+	}
+}
+
+// TestFragmentContentDedupe checks the session-level fragment cache: two
+// Fragment values with identical wire forms (distinct pointers, as the plan
+// cache produces for repeated queries) ship one setup frame and share one
+// fragment id, including via Preload.
+func TestFragmentContentDedupe(t *testing.T) {
+	_, addr := startWorker(t, 1)
+	b, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := b.(*client)
+	defer cl.Close()
+	probe, build := testStreams(1, 2)
+	run := func(frag *engine.Fragment) {
+		t.Helper()
+		done := make(chan error, 1)
+		cl.RunGroup(&engine.GroupUnit{GID: 0,
+			Probe: []*vector.Batch{probe.batches[0]},
+			Build: []*vector.Batch{build.batches[0]},
+		}, frag, func(*vector.Batch) {}, func(err error) { done <- err })
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("unit never completed")
+		}
+	}
+	frag1, frag2 := testFragment(t), testFragment(t)
+	run(frag1)
+	run(frag2)
+	frag3 := testFragment(t)
+	if err := cl.Preload(frag3); err != nil {
+		t.Fatal(err)
+	}
+	cl.wmu.Lock()
+	fid1, fid2, fid3, next := cl.frags[frag1], cl.frags[frag2], cl.frags[frag3], cl.nextFrag
+	cl.wmu.Unlock()
+	if fid1 != fid2 || fid1 != fid3 {
+		t.Fatalf("identical fragments got ids %d/%d/%d, want one shared id", fid1, fid2, fid3)
+	}
+	if next != 1 {
+		t.Fatalf("shipped %d setup frames for identical fragments, want 1", next)
+	}
+
+	// A genuinely different fragment must not alias.
+	diff := testFragment(t)
+	diff.Type = engine.SemiJoin
+	run(diff)
+	cl.wmu.Lock()
+	fidDiff, next := cl.frags[diff], cl.nextFrag
+	cl.wmu.Unlock()
+	if fidDiff == fid1 || next != 2 {
+		t.Fatalf("distinct fragment aliased (id %d vs %d, %d setups)", fidDiff, fid1, next)
+	}
+}

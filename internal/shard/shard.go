@@ -153,6 +153,10 @@ type SetConfig struct {
 	// that exhausts the set fails with ErrBackendDown instead of running on
 	// the coordinator's local fragment copy.
 	NoLocalFallback bool
+	// AuthToken is the shared secret presented in every hello — the initial
+	// dials and the prober's re-dials alike. It must match the workers'
+	// -auth-token or sessions are dropped before the hello reply.
+	AuthToken string
 }
 
 // NewSet returns a backend set of n simulated remotes, each with its own
@@ -193,7 +197,7 @@ func DialSetConfig(addrs []string, dev iosim.Device, cfg SetConfig) (*Set, error
 	s := newSet(len(addrs), iosim.NewAccountant(dev))
 	slots := make([]*slot, len(addrs))
 	for i, addr := range addrs {
-		b, err := Dial(addr, s.net)
+		b, err := DialToken(addr, cfg.AuthToken, s.net)
 		if err != nil {
 			slots[i] = &slot{addr: addr, workers: 1}
 			continue
@@ -203,6 +207,7 @@ func DialSetConfig(addrs []string, dev iosim.Device, cfg SetConfig) (*Set, error
 	s.backends, s.f = newFailover(slots, failoverOptions{
 		localFallback: !cfg.NoLocalFallback,
 		probe:         cfg.Probe,
+		token:         cfg.AuthToken,
 		acct:          s.net,
 	})
 	return s, nil

@@ -36,7 +36,7 @@ func NewSim(workers int, acct *iosim.Accountant) *Sim {
 	srv := NewServer(workers)
 	local, remote := net.Pipe()
 	srv.ServeConn(remote)
-	cl, err := newClient(local, "sim", acct)
+	cl, err := newClient(local, "sim", "", acct)
 	if err != nil {
 		// The handshake runs between two goroutines of this process over a
 		// fresh pipe; it cannot fail without a protocol-implementation bug.

@@ -27,6 +27,10 @@ type Report struct {
 	Schemes []plan.Scheme
 	Runs    map[plan.Scheme][]QueryRun // indexed by query position
 	Explain map[string][]string        // per "scheme/query"
+	// Concurrency holds the daemon leg of the grid (closed-loop clients
+	// through bdccd, one record per scheme); nil when the grid ran without
+	// a daemon. Populated by tpchbench -clients.
+	Concurrency []ConcurrencyStats
 }
 
 // RunAll executes every TPC-H query under every materialized scheme of the
@@ -49,8 +53,7 @@ func (b *Benchmark) RunAll() (*Report, error) {
 	if rep.Balance == "" {
 		rep.Balance = "hash"
 	}
-	opt := RunOptions{Workers: b.Workers, Shards: b.Shards, Remotes: b.Remotes, Balance: b.Balance,
-		ProbeBase: b.ProbeBase, ProbeMax: b.ProbeMax}
+	opt := b.RunOptions
 	for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
 		db, ok := b.DBs[scheme]
 		if !ok {
@@ -219,6 +222,21 @@ func (r *Report) WriteSched(w io.Writer) {
 	}
 }
 
+// WriteConcurrency renders the daemon leg: closed-loop throughput and
+// latency quantiles per scheme, with the admission counters of each run.
+func (r *Report) WriteConcurrency(w io.Writer) {
+	if len(r.Concurrency) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Concurrency — closed-loop clients through bdccd (SF%g)\n", r.SF)
+	fmt.Fprintf(w, "%-6s %8s %9s %9s %9s %9s %8s %9s\n",
+		"scheme", "clients", "requests", "qps", "p50-ms", "p99-ms", "queued", "rejected")
+	for _, c := range r.Concurrency {
+		fmt.Fprintf(w, "%-6s %8d %9d %9.1f %9.3f %9.3f %8d %9d\n",
+			c.Scheme, c.Clients, c.Requests, c.QPS, c.P50MS, c.P99MS, c.Queued, c.Rejected)
+	}
+}
+
 // JSONQueryRun is one (scheme, query) record of the machine-readable
 // benchmark report, units chosen to match the bench_test metrics
 // (device-ms, MB-read, peak-MB) so the perf trajectory can be diffed
@@ -273,6 +291,10 @@ type JSONReport struct {
 	Remotes int            `json:"remotes"`
 	Balance string         `json:"balance"`
 	Queries []JSONQueryRun `json:"queries"`
+	// Concurrency is the daemon leg of the grid: closed-loop client
+	// measurements through bdccd, one record per scheme. Absent when the
+	// grid ran without a daemon.
+	Concurrency []ConcurrencyStats `json:"concurrency,omitempty"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -282,7 +304,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		balance = "hash"
 	}
 	out := JSONReport{SF: r.SF, Workers: r.Workers, Shards: r.Shards,
-		Remotes: len(r.Remotes), Balance: balance}
+		Remotes: len(r.Remotes), Balance: balance, Concurrency: r.Concurrency}
 	for _, scheme := range r.Schemes {
 		for _, run := range r.Runs[scheme] {
 			st := run.Stats
