@@ -9,6 +9,7 @@
 //
 //	benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P]
 //	           [-downs-min N] [-readmits-min N] [-concurrency-expected N]
+//	           [-compression-expected 0|1]
 //	           BENCH_tpch.json
 //
 // Checks:
@@ -35,6 +36,13 @@
 //     -downs-min and -readmits-min fail the gate unless the summed downs /
 //     re-admissions across all cells reach the floor (-1 skips), and
 //     local_fallback_units, when present, is a non-negative count;
+//   - the compression section: -compression-expected 1 fails the gate unless
+//     the grid ran compressed, carries one well-formed compression record per
+//     scheme, BDCC's encoded bytes beat its storage bytes (compression must
+//     keep winning on clustered tables), and — on sharded grids — the wire
+//     codec saved bytes on BDCC's shipped units; -compression-expected 0
+//     fails unless the grid ran uncompressed (-1 skips, but a present
+//     section is still structurally validated);
 //   - the daemon leg: a present concurrency section must carry one
 //     well-formed record per scheme (clients, requests, qps, latency
 //     quantiles, admission counters, no errors); -concurrency-expected N
@@ -66,19 +74,20 @@ func main() {
 	downsMin := flag.Int("downs-min", -1, "fail unless backend down transitions summed across the grid reach this (-1 skips)")
 	readmitsMin := flag.Int("readmits-min", -1, "fail unless mid-query re-admissions summed across the grid reach this (-1 skips)")
 	concExpected := flag.Int("concurrency-expected", -1, "fail unless the grid carries a concurrency leg of this many clients per scheme (-1 skips)")
+	compExpected := flag.Int("compression-expected", -1, "fail unless the grid ran with compression on (1) or off (0) and the section proves it (-1 skips)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] [-concurrency-expected N] BENCH_tpch.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] [-concurrency-expected N] [-compression-expected 0|1] BENCH_tpch.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin, *concExpected); err != nil {
+	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin, *concExpected, *compExpected); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: grid OK")
 }
 
-func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin, concExpected int) error {
+func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin, concExpected, compExpected int) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -236,9 +245,92 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity, %d downs, %d readmits, %d concurrency records\n",
-		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells, int(downsTotal), int(readmitsTotal), concCells)
+	compRecords, err := checkCompression(top, compExpected, int(shards))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity, %d downs, %d readmits, %d concurrency records, %d compression records\n",
+		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells, int(downsTotal), int(readmitsTotal), concCells, compRecords)
 	return nil
+}
+
+// checkCompression validates the compression section of the grid. With
+// expected == 1 the grid must have run compressed: a record per scheme with
+// sane byte and chunk counts, BDCC encoded bytes strictly below its storage
+// bytes (CI fails the PR on which compression stops winning on clustered
+// tables), and — when the grid sharded — wire bytes saved on BDCC's shipped
+// units. With expected == 0 the grid must have run uncompressed. With -1 a
+// present section is still structurally validated.
+func checkCompression(top map[string]any, expected, shards int) (int, error) {
+	compressed, _ := top["compressed"].(bool)
+	if _, ok := top["compressed"]; !ok {
+		return 0, fmt.Errorf("grid compressed knob missing (schema regression)")
+	}
+	switch expected {
+	case 1:
+		if !compressed {
+			return 0, fmt.Errorf("grid ran uncompressed, expected compression on")
+		}
+	case 0:
+		if compressed {
+			return 0, fmt.Errorf("grid ran compressed, expected compression off")
+		}
+	}
+	rawComp, present := top["compression"]
+	if !present {
+		if compressed {
+			return 0, fmt.Errorf("grid claims compression but has no compression section (schema regression)")
+		}
+		return 0, nil
+	}
+	comp, ok := rawComp.([]any)
+	if !ok || len(comp) == 0 {
+		return 0, fmt.Errorf("grid compression section is not a non-empty array: %v", rawComp)
+	}
+	seen := make(map[string]map[string]float64)
+	for i, ra := range comp {
+		rec, ok := ra.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("compression[%d] is not an object", i)
+		}
+		scheme, _ := rec["scheme"].(string)
+		if _, dup := seen[scheme]; dup {
+			return 0, fmt.Errorf("duplicate compression record for scheme %q", scheme)
+		}
+		num := make(map[string]float64)
+		for _, f := range []string{"storage_bytes", "encoded_bytes", "raw_chunks", "rle_chunks", "dict_chunks", "for_chunks", "wire_bytes_saved"} {
+			v, ok := rec[f]
+			if !ok {
+				return 0, fmt.Errorf("compression[%s] lacks required field %q (schema regression)", scheme, f)
+			}
+			n, ok := v.(float64)
+			if !ok || n < 0 {
+				return 0, fmt.Errorf("compression[%s]: field %q = %v is not a non-negative number", scheme, f, v)
+			}
+			num[f] = n
+		}
+		if num["storage_bytes"] <= 0 || num["encoded_bytes"] <= 0 {
+			return 0, fmt.Errorf("compression[%s] records no stored bytes (storage=%d encoded=%d)",
+				scheme, int64(num["storage_bytes"]), int64(num["encoded_bytes"]))
+		}
+		seen[scheme] = num
+	}
+	if compressed {
+		for _, s := range schemes {
+			if _, ok := seen[s]; !ok {
+				return 0, fmt.Errorf("compression section lacks scheme %s", s)
+			}
+		}
+		bdcc := seen["bdcc"]
+		if bdcc["encoded_bytes"] >= bdcc["storage_bytes"] {
+			return 0, fmt.Errorf("bdcc encoded_bytes %d not below storage_bytes %d — compression stopped winning on clustered tables",
+				int64(bdcc["encoded_bytes"]), int64(bdcc["storage_bytes"]))
+		}
+		if shards >= 2 && bdcc["wire_bytes_saved"] < 1 {
+			return 0, fmt.Errorf("sharded compressed grid saved no wire bytes on bdcc — the batch codec stopped winning on shipped units")
+		}
+	}
+	return len(comp), nil
 }
 
 // checkConcurrency validates the daemon leg of the grid: one record per

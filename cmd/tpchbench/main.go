@@ -9,7 +9,7 @@
 //	tpchbench [-sf 0.05] [-workers N] [-shards N] [-remotes host:port,...]
 //	          [-balance hash|size] [-probe-base D] [-probe-max D]
 //	          [-clients N] [-rounds N] [-daemon host:port] [-pools N]
-//	          [-auth-token SECRET]
+//	          [-auth-token SECRET] [-compress=false]
 //	          [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
 //
 // The -workers knob (default: all cores) runs every query on a shared
@@ -36,6 +36,13 @@
 // scheme, plus the workers/shards/remotes/balance knobs) as
 // machine-readable JSON so the performance trajectory can be tracked
 // across changes; pass -json "" to disable.
+//
+// The -compress knob (default on) chunk-encodes every table before the
+// schemes materialize (RLE / dictionary / frame-of-reference per chunk, see
+// docs/STORAGE.md): mb_read drops where clustering makes columns locally
+// homogeneous, shipped group units shrink on sharded legs, and results stay
+// byte-identical. The per-scheme outcome prints with -v and lands in the
+// JSON grid's "compression" section.
 //
 // The -clients knob adds the concurrency leg to the grid: N closed-loop
 // clients each issue the 22 queries -rounds times per scheme through a
@@ -76,6 +83,7 @@ func main() {
 	daemonAddr := flag.String("daemon", "", "bdccd address the concurrency leg dials (empty starts a loopback daemon in-process)")
 	pools := flag.Int("pools", 2, "scheduler pools of the in-process loopback daemon")
 	authToken := flag.String("auth-token", "", "shared secret for the daemon sessions of the concurrency leg")
+	compress := flag.Bool("compress", true, "chunk-compress stored columns (RLE/dict/FOR) before materializing schemes")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
@@ -98,7 +106,7 @@ func main() {
 		fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d shards=%d balance=%s)...\n",
 			*sf, *workers, *shards, *balance)
 	}
-	b, err := tpch.NewBenchmark(*sf)
+	b, err := tpch.NewBenchmarkCompressed(*sf, *compress)
 	if err != nil {
 		fatal(err)
 	}
@@ -122,6 +130,10 @@ func main() {
 	if *verbose {
 		fmt.Println()
 		rep.WriteSched(os.Stdout)
+		if *compress {
+			fmt.Println()
+			rep.WriteComp(os.Stdout)
+		}
 	}
 
 	// The concurrency leg: N closed-loop clients through a bdccd daemon —

@@ -22,6 +22,12 @@ type TableScan struct {
 	Cols   []string
 	Ranges storage.RowRanges
 	Filter expr.Expr
+	// Push holds predicate intervals the planner pushes into the reader:
+	// on compressed columns they evaluate against the encoded form (per RLE
+	// run, on dictionary codes) before rows materialize. Pruning is
+	// conservative and the scan still re-applies Filter, so the output is
+	// unchanged.
+	Push []storage.PushPred
 	// Rename, when non-nil, renames the output columns (same length as
 	// Cols); the filter is still expressed over the original names. Used for
 	// self-joined table aliases.
@@ -138,7 +144,7 @@ func (io *scanIO) close() {
 // scheduler: each pool worker owns a raw batch and predicate scratch,
 // emitted batches are fresh (consumer-owned), tagged per morsel, and merged
 // in morsel order. io, when non-nil, drives the asynchronous read model.
-func startMorselScan(ctx *Context, sched *Sched, tab *storage.Table, colIdx []int, kinds []vector.Kind, filter expr.Expr, morsels []scanMorsel, io *scanIO) *exchange {
+func startMorselScan(ctx *Context, sched *Sched, tab *storage.Table, colIdx []int, kinds []vector.Kind, filter expr.Expr, push []storage.PushPred, morsels []scanMorsel, io *scanIO) *exchange {
 	workers := sched.Workers()
 	raws := make([]*vector.Batch, workers)
 	preds := make([]*vector.Vector, workers)
@@ -154,7 +160,7 @@ func startMorselScan(ctx *Context, sched *Sched, tab *storage.Table, colIdx []in
 	outs := make([]*vector.Batch, workers) // reused until non-empty, then owned by the consumer
 	ex.runMorsels(len(morsels), func(job, w int, emit func(*vector.Batch)) error {
 		m := morsels[job]
-		r := storage.NewReader(tab, colIdx, m.ranges, nil)
+		r := storage.NewReaderPush(tab, colIdx, m.ranges, nil, push)
 		for r.Next(raws[w]) {
 			if outs[w] == nil {
 				outs[w] = vector.NewBatch(kinds)
@@ -233,7 +239,7 @@ func (s *TableScan) Open(ctx *Context) error {
 			return nil
 		}
 	}
-	s.reader = storage.NewReader(s.Table, idx, s.Ranges, ctx.Acct)
+	s.reader = storage.NewReaderPush(s.Table, idx, s.Ranges, ctx.Acct, s.Push)
 	s.raw = vector.NewBatch(schema.Kinds())
 	return nil
 }
@@ -242,7 +248,7 @@ func (s *TableScan) Open(ctx *Context) error {
 func (s *TableScan) Next() (*vector.Batch, error) {
 	if s.morsels != nil {
 		if s.ex == nil {
-			s.ex = startMorselScan(s.ctx, s.Sched, s.Table, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels, s.io)
+			s.ex = startMorselScan(s.ctx, s.Sched, s.Table, s.colIdx, s.schema.Kinds(), s.Filter, s.Push, s.morsels, s.io)
 		}
 		return s.ex.nextBatch()
 	}
@@ -296,6 +302,8 @@ type GroupedScan struct {
 	Cols   []string
 	Groups []core.ScatterGroup
 	Filter expr.Expr
+	// Push pushes predicate intervals into the readers (see TableScan.Push).
+	Push []storage.PushPred
 	// Rename optionally renames output columns (see TableScan.Rename).
 	Rename []string
 	// Sched is the planner-injected worker-pool handle (see
@@ -390,7 +398,7 @@ func (s *GroupedScan) Open(ctx *Context) error {
 func (s *GroupedScan) Next() (*vector.Batch, error) {
 	if s.morsels != nil {
 		if s.ex == nil {
-			s.ex = startMorselScan(s.ctx, s.Sched, s.BDCC.Data, s.colIdx, s.schema.Kinds(), s.Filter, s.morsels, s.io)
+			s.ex = startMorselScan(s.ctx, s.Sched, s.BDCC.Data, s.colIdx, s.schema.Kinds(), s.Filter, s.Push, s.morsels, s.io)
 		}
 		return s.ex.nextBatch()
 	}
@@ -402,7 +410,7 @@ func (s *GroupedScan) Next() (*vector.Batch, error) {
 			}
 			// I/O was charged for the union at Open; per-group readers do
 			// not double-charge.
-			s.reader = storage.NewReader(s.BDCC.Data, s.colIdx, s.Groups[s.gi].Ranges, nil)
+			s.reader = storage.NewReaderPush(s.BDCC.Data, s.colIdx, s.Groups[s.gi].Ranges, nil, s.Push)
 		}
 		g := s.Groups[s.gi]
 		if !s.reader.Next(s.raw) {

@@ -96,6 +96,7 @@ type Accountant struct {
 	async    []asyncRead
 	hidden   time.Duration
 	frontier time.Time // wall time already credited as hiding compute
+	saved    int64
 }
 
 // asyncRead is one submitted-but-possibly-unfinished overlap window.
@@ -120,6 +121,16 @@ func (a *Accountant) AddRun(pages, bytes int64) {
 	a.runs++
 	a.pages += pages
 	a.bytes += bytes
+	a.mu.Unlock()
+}
+
+// AddSaved records n bytes that compression removed from charged traffic:
+// the difference between the raw form and what was actually charged. It is
+// bookkeeping only — the charged (encoded) bytes already reflect the saving,
+// so Saved never enters the modeled time.
+func (a *Accountant) AddSaved(n int64) {
+	a.mu.Lock()
+	a.saved += n
 	a.mu.Unlock()
 }
 
@@ -187,6 +198,9 @@ type Stats struct {
 	// Hidden is the portion of Time hidden behind concurrent compute by
 	// asynchronously submitted reads (Submit/Wait overlap windows).
 	Hidden time.Duration
+	// Saved is the byte volume compression removed relative to the raw
+	// form (AddSaved); informational, already excluded from Bytes and Time.
+	Saved int64
 }
 
 // ColdTime returns the modeled cold execution time for a run whose CPU wall
@@ -207,6 +221,7 @@ func (a *Accountant) Stats() Stats {
 		Bytes:  a.bytes,
 		Time:   a.device.ReadTime(a.runs, a.bytes),
 		Hidden: a.hidden,
+		Saved:  a.saved,
 	}
 }
 
@@ -217,6 +232,7 @@ func (a *Accountant) Reset() {
 	a.async = nil
 	a.hidden = 0
 	a.frontier = time.Time{}
+	a.saved = 0
 	a.mu.Unlock()
 }
 

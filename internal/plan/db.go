@@ -128,6 +128,22 @@ func (db *DB) StoredTable(name string) (*storage.Table, error) {
 	return t, nil
 }
 
+// CompressionStats sums the compression outcome over every scannable table
+// of the scheme (the layout StoredTable serves — under BDCC the clustered
+// data where a design exists, the plain layout otherwise). Zero-valued when
+// the tables are uncompressed.
+func (db *DB) CompressionStats() storage.CompressionStats {
+	var s storage.CompressionStats
+	for name := range db.Tables {
+		t, err := db.StoredTable(name)
+		if err != nil {
+			continue
+		}
+		s.Add(t.CompressionStats())
+	}
+	return s
+}
+
 // BDCCTable returns the clustered form of a table, or nil.
 func (db *DB) BDCCTable(name string) *core.BDCCTable {
 	if db.Scheme != BDCC || db.Clustered == nil {

@@ -223,7 +223,7 @@ func (p *Planner) lowerScan(s *Scan, inherited restrictions) (engine.Operator, *
 	bt := p.DB.BDCCTable(s.Table)
 	if bt == nil || (s.Alias != "" && p.scanChoice[s] == nil) {
 		ranges := p.zonemapPrune(stored, s.Filter, storage.FullRange(stored.Rows()))
-		op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Rename: rename, Sched: p.sched()}
+		op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Push: pushPreds(stored, s.Filter, s.Cols), Rename: rename, Sched: p.sched()}
 		if rows := ranges.Rows(); rows < stored.Rows() {
 			p.logf("scan %s%s: minmax pruned to %d of %d rows", s.Table, aliasSuffix(s.Alias), rows, stored.Rows())
 		}
@@ -268,13 +268,13 @@ func (p *Planner) lowerScan(s *Scan, inherited restrictions) (engine.Operator, *
 		groups = p.pruneGroups(stored, s.Filter, groups)
 		p.logf("scan %s%s: scatter scan on %s (%d bits, %d groups)",
 			s.Table, aliasSuffix(s.Alias), choice.use.Dim.Name, choice.bits, len(groups))
-		op := &engine.GroupedScan{BDCC: bt, Cols: s.Cols, Groups: groups, Filter: s.Filter, Rename: rename, Sched: p.sched()}
+		op := &engine.GroupedScan{BDCC: bt, Cols: s.Cols, Groups: groups, Filter: s.Filter, Push: pushPreds(stored, s.Filter, s.Cols), Rename: rename, Sched: p.sched()}
 		info.groupUse = choice.use
 		info.groupBits = choice.bits
 		return op, info, nil
 	}
 	ranges := p.zonemapPrune(stored, s.Filter, core.EntriesRanges(entries))
-	op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Sched: p.sched()}
+	op := &engine.TableScan{Table: stored, Cols: s.Cols, Ranges: ranges, Filter: s.Filter, Push: pushPreds(stored, s.Filter, s.Cols), Sched: p.sched()}
 	return op, info, nil
 }
 
@@ -365,6 +365,34 @@ func (p *Planner) zonemapPrune(t *storage.Table, filter expr.Expr, in storage.Ro
 		in = t.PruneZonemap(col, iv, in)
 	}
 	return in
+}
+
+// pushPreds builds reader pushdown intervals from the filter's analyzable
+// conjuncts over the scanned columns. Only compressed tables benefit (the
+// reader prunes on the encoded form — RLE runs and dictionary codes), so
+// uncompressed tables get none. PushPred.Col indexes the scan's cols slice.
+// The scan re-applies the full filter, so pushdown never changes results.
+func pushPreds(t *storage.Table, filter expr.Expr, cols []string) []storage.PushPred {
+	if filter == nil || !t.Compressed() {
+		return nil
+	}
+	var push []storage.PushPred
+	for col, r := range expr.ImpliedRanges(filter) {
+		for i, name := range cols {
+			if name != col {
+				continue
+			}
+			iv := storage.Interval{}
+			if r.HasLo {
+				iv.Lo = storage.Bound{Set: true, I: r.LoI, S: r.LoS}
+			}
+			if r.HasHi {
+				iv.Hi = storage.Bound{Set: true, I: r.HiI, S: r.HiS}
+			}
+			push = append(push, storage.PushPred{Col: i, Iv: iv})
+		}
+	}
+	return push
 }
 
 // pruneGroups applies zonemap pruning inside every scatter group.

@@ -27,10 +27,12 @@ import (
 // mistake a worker for a daemon, and its own version counter. The hello
 // exchange mirrors the worker protocol's v3 shape: magic + u16 version +
 // u16 token length + token, answered (only after the token verifies) with
-// u16 version + u16 pool count.
+// u16 version + u16 pool count. Version 2 tracks the batch wire form gaining
+// its per-column encoding tag byte (result batches cross in that form, so an
+// old client would misparse them).
 const (
 	ProtoMagic   = "BDCQ"
-	ProtoVersion = 1
+	ProtoVersion = 2
 )
 
 // Client-protocol frame types, numbered after the worker protocol's 1-7 so

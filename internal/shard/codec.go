@@ -48,6 +48,20 @@ func EncodeUnit(u *engine.GroupUnit, buf []byte) []byte {
 	return buf
 }
 
+// RawUnitWireSize returns the size EncodeUnit would produce with every batch
+// column forced raw — the baseline the transport's wire_bytes_saved counter
+// is measured against.
+func RawUnitWireSize(u *engine.GroupUnit) int {
+	sz := 16
+	for _, b := range u.Probe {
+		sz += b.RawWireSize()
+	}
+	for _, b := range u.Build {
+		sz += b.RawWireSize()
+	}
+	return sz
+}
+
 // DecodeUnit decodes one group unit occupying all of data. The decoded unit
 // owns its memory — nothing aliases the sender's batches.
 func DecodeUnit(data []byte) (*engine.GroupUnit, error) {

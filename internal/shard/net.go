@@ -31,10 +31,13 @@ import (
 // the version was bumped rather than kept additive. Version 3 added the
 // shared-secret auth token to the client hello (compared constant-time by
 // the worker, mismatch drops the session without a reply); the payload
-// grew, so again a bump, not an addition.
+// grew, so again a bump, not an addition. Version 4 changed the batch wire
+// form itself (a per-column encoding tag byte with RLE/FOR/dictionary
+// compressed payloads) — an old peer would misparse every unit and result
+// batch, so once more a bump, not an addition.
 const (
 	ProtoMagic   = "BDCW"
-	ProtoVersion = 3
+	ProtoVersion = 4
 )
 
 // Transport frame types. Every frame is one message on the stream:
@@ -251,6 +254,12 @@ func (c *client) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, emit func(
 	// fragment-id slot after the frame header is patched once the id is
 	// known.
 	pl := EncodeUnit(u, append(frameBuf(), make([]byte, 8)...))
+	// net_ms is charged on the encoded frame; the raw-form difference is
+	// recorded as wire savings (query side meters both directions, so each
+	// message's saving is counted exactly once).
+	if saved := RawUnitWireSize(u) - (len(pl) - frameHeader - 8); saved > 0 && c.net != nil {
+		c.net.AddSaved(int64(saved))
+	}
 	if len(pl)-frameHeader > maxFramePayload {
 		// Failing only this unit — as a work error, not a backend failure —
 		// keeps an oversized group from cascading through every backend of
@@ -468,6 +477,9 @@ func (c *client) readLoop() {
 			if derr != nil {
 				c.fail(derr)
 				return
+			}
+			if saved := b.RawWireSize() - len(payload); saved > 0 && c.net != nil {
+				c.net.AddSaved(int64(saved))
 			}
 		}
 		// The pending lookup happens under dmu so it cannot interleave with

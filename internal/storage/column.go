@@ -22,8 +22,18 @@ type Column struct {
 	F64  []float64
 	Str  []string
 
+	// Enc is the lightweight chunk encoding of the column (nil in raw mode).
+	// The raw slices are always retained — they back permutation, key
+	// extraction and raw-fallback chunks — while Enc is the modeled on-disk
+	// form: readers materialize batches from it and the modeled width (hence
+	// page charges) follows its encoded bytes. Built by Table.Compress.
+	Enc *ColumnEncoding
+
 	// width is the modeled bytes per value, computed by finish(). For string
 	// columns it is the average string length (≥1); for numeric columns 8.
+	// Compressed columns override it with encoded bytes per value (encode),
+	// so the densest-column granularity choice of Algorithm 1 sees
+	// post-compression density.
 	width float64
 }
 
@@ -78,8 +88,19 @@ func (c *Column) finish() {
 	}
 }
 
+// encode builds the chunk-encoded form at the given granularity (rows per
+// page at raw width) and points the modeled width at the encoded bytes.
+// finish() keeps the raw-mode width behavior untouched.
+func (c *Column) encode(chunkRows int) {
+	c.Enc = encodeColumn(c, chunkRows)
+	if n := c.Len(); n > 0 && c.Enc.EncodedBytes > 0 {
+		c.width = float64(c.Enc.EncodedBytes) / float64(n)
+	}
+}
+
 // permute returns a copy of the column reordered so that row i of the result
-// is row perm[i] of the original.
+// is row perm[i] of the original. The copy is raw: a compressed table
+// re-encodes after permuting, so the encoding reflects the new row order.
 func (c *Column) permute(perm []int32) *Column {
 	out := &Column{Name: c.Name, Kind: c.Kind, width: c.width}
 	switch c.Kind {

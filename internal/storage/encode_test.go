@@ -1,0 +1,472 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bdcc/internal/vector"
+)
+
+// decodeAll materializes every chunk of a compressed column back into one
+// flat slice triple via the reader-facing DecodeChunk path.
+func decodeAll(c *Column) ([]int64, []float64, []string) {
+	var i64 []int64
+	var f64 []float64
+	var str []string
+	var buf ChunkBuf
+	for ci := range c.Enc.Chunks {
+		c.DecodeChunk(ci, &buf)
+		i64 = append(i64, buf.I64...)
+		f64 = append(f64, buf.F64...)
+		str = append(str, buf.Str...)
+	}
+	return i64, f64, str
+}
+
+// roundTripI64 encodes vals at the given chunk granularity and fails unless
+// decoding reproduces them exactly.
+func roundTripI64(t *testing.T, name string, vals []int64, chunkRows int) *ColumnEncoding {
+	t.Helper()
+	c := NewInt64Column("v", vals)
+	c.finish()
+	c.encode(chunkRows)
+	got, _, _ := decodeAll(c)
+	if len(got) != len(vals) {
+		t.Fatalf("%s: decoded %d values, want %d", name, len(got), len(vals))
+	}
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("%s: value %d = %d after round trip, want %d (chunk enc %v)",
+				name, i, got[i], v, c.Enc.Chunks[c.Enc.chunkIndex(i)].Enc)
+		}
+	}
+	return c.Enc
+}
+
+// adversarial int64 patterns: every encoder's best and worst case, run
+// boundaries straddling chunk boundaries, extreme magnitudes.
+func TestInt64ChunkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	constant := make([]int64, 1000)
+	runs := make([]int64, 1000)
+	narrow := make([]int64, 1000)
+	wide := make([]int64, 1000)
+	for i := range runs {
+		runs[i] = int64(i / 37)
+		narrow[i] = 1_000_000 + int64(i%97)
+		wide[i] = rng.Int63() - rng.Int63()
+	}
+	cases := []struct {
+		name string
+		vals []int64
+		want Encoding
+	}{
+		// A constant chunk frame-of-reference-encodes to 9 bytes (zero-bit
+		// deltas), beating RLE's 12-byte single run.
+		{"constant", constant, EncFOR},
+		{"runs", runs, EncRLE},
+		{"narrow-range", narrow, EncFOR},
+		{"wide-random", wide, EncRaw},
+		{"extremes", []int64{math.MinInt64, math.MaxInt64, 0, -1, 1, math.MinInt64}, EncRaw},
+		// A single value is cheapest at its raw width (8 bytes).
+		{"single", []int64{42}, EncRaw},
+		{"alternating", func() []int64 {
+			v := make([]int64, 513) // one value past a 512-row chunk
+			for i := range v {
+				v[i] = int64(i % 2)
+			}
+			return v
+		}(), EncFOR},
+	}
+	for _, tc := range cases {
+		for _, chunkRows := range []int{512, 64, 7, 1} {
+			e := roundTripI64(t, fmt.Sprintf("%s/chunk=%d", tc.name, chunkRows), tc.vals, chunkRows)
+			if chunkRows == 512 && e.Counts[tc.want] == 0 {
+				t.Errorf("%s at chunk=512 chose no %v chunk: counts %v", tc.name, tc.want, e.Counts)
+			}
+		}
+	}
+	// Random fuzz across granularities, mixing run-heavy and noisy spans.
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := make([]int64, n)
+		v := rng.Int63n(1000)
+		for i := range vals {
+			if rng.Intn(10) == 0 {
+				v = rng.Int63n(1000)
+			}
+			if rng.Intn(50) == 0 {
+				v = rng.Int63() // occasional wide outlier
+			}
+			vals[i] = v
+		}
+		roundTripI64(t, fmt.Sprintf("fuzz-%d", trial), vals, 1+rng.Intn(600))
+	}
+}
+
+// Floats must survive bit-exactly: RLE runs on the IEEE-754 bit pattern, so
+// -0.0 stays distinct from 0.0 and every NaN payload is preserved.
+func TestFloat64ChunkRoundTripBitExact(t *testing.T) {
+	qnan := math.Float64frombits(0x7ff8_0000_0000_0001) // NaN with payload
+	vals := []float64{
+		0, math.Copysign(0, -1), 1.5, 1.5, 1.5, math.NaN(), qnan, qnan,
+		math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	// Pad with runs so RLE wins, then add noise so some chunks stay raw.
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 2000; i++ {
+		if i%3 == 0 {
+			vals = append(vals, rng.Float64())
+		} else {
+			vals = append(vals, 2.25)
+		}
+	}
+	for _, chunkRows := range []int{512, 13, 1} {
+		c := NewFloat64Column("f", vals)
+		c.finish()
+		c.encode(chunkRows)
+		_, got, _ := decodeAll(c)
+		if len(got) != len(vals) {
+			t.Fatalf("chunk=%d: decoded %d values, want %d", chunkRows, len(got), len(vals))
+		}
+		for i, v := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(v) {
+				t.Fatalf("chunk=%d: value %d = %x after round trip, want %x — floats must be bit-exact",
+					chunkRows, i, math.Float64bits(got[i]), math.Float64bits(v))
+			}
+		}
+		// Only full-size chunks make RLE's 12-byte runs beat 8-byte raw
+		// values at this run length; tiny chunks legitimately stay raw.
+		if chunkRows == 512 && c.Enc.Counts[EncRLE] == 0 {
+			t.Errorf("chunk=%d: run-heavy float column chose no RLE chunk: %v", chunkRows, c.Enc.Counts)
+		}
+	}
+}
+
+func TestStringChunkRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	words := []string{"", "a", "shipped", "pending", "returned", "snow☃man", "nul\x00byte"}
+	lowCard := make([]string, 3000)
+	for i := range lowCard {
+		lowCard[i] = words[rng.Intn(len(words))]
+	}
+	runsOnly := make([]string, 1000)
+	for i := range runsOnly {
+		runsOnly[i] = words[i/200]
+	}
+	unique := make([]string, 800)
+	for i := range unique {
+		unique[i] = fmt.Sprintf("customer-%06d-%d", i, rng.Int63())
+	}
+	cases := []struct {
+		name string
+		vals []string
+		want Encoding
+	}{
+		{"low-cardinality", lowCard, EncDict},
+		{"long-runs", runsOnly, EncRLE},
+		{"all-unique", unique, EncRaw},
+		// One empty string is cheapest raw (modeled at its length).
+		{"single-empty", []string{""}, EncRaw},
+	}
+	for _, tc := range cases {
+		for _, chunkRows := range []int{512, 31, 1} {
+			c := NewStringColumn("s", tc.vals)
+			c.finish()
+			c.encode(chunkRows)
+			_, _, got := decodeAll(c)
+			if len(got) != len(tc.vals) {
+				t.Fatalf("%s chunk=%d: decoded %d values, want %d", tc.name, chunkRows, len(got), len(tc.vals))
+			}
+			for i, v := range tc.vals {
+				if got[i] != v {
+					t.Fatalf("%s chunk=%d: value %d = %q after round trip, want %q", tc.name, chunkRows, i, got[i], v)
+				}
+			}
+			if chunkRows == 512 && c.Enc.Counts[tc.want] == 0 {
+				t.Errorf("%s: chose no %v chunk at chunk=512: counts %v", tc.name, tc.want, c.Enc.Counts)
+			}
+		}
+	}
+}
+
+// TestEncodedBytesAndWidth checks the modeled-size contract the cost model
+// and Algorithm 1 depend on: compressible columns report fewer encoded than
+// raw bytes, the column width follows (satellite: dictionary-compressed
+// string columns get a post-compression width), and the page count —
+// hence every modeled I/O charge — shrinks with it.
+func TestEncodedBytesAndWidth(t *testing.T) {
+	n := 4096
+	ints := make([]int64, n)
+	strs := make([]string, n)
+	for i := range ints {
+		ints[i] = int64(i / 64)
+		strs[i] = []string{"automobile", "building", "furniture", "machinery"}[i/1024]
+	}
+	tab := MustNewTable("t", 4096, NewInt64Column("i", ints), NewStringColumn("s", strs))
+	ci, cs := tab.MustColumn("i"), tab.MustColumn("s")
+	rawWidthI, rawWidthS := ci.Width(), cs.Width()
+	rawPagesI, rawPagesS := tab.Pages(ci), tab.Pages(cs)
+
+	tab.Compress()
+	if !tab.Compressed() {
+		t.Fatal("table does not report Compressed after Compress")
+	}
+	for _, c := range []*Column{ci, cs} {
+		if c.Enc == nil {
+			t.Fatalf("column %s has no encoding", c.Name)
+		}
+		if c.Enc.EncodedBytes >= c.Enc.RawBytes {
+			t.Errorf("column %s: encoded %d bytes not below raw %d", c.Name, c.Enc.EncodedBytes, c.Enc.RawBytes)
+		}
+	}
+	if ci.Width() >= rawWidthI {
+		t.Errorf("int width %v not below raw %v", ci.Width(), rawWidthI)
+	}
+	if cs.Width() >= rawWidthS {
+		t.Errorf("string width %v not below raw %v after dict compression", cs.Width(), rawWidthS)
+	}
+	if got := tab.Pages(ci); got >= rawPagesI {
+		t.Errorf("int pages = %d, not below raw %d", got, rawPagesI)
+	}
+	if got := tab.Pages(cs); got >= rawPagesS {
+		t.Errorf("string pages = %d, not below raw %d", got, rawPagesS)
+	}
+	st := tab.CompressionStats()
+	if st.EncodedBytes >= st.RawBytes || st.RLEChunks+st.DictChunks+st.FORChunks == 0 {
+		t.Errorf("compression stats show no win: %+v", st)
+	}
+}
+
+// compressedCopy builds a second table over the same slices and compresses
+// it, so reads can be compared against the raw original.
+func compressedCopy(t *testing.T, tab *Table) *Table {
+	t.Helper()
+	cols := make([]*Column, len(tab.Cols))
+	for i, c := range tab.Cols {
+		cols[i] = &Column{Name: c.Name, Kind: c.Kind, I64: c.I64, F64: c.F64, Str: c.Str}
+	}
+	ct, err := NewTable(tab.Name, tab.PageSize, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Compress()
+	return ct
+}
+
+// TestReaderCompressedEquivalence is the storage-level oracle: a reader over
+// the compressed table must produce exactly the batch sequence of a reader
+// over the raw table, for arbitrary range sets cutting through chunk
+// boundaries — including float bit patterns.
+func TestReaderCompressedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 20_000
+	ints := make([]int64, n)
+	floats := make([]float64, n)
+	strs := make([]string, n)
+	for i := range ints {
+		ints[i] = int64(i / 100)
+		if i%5 == 0 {
+			floats[i] = math.NaN()
+		} else {
+			floats[i] = float64(i%7) + 0.25
+		}
+		strs[i] = []string{"low", "med", "high"}[i%3]
+	}
+	raw := MustNewTable("t", 4096,
+		NewInt64Column("i", ints), NewFloat64Column("f", floats), NewStringColumn("s", strs))
+	comp := compressedCopy(t, raw)
+
+	read := func(tab *Table, rs RowRanges) []string {
+		var out []string
+		r := NewReader(tab, []int{0, 1, 2}, rs, nil)
+		b := vector.NewBatch(r.Kinds())
+		for r.Next(b) {
+			for i := 0; i < b.Len(); i++ {
+				out = append(out, fmt.Sprintf("%d|%x|%s",
+					b.Cols[0].I64[i], math.Float64bits(b.Cols[1].F64[i]), b.Cols[2].Str[i]))
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 40; trial++ {
+		var rs RowRanges
+		pos := rng.Intn(300)
+		for len(rs) < 1+trial%4 {
+			ln := 1 + rng.Intn(6000)
+			if pos+ln > n {
+				break
+			}
+			rs = append(rs, RowRange{pos, pos + ln})
+			pos += ln + rng.Intn(2000)
+		}
+		if len(rs) == 0 {
+			rs = RowRanges{{0, n}}
+		}
+		want := read(raw, rs)
+		got := read(comp, rs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: compressed read %d rows, raw %d (ranges %v)", trial, len(got), len(want), rs)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: row %d = %s compressed, %s raw", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReaderPushdownSound checks the cheap predicate paths: a pushdown
+// reader may keep false positives (the scan re-applies its filter) but must
+// never drop a qualifying row, must emit rows in ascending order from the
+// range set, and must agree with the raw reader after filtering.
+func TestReaderPushdownSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 10_000
+	ints := make([]int64, n)
+	strs := make([]string, n)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i := range ints {
+		ints[i] = int64(i/50) % 40
+		strs[i] = words[(i/30)%len(words)]
+	}
+	raw := MustNewTable("t", 2048, NewInt64Column("i", ints), NewStringColumn("s", strs))
+	comp := compressedCopy(t, raw)
+
+	for trial := 0; trial < 60; trial++ {
+		lo := rng.Int63n(40)
+		hi := lo + rng.Int63n(10)
+		wlo := words[rng.Intn(len(words))]
+		push := []PushPred{
+			{Col: 0, Iv: Interval{Lo: Bound{Set: true, I: lo}, Hi: Bound{Set: true, I: hi}}},
+			{Col: 1, Iv: Interval{Lo: Bound{Set: true, S: wlo}}},
+		}
+		rs := RowRanges{{rng.Intn(1000), 5000 + rng.Intn(5000)}}
+		r := NewReaderPush(comp, []int{0, 1}, rs, nil, push)
+		b := vector.NewBatch(r.Kinds())
+		matched := make(map[string]int) // "i|s" → count among emitted rows
+		emitted := 0
+		for r.Next(b) {
+			for i := 0; i < b.Len(); i++ {
+				matched[fmt.Sprintf("%d|%s", b.Cols[0].I64[i], b.Cols[1].Str[i])]++
+				emitted++
+			}
+		}
+		// Every qualifying row of the range set must have been emitted.
+		want := 0
+		for _, rr := range rs {
+			for i := rr.Start; i < rr.End; i++ {
+				if ints[i] >= lo && ints[i] <= hi && strs[i] >= wlo {
+					want++
+					key := fmt.Sprintf("%d|%s", ints[i], strs[i])
+					if matched[key] == 0 {
+						t.Fatalf("trial %d: pushdown dropped qualifying row %d (%s)", trial, i, key)
+					}
+					matched[key]--
+				}
+			}
+		}
+		if emitted < want {
+			t.Fatalf("trial %d: pushdown emitted %d rows, %d qualify", trial, emitted, want)
+		}
+	}
+}
+
+// TestZonemapCompressedPruneSound re-runs the zonemap soundness property on
+// a compressed table, where bounds come from the encoder's per-chunk min/max
+// and page granularity is the chunk granularity.
+func TestZonemapCompressedPruneSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 5000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	tab := MustNewTable("t", 512, NewInt64Column("v", vals))
+	tab.Compress()
+	for trial := 0; trial < 50; trial++ {
+		lo := rng.Int63n(1000)
+		hi := lo + rng.Int63n(200)
+		keep := tab.PruneZonemap("v", Interval{
+			Lo: Bound{Set: true, I: lo},
+			Hi: Bound{Set: true, I: hi},
+		}, nil)
+		inKeep := make([]bool, n)
+		for _, r := range keep {
+			for i := r.Start; i < r.End; i++ {
+				inKeep[i] = true
+			}
+		}
+		for i, v := range vals {
+			if v >= lo && v <= hi && !inKeep[i] {
+				t.Fatalf("compressed zonemap pruned qualifying row %d (v=%d in [%d,%d])", i, v, lo, hi)
+			}
+		}
+	}
+	// Clustered data must actually prune: a narrow interval on sorted values
+	// keeps a strict subset.
+	sorted := make([]int64, n)
+	for i := range sorted {
+		sorted[i] = int64(i)
+	}
+	st := MustNewTable("s", 512, NewInt64Column("v", sorted))
+	st.Compress()
+	keep := st.PruneZonemap("v", Interval{Lo: Bound{Set: true, I: 100}, Hi: Bound{Set: true, I: 200}}, nil)
+	if keep.Rows() >= n {
+		t.Fatalf("compressed zonemap pruned nothing on sorted data (kept %d of %d)", keep.Rows(), n)
+	}
+}
+
+// TestCompressionPropagates checks the materialization paths BDCC and PK
+// tables take: Permute and AppendRows of a compressed table re-encode their
+// result in the new row order, and the re-encoded data round-trips.
+func TestCompressionPropagates(t *testing.T) {
+	n := 2000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 10)
+	}
+	tab := MustNewTable("t", 4096, NewInt64Column("v", vals))
+	tab.Compress()
+
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(n - 1 - i)
+	}
+	pt, err := tab.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Compressed() || pt.MustColumn("v").Enc == nil {
+		t.Fatal("Permute dropped compression")
+	}
+	got, _, _ := decodeAll(pt.MustColumn("v"))
+	for i := range got {
+		if got[i] != vals[n-1-i] {
+			t.Fatalf("permuted row %d = %d, want %d", i, got[i], vals[n-1-i])
+		}
+	}
+
+	at, err := tab.AppendRows(RowRanges{{0, 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !at.Compressed() || at.MustColumn("v").Enc == nil {
+		t.Fatal("AppendRows dropped compression")
+	}
+	if at.Rows() != n+100 {
+		t.Fatalf("appended table has %d rows, want %d", at.Rows(), n+100)
+	}
+
+	// Raw tables stay raw through the same paths.
+	rt := MustNewTable("r", 4096, NewInt64Column("v", vals))
+	prt, err := rt.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prt.Compressed() || prt.MustColumn("v").Enc != nil {
+		t.Fatal("Permute invented compression on a raw table")
+	}
+}

@@ -5,14 +5,36 @@ import (
 	"bdcc/internal/vector"
 )
 
+// PushPred is a predicate interval pushed into the reader. Col indexes the
+// reader's cols slice (not the table's columns). On compressed columns the
+// reader evaluates pushed intervals against the encoded form — per RLE run
+// and on dictionary codes — before materializing rows; pruning is
+// conservative, so scans still re-apply the full predicate on the output.
+type PushPred struct {
+	Col int
+	Iv  Interval
+}
+
+// colBuf caches one decoded chunk per output column so consecutive spans of
+// the same chunk decode once.
+type colBuf struct {
+	ci  int // decoded chunk index, -1 when empty
+	buf ChunkBuf
+}
+
 // Reader iterates the given row ranges of selected columns, producing
 // batches. Device I/O for the covered pages is charged to the accountant
 // once, at construction, with page runs coalesced across the range set —
-// matching a scan that issues all its reads up front.
+// matching a scan that issues all its reads up front. Compressed columns
+// materialize chunk-at-a-time into reused scratch.
 type Reader struct {
 	t      *Table
 	cols   []int
 	ranges RowRanges
+	push   []PushPred
+	bufs   []colBuf
+	spans  []RowRange // pushdown scratch, ping-ponged per predicate
+	spans2 []RowRange
 	ri     int // current range index
 	pos    int // next row within current range
 	limit  int // rows per emitted batch
@@ -21,11 +43,23 @@ type Reader struct {
 // NewReader returns a reader over the row ranges (nil means the full table)
 // of the named column positions. acct may be nil.
 func NewReader(t *Table, cols []int, ranges RowRanges, acct *iosim.Accountant) *Reader {
+	return NewReaderPush(t, cols, ranges, acct, nil)
+}
+
+// NewReaderPush is NewReader with predicate intervals pushed into the scan.
+// Pushdown refines which rows are materialized but not what is charged: the
+// covered pages were already selected by zonemap pruning, so the saving is
+// decode and filter work, not modeled I/O.
+func NewReaderPush(t *Table, cols []int, ranges RowRanges, acct *iosim.Accountant, push []PushPred) *Reader {
 	if ranges == nil {
 		ranges = FullRange(t.Rows())
 	}
 	t.ChargeIO(acct, cols, ranges)
-	r := &Reader{t: t, cols: cols, ranges: ranges, limit: vector.BatchSize}
+	r := &Reader{t: t, cols: cols, ranges: ranges, push: push, limit: vector.BatchSize}
+	r.bufs = make([]colBuf, len(cols))
+	for i := range r.bufs {
+		r.bufs[i].ci = -1
+	}
 	if len(ranges) > 0 {
 		r.pos = ranges[0].Start
 	}
@@ -62,30 +96,94 @@ func (r *Reader) Next(out *vector.Batch) bool {
 		if n > r.limit-out.Len() {
 			n = r.limit - out.Len()
 		}
-		for i, ci := range r.cols {
-			c := r.t.Cols[ci]
-			dst := out.Cols[i]
-			switch c.Kind {
-			case vector.Int64:
-				dst.I64 = append(dst.I64, c.I64[r.pos:r.pos+n]...)
-			case vector.Float64:
-				dst.F64 = append(dst.F64, c.F64[r.pos:r.pos+n]...)
-			case vector.String:
-				dst.Str = append(dst.Str, c.Str[r.pos:r.pos+n]...)
+		lo, hi := r.pos, r.pos+n
+		r.pos = hi
+		if len(r.push) == 0 {
+			r.copySpan(out, lo, hi)
+		} else {
+			// Refine [lo,hi) through each pushed predicate on the encoded
+			// form; surviving sub-spans materialize, the rest never decode.
+			r.spans = appendSpan(r.spans[:0], lo, hi)
+			for _, p := range r.push {
+				c := r.t.Cols[r.cols[p.Col]]
+				r.spans2 = r.spans2[:0]
+				for _, s := range r.spans {
+					r.spans2 = c.pruneSpan(p.Iv, s.Start, s.End, r.spans2)
+				}
+				r.spans, r.spans2 = r.spans2, r.spans
+			}
+			for _, s := range r.spans {
+				r.copySpan(out, s.Start, s.End)
 			}
 		}
-		r.pos += n
 		if out.Len() == r.limit {
 			return true
 		}
-		// Stop at the range boundary to keep batches range-pure.
+		// Stop at the range boundary to keep batches range-pure. A pushed
+		// predicate can leave the batch empty here; continue to the next
+		// range rather than ending the scan early.
 		if r.pos >= rr.End {
 			r.ri++
 			if r.ri < len(r.ranges) {
 				r.pos = r.ranges[r.ri].Start
 			}
-			return out.Len() > 0
+			if out.Len() > 0 {
+				return true
+			}
 		}
 	}
 	return out.Len() > 0
+}
+
+// copySpan appends rows [lo,hi) of every selected column to out. Raw columns
+// and raw-fallback chunks copy straight from the retained arrays; encoded
+// chunks decode into the per-column scratch once and serve every span that
+// touches them.
+func (r *Reader) copySpan(out *vector.Batch, lo, hi int) {
+	for i, ci := range r.cols {
+		c := r.t.Cols[ci]
+		dst := out.Cols[i]
+		if c.Enc == nil {
+			switch c.Kind {
+			case vector.Int64:
+				dst.I64 = append(dst.I64, c.I64[lo:hi]...)
+			case vector.Float64:
+				dst.F64 = append(dst.F64, c.F64[lo:hi]...)
+			case vector.String:
+				dst.Str = append(dst.Str, c.Str[lo:hi]...)
+			}
+			continue
+		}
+		for p := lo; p < hi; {
+			k := c.Enc.chunkIndex(p)
+			ch := &c.Enc.Chunks[k]
+			end := min(hi, ch.Start+ch.Rows)
+			if ch.Enc == EncRaw {
+				switch c.Kind {
+				case vector.Int64:
+					dst.I64 = append(dst.I64, c.I64[p:end]...)
+				case vector.Float64:
+					dst.F64 = append(dst.F64, c.F64[p:end]...)
+				case vector.String:
+					dst.Str = append(dst.Str, c.Str[p:end]...)
+				}
+				p = end
+				continue
+			}
+			cb := &r.bufs[i]
+			if cb.ci != k {
+				c.DecodeChunk(k, &cb.buf)
+				cb.ci = k
+			}
+			switch c.Kind {
+			case vector.Int64:
+				dst.I64 = append(dst.I64, cb.buf.I64[p-ch.Start:end-ch.Start]...)
+			case vector.Float64:
+				dst.F64 = append(dst.F64, cb.buf.F64[p-ch.Start:end-ch.Start]...)
+			case vector.String:
+				dst.Str = append(dst.Str, cb.buf.Str[p-ch.Start:end-ch.Start]...)
+			}
+			p = end
+		}
+	}
 }

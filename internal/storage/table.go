@@ -18,9 +18,10 @@ type Table struct {
 	Cols     []*Column
 	PageSize int64
 
-	rows   int
-	byName map[string]int
-	zones  []zonemap
+	rows       int
+	byName     map[string]int
+	zones      []zonemap
+	compressed bool
 }
 
 // NewTable builds a table over the given columns, computes widths and
@@ -50,6 +51,63 @@ func NewTable(name string, pageSize int64, cols ...*Column) (*Table, error) {
 		t.zones[i] = buildZonemap(c, t.rowsPerPage(c))
 	}
 	return t, nil
+}
+
+// Compress builds the lightweight chunk encoding of every column (chunks
+// page-aligned at raw width), points the modeled widths at encoded bytes —
+// shrinking rows-per-page, page counts and ChargeIO accordingly — and
+// rebuilds the zonemaps at chunk granularity directly from the encoded
+// chunks. Permute and AppendRows preserve compression by re-encoding in the
+// new row order, which is how BDCC clustering improves the ratio.
+// Idempotent; safe to call on a table already compressed.
+func (t *Table) Compress() {
+	t.compressed = true
+	for i, c := range t.Cols {
+		c.finish() // chunk granularity is page-aligned at the raw width
+		c.encode(t.rowsPerPage(c))
+		t.zones[i] = zonemapFromChunks(c)
+	}
+}
+
+// Compressed reports whether Compress has run on this table.
+func (t *Table) Compressed() bool { return t.compressed }
+
+// CompressionStats aggregates the modeled compression outcome of a table.
+// Zero-valued when the table is uncompressed.
+type CompressionStats struct {
+	RawBytes     int64
+	EncodedBytes int64
+	RawChunks    int64
+	RLEChunks    int64
+	DictChunks   int64
+	FORChunks    int64
+}
+
+// Add accumulates o into s (for per-scheme totals across tables).
+func (s *CompressionStats) Add(o CompressionStats) {
+	s.RawBytes += o.RawBytes
+	s.EncodedBytes += o.EncodedBytes
+	s.RawChunks += o.RawChunks
+	s.RLEChunks += o.RLEChunks
+	s.DictChunks += o.DictChunks
+	s.FORChunks += o.FORChunks
+}
+
+// CompressionStats sums the encoded state of every column.
+func (t *Table) CompressionStats() CompressionStats {
+	var s CompressionStats
+	for _, c := range t.Cols {
+		if c.Enc == nil {
+			continue
+		}
+		s.RawBytes += c.Enc.RawBytes
+		s.EncodedBytes += c.Enc.EncodedBytes
+		s.RawChunks += c.Enc.Counts[EncRaw]
+		s.RLEChunks += c.Enc.Counts[EncRLE]
+		s.DictChunks += c.Enc.Counts[EncDict]
+		s.FORChunks += c.Enc.Counts[EncFOR]
+	}
+	return s
 }
 
 // MustNewTable is NewTable panicking on error, for construction of static
@@ -132,7 +190,11 @@ func (t *Table) Permute(perm []int32) (*Table, error) {
 	for i, c := range t.Cols {
 		cols[i] = c.permute(perm)
 	}
-	return NewTable(t.Name, t.PageSize, cols...)
+	out, err := NewTable(t.Name, t.PageSize, cols...)
+	if err == nil && t.compressed {
+		out.Compress()
+	}
+	return out, err
 }
 
 // AppendRows returns a new table consisting of t followed by the given row
@@ -152,7 +214,11 @@ func (t *Table) AppendRows(ranges RowRanges) (*Table, error) {
 		}
 		cols[i] = nc
 	}
-	return NewTable(t.Name, t.PageSize, cols...)
+	out, err := NewTable(t.Name, t.PageSize, cols...)
+	if err == nil && t.compressed {
+		out.Compress()
+	}
+	return out, err
 }
 
 // SortPerm returns the permutation that stably sorts the table by the given

@@ -1,6 +1,10 @@
 package storage
 
-import "bdcc/internal/vector"
+import (
+	"cmp"
+
+	"bdcc/internal/vector"
+)
 
 // zonemap holds per-page minimum and maximum values of one column. The host
 // system of the paper ("Integration of VectorWise with Ingres", SIGMOD Record
@@ -8,6 +12,11 @@ import "bdcc/internal/vector"
 // only selective when the table is clustered on (or correlated with) the
 // filtered attribute — which is exactly how the paper's BDCC setup
 // accelerates l_shipdate predicates through o_orderdate clustering.
+//
+// On a compressed column the zonemap is built from the encoded chunks (one
+// entry per chunk, chunk bounds computed during encoding without an extra row
+// loop), so rowsPerPage is the chunk granularity — the raw-width page size —
+// not the encoded-width rows-per-page of the I/O model.
 type zonemap struct {
 	rowsPerPage int
 	minI        []int64
@@ -18,58 +27,81 @@ type zonemap struct {
 	maxS        []string
 }
 
+// pages returns the number of zones (one per page or encoded chunk).
+func (z *zonemap) pages() int {
+	return max(max(len(z.minI), len(z.minF)), len(z.minS))
+}
+
+// minMaxOrd returns the minimum and maximum of a non-empty slice. For floats
+// the `<`/`>` comparisons make NaN neutral: a NaN never replaces the running
+// bound, matching the pruning semantics (NaN fails every range predicate).
+func minMaxOrd[T cmp.Ordered](vals []T) (mn, mx T) {
+	mn, mx = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// pageMinMax computes per-page bounds of vals at the given granularity.
+func pageMinMax[T cmp.Ordered](vals []T, rowsPerPage, pages int) (mns, mxs []T) {
+	mns = make([]T, pages)
+	mxs = make([]T, pages)
+	for p := 0; p < pages; p++ {
+		lo, hi := p*rowsPerPage, min((p+1)*rowsPerPage, len(vals))
+		mns[p], mxs[p] = minMaxOrd(vals[lo:hi])
+	}
+	return mns, mxs
+}
+
 func buildZonemap(c *Column, rowsPerPage int) zonemap {
+	if c.Enc != nil {
+		return zonemapFromChunks(c)
+	}
 	n := c.Len()
 	pages := (n + rowsPerPage - 1) / rowsPerPage
 	z := zonemap{rowsPerPage: rowsPerPage}
 	switch c.Kind {
 	case vector.Int64:
-		z.minI = make([]int64, pages)
-		z.maxI = make([]int64, pages)
-		for p := 0; p < pages; p++ {
-			lo, hi := p*rowsPerPage, min((p+1)*rowsPerPage, n)
-			mn, mx := c.I64[lo], c.I64[lo]
-			for _, v := range c.I64[lo+1 : hi] {
-				if v < mn {
-					mn = v
-				}
-				if v > mx {
-					mx = v
-				}
-			}
-			z.minI[p], z.maxI[p] = mn, mx
+		z.minI, z.maxI = pageMinMax(c.I64, rowsPerPage, pages)
+	case vector.Float64:
+		z.minF, z.maxF = pageMinMax(c.F64, rowsPerPage, pages)
+	case vector.String:
+		z.minS, z.maxS = pageMinMax(c.Str, rowsPerPage, pages)
+	}
+	return z
+}
+
+// zonemapFromChunks builds the zonemap of a compressed column from the
+// per-chunk bounds the encoder computed: RLE and dictionary chunks yield
+// min/max from their runs and codes, so no second row loop runs.
+func zonemapFromChunks(c *Column) zonemap {
+	e := c.Enc
+	z := zonemap{rowsPerPage: e.ChunkRows}
+	n := len(e.Chunks)
+	switch c.Kind {
+	case vector.Int64:
+		z.minI = make([]int64, n)
+		z.maxI = make([]int64, n)
+		for i, ch := range e.Chunks {
+			z.minI[i], z.maxI[i] = ch.MinI, ch.MaxI
 		}
 	case vector.Float64:
-		z.minF = make([]float64, pages)
-		z.maxF = make([]float64, pages)
-		for p := 0; p < pages; p++ {
-			lo, hi := p*rowsPerPage, min((p+1)*rowsPerPage, n)
-			mn, mx := c.F64[lo], c.F64[lo]
-			for _, v := range c.F64[lo+1 : hi] {
-				if v < mn {
-					mn = v
-				}
-				if v > mx {
-					mx = v
-				}
-			}
-			z.minF[p], z.maxF[p] = mn, mx
+		z.minF = make([]float64, n)
+		z.maxF = make([]float64, n)
+		for i, ch := range e.Chunks {
+			z.minF[i], z.maxF[i] = ch.MinF, ch.MaxF
 		}
 	case vector.String:
-		z.minS = make([]string, pages)
-		z.maxS = make([]string, pages)
-		for p := 0; p < pages; p++ {
-			lo, hi := p*rowsPerPage, min((p+1)*rowsPerPage, n)
-			mn, mx := c.Str[lo], c.Str[lo]
-			for _, v := range c.Str[lo+1 : hi] {
-				if v < mn {
-					mn = v
-				}
-				if v > mx {
-					mx = v
-				}
-			}
-			z.minS[p], z.maxS[p] = mn, mx
+		z.minS = make([]string, n)
+		z.maxS = make([]string, n)
+		for i, ch := range e.Chunks {
+			z.minS[i], z.maxS[i] = ch.MinS, ch.MaxS
 		}
 	}
 	return z
@@ -93,8 +125,8 @@ type Interval struct {
 
 // PruneZonemap intersects the given row ranges with the pages of column name
 // whose [min,max] overlaps the interval, returning the refined row ranges.
-// Pages are the pruning granularity; surviving ranges still require tuple-
-// level re-evaluation of the predicate.
+// Pages (encoded chunks on a compressed column) are the pruning granularity;
+// surviving ranges still require tuple-level re-evaluation of the predicate.
 func (t *Table) PruneZonemap(name string, iv Interval, in RowRanges) RowRanges {
 	ci := t.ColumnIndex(name)
 	if ci < 0 {
@@ -111,7 +143,7 @@ func (t *Table) PruneZonemap(name string, iv Interval, in RowRanges) RowRanges {
 	in = in.Normalize()
 	var keep RowRanges
 	rpp := z.rowsPerPage
-	pages := t.Pages(c)
+	pages := z.pages()
 	for p := 0; p < pages; p++ {
 		ok := true
 		switch c.Kind {

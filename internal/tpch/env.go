@@ -25,6 +25,11 @@ type Benchmark struct {
 	Schema *catalog.Schema
 	Data   *Dataset
 	DBs    map[plan.Scheme]*plan.DB
+	// Compressed records whether the base tables were chunk-compressed
+	// before materialization (NewBenchmarkCompressed). Materialized schemes
+	// inherit the flag through Permute/AppendRows, so PK and BDCC layouts
+	// re-encode in their clustered row order.
+	Compressed bool
 	RunOptions
 }
 
@@ -36,15 +41,29 @@ func majorMinorOptions() core.BuildOptions {
 }
 
 // NewBenchmark generates data at the scale factor and materializes the
-// requested schemes (all three when none are named).
+// requested schemes (all three when none are named), uncompressed.
 func NewBenchmark(sf float64, schemes ...plan.Scheme) (*Benchmark, error) {
+	return NewBenchmarkCompressed(sf, false, schemes...)
+}
+
+// NewBenchmarkCompressed is NewBenchmark with the storage-compression knob:
+// with compress set, every base table is chunk-encoded before the schemes
+// materialize, and the PK/BDCC permutations re-encode in clustered order
+// (which is where BDCC's locally homogeneous values pay off). Query results
+// are byte-identical across the knob.
+func NewBenchmarkCompressed(sf float64, compress bool, schemes ...plan.Scheme) (*Benchmark, error) {
 	if len(schemes) == 0 {
 		schemes = []plan.Scheme{plan.Plain, plan.PK, plan.BDCC}
 	}
 	schema := Schema()
 	data := Generate(sf)
 	dev := iosim.PaperSSD()
-	b := &Benchmark{SF: sf, Schema: schema, Data: data, DBs: map[plan.Scheme]*plan.DB{}}
+	if compress {
+		for _, t := range data.Tables {
+			t.Compress()
+		}
+	}
+	b := &Benchmark{SF: sf, Schema: schema, Data: data, DBs: map[plan.Scheme]*plan.DB{}, Compressed: compress}
 	for _, s := range schemes {
 		switch s {
 		case plan.Plain:

@@ -8,6 +8,7 @@ import (
 
 	"bdcc/internal/engine"
 	"bdcc/internal/plan"
+	"bdcc/internal/storage"
 )
 
 // QueryRun is one (query, scheme) measurement.
@@ -27,10 +28,24 @@ type Report struct {
 	Schemes []plan.Scheme
 	Runs    map[plan.Scheme][]QueryRun // indexed by query position
 	Explain map[string][]string        // per "scheme/query"
+	// Compressed records the storage-compression knob; Comp holds the
+	// per-scheme compression outcome (modeled on-disk bytes and the wire
+	// bytes the batch codec saved across the scheme's 22 runs). Comp is
+	// populated even when uncompressed — all-zero then — so gating tools
+	// can assert either state.
+	Compressed bool
+	Comp       map[plan.Scheme]CompRecord
 	// Concurrency holds the daemon leg of the grid (closed-loop clients
 	// through bdccd, one record per scheme); nil when the grid ran without
 	// a daemon. Populated by tpchbench -clients.
 	Concurrency []ConcurrencyStats
+}
+
+// CompRecord is one scheme's compression outcome: the storage-side chunk
+// totals plus the wire bytes the batch codec saved over the scheme's runs.
+type CompRecord struct {
+	storage.CompressionStats
+	WireSaved int64
 }
 
 // RunAll executes every TPC-H query under every materialized scheme of the
@@ -49,6 +64,9 @@ func (b *Benchmark) RunAll() (*Report, error) {
 		Balance: b.Balance,
 		Runs:    make(map[plan.Scheme][]QueryRun),
 		Explain: make(map[string][]string),
+
+		Compressed: b.Compressed,
+		Comp:       make(map[plan.Scheme]CompRecord),
 	}
 	if rep.Balance == "" {
 		rep.Balance = "hash"
@@ -60,6 +78,7 @@ func (b *Benchmark) RunAll() (*Report, error) {
 			continue
 		}
 		rep.Schemes = append(rep.Schemes, scheme)
+		comp := CompRecord{CompressionStats: db.CompressionStats()}
 		for _, q := range Queries {
 			_, st, explain, err := RunQueryOpts(db, q, opt)
 			if err != nil {
@@ -67,7 +86,9 @@ func (b *Benchmark) RunAll() (*Report, error) {
 			}
 			rep.Runs[scheme] = append(rep.Runs[scheme], QueryRun{Query: q.Name, Scheme: scheme, Stats: st})
 			rep.Explain[fmt.Sprintf("%s/%s", scheme, q.Name)] = explain
+			comp.WireSaved += st.Net.Saved
 		}
+		rep.Comp[scheme] = comp
 	}
 	return rep, nil
 }
@@ -222,6 +243,32 @@ func (r *Report) WriteSched(w io.Writer) {
 	}
 }
 
+// WriteComp renders the per-scheme compression outcome (tpchbench -v with
+// -compress): modeled raw vs encoded storage bytes, the chunk mix per
+// encoding, and the wire bytes the batch codec saved on sharded legs.
+func (r *Report) WriteComp(w io.Writer) {
+	if !r.Compressed {
+		return
+	}
+	fmt.Fprintf(w, "Compression — chunk-encoded storage per scheme (SF%g)\n", r.SF)
+	fmt.Fprintf(w, "%-6s %12s %12s %7s %8s %8s %8s %8s %14s\n",
+		"scheme", "storage-MB", "encoded-MB", "ratio", "raw", "rle", "dict", "for", "wire-saved-MB")
+	for _, s := range r.Schemes {
+		c, ok := r.Comp[s]
+		if !ok {
+			continue
+		}
+		ratio := 1.0
+		if c.RawBytes > 0 {
+			ratio = float64(c.EncodedBytes) / float64(c.RawBytes)
+		}
+		fmt.Fprintf(w, "%-6s %12.1f %12.1f %7.3f %8d %8d %8d %8d %14.1f\n",
+			s, float64(c.RawBytes)/(1<<20), float64(c.EncodedBytes)/(1<<20), ratio,
+			c.RawChunks, c.RLEChunks, c.DictChunks, c.FORChunks,
+			float64(c.WireSaved)/(1<<20))
+	}
+}
+
 // WriteConcurrency renders the daemon leg: closed-loop throughput and
 // latency quantiles per scheme, with the admission counters of each run.
 func (r *Report) WriteConcurrency(w io.Writer) {
@@ -291,10 +338,28 @@ type JSONReport struct {
 	Remotes int            `json:"remotes"`
 	Balance string         `json:"balance"`
 	Queries []JSONQueryRun `json:"queries"`
+	// Compressed is the storage-compression knob of the run; Compression
+	// holds the per-scheme outcome (present exactly when Compressed).
+	Compressed  bool              `json:"compressed"`
+	Compression []JSONCompression `json:"compression,omitempty"`
 	// Concurrency is the daemon leg of the grid: closed-loop client
 	// measurements through bdccd, one record per scheme. Absent when the
 	// grid ran without a daemon.
 	Concurrency []ConcurrencyStats `json:"concurrency,omitempty"`
+}
+
+// JSONCompression is one scheme's compression record in the JSON grid:
+// modeled on-disk raw vs encoded bytes, the chunk count per encoding, and
+// the wire bytes the batch codec saved across the scheme's 22 runs.
+type JSONCompression struct {
+	Scheme       string `json:"scheme"`
+	StorageBytes int64  `json:"storage_bytes"`
+	EncodedBytes int64  `json:"encoded_bytes"`
+	RawChunks    int64  `json:"raw_chunks"`
+	RLEChunks    int64  `json:"rle_chunks"`
+	DictChunks   int64  `json:"dict_chunks"`
+	FORChunks    int64  `json:"for_chunks"`
+	WireSaved    int64  `json:"wire_bytes_saved"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -304,7 +369,23 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		balance = "hash"
 	}
 	out := JSONReport{SF: r.SF, Workers: r.Workers, Shards: r.Shards,
-		Remotes: len(r.Remotes), Balance: balance, Concurrency: r.Concurrency}
+		Remotes: len(r.Remotes), Balance: balance, Concurrency: r.Concurrency,
+		Compressed: r.Compressed}
+	if r.Compressed {
+		for _, scheme := range r.Schemes {
+			c := r.Comp[scheme]
+			out.Compression = append(out.Compression, JSONCompression{
+				Scheme:       scheme.String(),
+				StorageBytes: c.RawBytes,
+				EncodedBytes: c.EncodedBytes,
+				RawChunks:    c.RawChunks,
+				RLEChunks:    c.RLEChunks,
+				DictChunks:   c.DictChunks,
+				FORChunks:    c.FORChunks,
+				WireSaved:    c.WireSaved,
+			})
+		}
+	}
 	for _, scheme := range r.Schemes {
 		for _, run := range r.Runs[scheme] {
 			st := run.Stats

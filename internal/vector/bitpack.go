@@ -1,0 +1,46 @@
+package vector
+
+// Bit-packing primitives shared by the storage chunk encoder and the batch
+// wire codec: n values of bitw bits each, laid out LSB-first in a byte
+// stream. bitw 0 is the degenerate all-zero stream (no bytes at all), which
+// both frame-of-reference chunks with a single value and dictionary chunks
+// over a one-entry dictionary produce.
+
+// BitPackLen returns the byte length of n packed values of bitw bits.
+func BitPackLen(n int, bitw uint8) int {
+	return (n*int(bitw) + 7) / 8
+}
+
+// BitPackPut writes value v (truncated to bitw bits) at index i of the
+// packed stream dst. dst must be zeroed at the target bits (freshly
+// allocated, or written strictly left to right).
+func BitPackPut(dst []byte, i int, bitw uint8, v uint64) {
+	bit := i * int(bitw)
+	for put := 0; put < int(bitw); {
+		idx := (bit + put) / 8
+		off := (bit + put) % 8
+		take := 8 - off
+		if rem := int(bitw) - put; take > rem {
+			take = rem
+		}
+		dst[idx] |= byte(v>>put&(uint64(1)<<take-1)) << off
+		put += take
+	}
+}
+
+// BitPackGet reads the bitw-bit value at index i of the packed stream src.
+func BitPackGet(src []byte, i int, bitw uint8) uint64 {
+	bit := i * int(bitw)
+	var v uint64
+	for got := 0; got < int(bitw); {
+		idx := (bit + got) / 8
+		off := (bit + got) % 8
+		take := 8 - off
+		if rem := int(bitw) - got; take > rem {
+			take = rem
+		}
+		v |= uint64(src[idx]>>off&byte(1<<take-1)) << got
+		got += take
+	}
+	return v
+}

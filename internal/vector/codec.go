@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
 )
 
 // This file is the batch wire codec: the byte form in which batches cross a
@@ -13,17 +15,44 @@ import (
 // batch reproduces the original bit for bit, which is what keeps sharded
 // query results byte-identical to single-box runs.
 //
+// Each column carries a one-byte encoding tag and ships in the cheapest of
+// the candidate forms, mirroring the storage chunk encoder: BDCC group units
+// are value-homogeneous, so run-length, frame-of-reference and dictionary
+// forms routinely beat the raw width on the wire (net_ms is charged on
+// encoded size). Raw is always a valid fallback.
+//
 // Layout (little endian):
 //
 //	u8  grouped (0/1)
 //	u64 group id
 //	u16 column count
-//	per column: u8 kind, u32 length, then the values
-//	  Int64/Float64: 8 bytes each (float bits via math.Float64bits)
-//	  String:        u32 byte length + raw bytes each
+//	per column: u8 kind, u32 row count n, u8 tag, then the payload
+//	  tag 0 (raw):
+//	    Int64/Float64: 8 bytes each (float bits via math.Float64bits)
+//	    String:        u32 byte length + raw bytes each
+//	  tag 1 (rle): u32 run count, then per run the value (as in raw form)
+//	    followed by a u32 run length; run lengths sum to n
+//	  tag 2 (for, Int64 only): i64 base, u8 bit width, then n bit-packed
+//	    unsigned deltas (BitPackLen bytes)
+//	  tag 3 (dict, String only): u32 dictionary size, the sorted dictionary
+//	    entries (u32 byte length + raw bytes each), u8 code bit width, then
+//	    n bit-packed codes
+const (
+	wireRaw  = 0
+	wireRLE  = 1
+	wireFOR  = 2
+	wireDict = 3
+)
+
+// maxWireRows bounds the per-column row count a decoder will materialize.
+// Legitimate batches never exceed BatchSize rows, but the run-length forms
+// let a corrupt or hostile frame declare billions of rows in a handful of
+// bytes — the limit turns that into an error instead of an allocation.
+const maxWireRows = 1 << 22
 
 // Encode appends the wire encoding of b to buf and returns the extended
-// slice. A nil buf allocates.
+// slice. A nil buf allocates. Each column independently picks the cheapest
+// encoding by exact byte cost.
 func (b *Batch) Encode(buf []byte) []byte {
 	if b.Grouped {
 		buf = append(buf, 1)
@@ -37,18 +66,214 @@ func (b *Batch) Encode(buf []byte) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Len()))
 		switch c.Kind {
 		case Int64:
-			for _, v := range c.I64 {
-				buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
-			}
+			buf = encodeI64Col(buf, c.I64)
 		case Float64:
-			for _, v := range c.F64 {
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
-			}
+			buf = encodeF64Col(buf, c.F64)
+		case String:
+			buf = encodeStrCol(buf, c.Str)
+		}
+	}
+	return buf
+}
+
+// RawWireSize returns the size Encode would produce with every column forced
+// to the raw tag — the baseline the transport's wire_bytes_saved counter is
+// measured against.
+func (b *Batch) RawWireSize() int {
+	sz := 1 + 8 + 2
+	for _, c := range b.Cols {
+		sz += 1 + 4 + 1
+		switch c.Kind {
+		case Int64, Float64:
+			sz += 8 * c.Len()
 		case String:
 			for _, s := range c.Str {
-				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
-				buf = append(buf, s...)
+				sz += 4 + len(s)
 			}
+		}
+	}
+	return sz
+}
+
+// encodeI64Col writes one int64 column: one pass costs the candidates
+// (raw 8/value, RLE 12/run, FOR 9 + packed deltas), the cheapest wins.
+func encodeI64Col(buf []byte, v []int64) []byte {
+	n := len(v)
+	if n == 0 {
+		return append(buf, wireRaw)
+	}
+	runs := 1
+	mn, mx := v[0], v[0]
+	for i := 1; i < n; i++ {
+		if v[i] != v[i-1] {
+			runs++
+		}
+		if v[i] < mn {
+			mn = v[i]
+		}
+		if v[i] > mx {
+			mx = v[i]
+		}
+	}
+	bitw := uint8(bits.Len64(uint64(mx) - uint64(mn)))
+	tag, best := wireRaw, 8*n
+	if rleB := 12 * runs; rleB < best {
+		tag, best = wireRLE, rleB
+	}
+	if forB := 9 + BitPackLen(n, bitw); forB < best {
+		tag = wireFOR
+	}
+	buf = append(buf, byte(tag))
+	switch tag {
+	case wireRaw:
+		off := len(buf)
+		buf = append(buf, make([]byte, 8*n)...)
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(buf[off+8*i:], uint64(x))
+		}
+	case wireRLE:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(runs))
+		cur, cnt := v[0], uint32(1)
+		for _, x := range v[1:] {
+			if x == cur {
+				cnt++
+				continue
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(cur))
+			buf = binary.LittleEndian.AppendUint32(buf, cnt)
+			cur, cnt = x, 1
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(cur))
+		buf = binary.LittleEndian.AppendUint32(buf, cnt)
+	case wireFOR:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(mn))
+		buf = append(buf, bitw)
+		off := len(buf)
+		buf = append(buf, make([]byte, BitPackLen(n, bitw))...)
+		for i, x := range v {
+			BitPackPut(buf[off:], i, bitw, uint64(x)-uint64(mn))
+		}
+	}
+	return buf
+}
+
+// encodeF64Col writes one float64 column: raw, or RLE over the IEEE-754 bit
+// patterns (bit equality, so -0.0 and NaN payloads survive exactly).
+func encodeF64Col(buf []byte, v []float64) []byte {
+	n := len(v)
+	if n == 0 {
+		return append(buf, wireRaw)
+	}
+	runs := 1
+	prev := math.Float64bits(v[0])
+	for i := 1; i < n; i++ {
+		if b := math.Float64bits(v[i]); b != prev {
+			runs++
+			prev = b
+		}
+	}
+	if 12*runs >= 8*n {
+		buf = append(buf, wireRaw)
+		off := len(buf)
+		buf = append(buf, make([]byte, 8*n)...)
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(buf[off+8*i:], math.Float64bits(x))
+		}
+		return buf
+	}
+	buf = append(buf, wireRLE)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(runs))
+	cur, cnt := math.Float64bits(v[0]), uint32(1)
+	for _, x := range v[1:] {
+		if b := math.Float64bits(x); b == cur {
+			cnt++
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, cur)
+		buf = binary.LittleEndian.AppendUint32(buf, cnt)
+		cur, cnt = math.Float64bits(x), 1
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, cur)
+	buf = binary.LittleEndian.AppendUint32(buf, cnt)
+	return buf
+}
+
+// encodeStrCol writes one string column: raw, a per-batch sorted dictionary
+// with bit-packed codes, or RLE — whichever models smallest.
+func encodeStrCol(buf []byte, v []string) []byte {
+	n := len(v)
+	if n == 0 {
+		return append(buf, wireRaw)
+	}
+	rawB, rleB := 0, 0
+	distinct := make(map[string]uint32, 64)
+	for i, s := range v {
+		rawB += 4 + len(s)
+		if i == 0 || s != v[i-1] {
+			rleB += 8 + len(s)
+		}
+		distinct[s] = 0
+	}
+	dict := make([]string, 0, len(distinct))
+	dictB := 4 + 1
+	for s := range distinct {
+		dict = append(dict, s)
+		dictB += 4 + len(s)
+	}
+	sort.Strings(dict)
+	bitw := uint8(bits.Len(uint(len(dict) - 1)))
+	dictB += BitPackLen(n, bitw)
+	tag, best := wireRaw, rawB
+	if dictB < best {
+		tag, best = wireDict, dictB
+	}
+	if rleB < best {
+		tag = wireRLE
+	}
+	buf = append(buf, byte(tag))
+	switch tag {
+	case wireRaw:
+		for _, s := range v {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+	case wireRLE:
+		appendRun := func(s string, cnt uint32) {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+			buf = binary.LittleEndian.AppendUint32(buf, cnt)
+		}
+		runs := uint32(1)
+		for i := 1; i < n; i++ {
+			if v[i] != v[i-1] {
+				runs++
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, runs)
+		cur, cnt := v[0], uint32(1)
+		for _, s := range v[1:] {
+			if s == cur {
+				cnt++
+				continue
+			}
+			appendRun(cur, cnt)
+			cur, cnt = s, 1
+		}
+		appendRun(cur, cnt)
+	case wireDict:
+		for code, s := range dict {
+			distinct[s] = uint32(code)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dict)))
+		for _, s := range dict {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+		buf = append(buf, bitw)
+		off := len(buf)
+		buf = append(buf, make([]byte, BitPackLen(n, bitw))...)
+		for i, s := range v {
+			BitPackPut(buf[off:], i, bitw, uint64(distinct[s]))
 		}
 	}
 	return buf
@@ -56,7 +281,10 @@ func (b *Batch) Encode(buf []byte) []byte {
 
 // DecodeBatch decodes one batch from the front of data, returning the batch
 // and the number of bytes consumed. The decoded batch owns its memory (no
-// aliasing of data for scalar columns; string bytes are copied).
+// aliasing of data for scalar columns; string bytes are copied). Lengths and
+// run counts from the wire are validated against the remaining bytes before
+// they size any allocation, and run totals and dictionary codes are checked,
+// so a garbage frame errors instead of panicking or over-allocating.
 func DecodeBatch(data []byte) (*Batch, int, error) {
 	pos := 0
 	need := func(n int) error {
@@ -76,56 +304,243 @@ func DecodeBatch(data []byte) (*Batch, int, error) {
 	pos += 2
 	b := &Batch{Cols: make([]*Vector, ncols), GroupID: gid, Grouped: grouped}
 	for i := 0; i < ncols; i++ {
-		if err := need(1 + 4); err != nil {
+		if err := need(1 + 4 + 1); err != nil {
 			return nil, 0, err
 		}
 		kind := Kind(data[pos])
 		pos++
 		n := int(binary.LittleEndian.Uint32(data[pos:]))
 		pos += 4
-		// The remaining data bounds any honest row count (8 bytes per
-		// scalar, at least 4 per string), so a wire-supplied count is
-		// validated before it sizes an allocation — a garbage frame cannot
-		// make the decoder reserve gigabytes.
-		switch kind {
-		case Int64, Float64:
-			if err := need(8 * n); err != nil {
-				return nil, 0, err
-			}
-		case String:
-			if err := need(4 * n); err != nil {
-				return nil, 0, err
-			}
+		tag := data[pos]
+		pos++
+		if n > maxWireRows {
+			return nil, 0, fmt.Errorf("vector: batch column %d declares %d rows (limit %d)", i, n, maxWireRows)
 		}
-		v := NewVector(kind, n)
 		switch kind {
-		case Int64:
-			for j := 0; j < n; j++ {
-				v.I64 = append(v.I64, int64(binary.LittleEndian.Uint64(data[pos:])))
-				pos += 8
-			}
-		case Float64:
-			for j := 0; j < n; j++ {
-				v.F64 = append(v.F64, math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])))
-				pos += 8
-			}
-		case String:
-			for j := 0; j < n; j++ {
-				if err := need(4); err != nil {
-					return nil, 0, err
-				}
-				sl := int(binary.LittleEndian.Uint32(data[pos:]))
-				pos += 4
-				if err := need(sl); err != nil {
-					return nil, 0, err
-				}
-				v.Str = append(v.Str, string(data[pos:pos+sl]))
-				pos += sl
-			}
+		case Int64, Float64, String:
 		default:
 			return nil, 0, fmt.Errorf("vector: batch encoding has unknown column kind %d", kind)
+		}
+		v := NewVector(kind, n)
+		var err error
+		switch {
+		case tag == wireRaw:
+			pos, err = decodeRawCol(data, pos, v, n)
+		case tag == wireRLE:
+			pos, err = decodeRLECol(data, pos, v, n)
+		case tag == wireFOR && kind == Int64:
+			pos, err = decodeFORCol(data, pos, v, n)
+		case tag == wireDict && kind == String:
+			pos, err = decodeDictCol(data, pos, v, n)
+		default:
+			return nil, 0, fmt.Errorf("vector: batch column %d has invalid encoding tag %d for kind %v", i, tag, kind)
+		}
+		if err != nil {
+			return nil, 0, err
 		}
 		b.Cols[i] = v
 	}
 	return b, pos, nil
+}
+
+// decodeRawCol reads a raw-tagged column payload, bulk-decoding scalars.
+func decodeRawCol(data []byte, pos int, v *Vector, n int) (int, error) {
+	need := func(k int) error {
+		if len(data)-pos < k {
+			return fmt.Errorf("vector: truncated batch encoding at byte %d (need %d of %d)", pos, k, len(data))
+		}
+		return nil
+	}
+	switch v.Kind {
+	case Int64:
+		if err := need(8 * n); err != nil {
+			return pos, err
+		}
+		v.I64 = v.I64[:n]
+		for j := range v.I64 {
+			v.I64[j] = int64(binary.LittleEndian.Uint64(data[pos+8*j:]))
+		}
+		pos += 8 * n
+	case Float64:
+		if err := need(8 * n); err != nil {
+			return pos, err
+		}
+		v.F64 = v.F64[:n]
+		for j := range v.F64 {
+			v.F64[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8*j:]))
+		}
+		pos += 8 * n
+	case String:
+		if err := need(4 * n); err != nil {
+			return pos, err
+		}
+		for j := 0; j < n; j++ {
+			if err := need(4); err != nil {
+				return pos, err
+			}
+			sl := int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+			if err := need(sl); err != nil {
+				return pos, err
+			}
+			v.Str = append(v.Str, string(data[pos:pos+sl]))
+			pos += sl
+		}
+	}
+	return pos, nil
+}
+
+// decodeRLECol reads an RLE-tagged column payload. Run lengths must sum to
+// exactly the declared row count.
+func decodeRLECol(data []byte, pos int, v *Vector, n int) (int, error) {
+	need := func(k int) error {
+		if len(data)-pos < k {
+			return fmt.Errorf("vector: truncated batch encoding at byte %d (need %d of %d)", pos, k, len(data))
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return pos, err
+	}
+	runs := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	perRun := 12 // value + count for scalars; len + count minimum for strings
+	if v.Kind == String {
+		perRun = 8
+	}
+	if err := need(perRun * runs); err != nil {
+		return pos, err
+	}
+	total := 0
+	for r := 0; r < runs; r++ {
+		var cnt int
+		switch v.Kind {
+		case Int64:
+			val := int64(binary.LittleEndian.Uint64(data[pos:]))
+			cnt = int(binary.LittleEndian.Uint32(data[pos+8:]))
+			pos += 12
+			if total+cnt > n {
+				break
+			}
+			for k := 0; k < cnt; k++ {
+				v.I64 = append(v.I64, val)
+			}
+		case Float64:
+			val := math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			cnt = int(binary.LittleEndian.Uint32(data[pos+8:]))
+			pos += 12
+			if total+cnt > n {
+				break
+			}
+			for k := 0; k < cnt; k++ {
+				v.F64 = append(v.F64, val)
+			}
+		case String:
+			if err := need(4); err != nil {
+				return pos, err
+			}
+			sl := int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+			if err := need(sl + 4); err != nil {
+				return pos, err
+			}
+			val := string(data[pos : pos+sl])
+			pos += sl
+			cnt = int(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+			if total+cnt > n {
+				break
+			}
+			for k := 0; k < cnt; k++ {
+				v.Str = append(v.Str, val)
+			}
+		}
+		total += cnt
+	}
+	if total != n {
+		return pos, fmt.Errorf("vector: rle column runs cover %d of %d declared rows", total, n)
+	}
+	return pos, nil
+}
+
+// decodeFORCol reads a frame-of-reference int64 column payload.
+func decodeFORCol(data []byte, pos int, v *Vector, n int) (int, error) {
+	need := func(k int) error {
+		if len(data)-pos < k {
+			return fmt.Errorf("vector: truncated batch encoding at byte %d (need %d of %d)", pos, k, len(data))
+		}
+		return nil
+	}
+	if err := need(9); err != nil {
+		return pos, err
+	}
+	base := binary.LittleEndian.Uint64(data[pos:])
+	bitw := data[pos+8]
+	pos += 9
+	if bitw > 64 {
+		return pos, fmt.Errorf("vector: for column has bit width %d", bitw)
+	}
+	packed := BitPackLen(n, bitw)
+	if err := need(packed); err != nil {
+		return pos, err
+	}
+	v.I64 = v.I64[:n]
+	for j := range v.I64 {
+		v.I64[j] = int64(base + BitPackGet(data[pos:], j, bitw))
+	}
+	pos += packed
+	return pos, nil
+}
+
+// decodeDictCol reads a dictionary string column payload, validating every
+// code against the dictionary size.
+func decodeDictCol(data []byte, pos int, v *Vector, n int) (int, error) {
+	need := func(k int) error {
+		if len(data)-pos < k {
+			return fmt.Errorf("vector: truncated batch encoding at byte %d (need %d of %d)", pos, k, len(data))
+		}
+		return nil
+	}
+	if err := need(4); err != nil {
+		return pos, err
+	}
+	dn := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if err := need(4 * dn); err != nil {
+		return pos, err
+	}
+	dict := make([]string, 0, dn)
+	for j := 0; j < dn; j++ {
+		if err := need(4); err != nil {
+			return pos, err
+		}
+		sl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if err := need(sl); err != nil {
+			return pos, err
+		}
+		dict = append(dict, string(data[pos:pos+sl]))
+		pos += sl
+	}
+	if err := need(1); err != nil {
+		return pos, err
+	}
+	bitw := data[pos]
+	pos++
+	if bitw > 64 {
+		return pos, fmt.Errorf("vector: dict column has code bit width %d", bitw)
+	}
+	packed := BitPackLen(n, bitw)
+	if err := need(packed); err != nil {
+		return pos, err
+	}
+	for j := 0; j < n; j++ {
+		code := BitPackGet(data[pos:], j, bitw)
+		if code >= uint64(dn) {
+			return pos, fmt.Errorf("vector: dict column code %d outside dictionary of %d", code, dn)
+		}
+		v.Str = append(v.Str, dict[code])
+	}
+	pos += packed
+	return pos, nil
 }

@@ -105,3 +105,136 @@ func TestBatchCodecTruncation(t *testing.T) {
 		}
 	}
 }
+
+// encodingBatch builds a batch whose columns each force a specific wire
+// encoding: long int runs (RLE), a narrow int range (FOR), repeated strings
+// (dict), constant floats (RLE on bits), plus incompressible noise columns
+// that must fall back to raw.
+func encodingBatch(n int) *Batch {
+	b := NewBatch([]Kind{Int64, Int64, Int64, Float64, String, String})
+	for i := 0; i < n; i++ {
+		b.Cols[0].AppendInt64(int64(i / 64))                                                                             // runs → RLE
+		b.Cols[1].AppendInt64(1_000_000 + int64(i%97))                                                                   // narrow → FOR
+		b.Cols[2].AppendInt64(int64(uint64(i)*0x9e3779b97f4a7c15) - 3)                                                   // noise → raw
+		b.Cols[3].AppendFloat64(2.25)                                                                                    // constant → RLE
+		b.Cols[4].AppendString([]string{"auto", "house", "tools"}[i%3])                                                  // dict
+		b.Cols[5].AppendString(string(rune('a'+i%26)) + "-" + string(rune('0'+i%10)) + "x" + string(rune('A'+(i/7)%26))) // high-card
+	}
+	return b
+}
+
+// TestBatchCodecCompresses checks the tagged encodings pay off on the wire:
+// compressible batches encode strictly below their raw wire size, the
+// savings meter's baseline RawWireSize matches the actual raw form, and the
+// compressed form still round-trips bit-exactly.
+func TestBatchCodecCompresses(t *testing.T) {
+	b := encodingBatch(2048)
+	enc := b.Encode(nil)
+	if len(enc) >= b.RawWireSize() {
+		t.Fatalf("encoded %d bytes, raw wire size %d — compression never engaged", len(enc), b.RawWireSize())
+	}
+	got, n, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) || got.Len() != b.Len() {
+		t.Fatalf("decoded %d bytes of %d, %d rows of %d", n, len(enc), got.Len(), b.Len())
+	}
+	for c := range b.Cols {
+		for i := 0; i < b.Len(); i++ {
+			switch b.Cols[c].Kind {
+			case Int64:
+				if got.Cols[c].I64[i] != b.Cols[c].I64[i] {
+					t.Fatalf("col %d row %d: %d != %d", c, i, got.Cols[c].I64[i], b.Cols[c].I64[i])
+				}
+			case Float64:
+				if math.Float64bits(got.Cols[c].F64[i]) != math.Float64bits(b.Cols[c].F64[i]) {
+					t.Fatalf("col %d row %d: float bits differ", c, i)
+				}
+			case String:
+				if got.Cols[c].Str[i] != b.Cols[c].Str[i] {
+					t.Fatalf("col %d row %d: %q != %q", c, i, got.Cols[c].Str[i], b.Cols[c].Str[i])
+				}
+			}
+		}
+	}
+	// An incompressible batch's raw fallback stays within a tag byte per
+	// column of the raw wire size.
+	noise := NewBatch([]Kind{Int64})
+	for i := 0; i < 512; i++ {
+		noise.Cols[0].AppendInt64(int64(uint64(i)*0x9e3779b97f4a7c15) + int64(i<<7))
+	}
+	if enc := noise.Encode(nil); len(enc) > noise.RawWireSize() {
+		t.Fatalf("incompressible batch encoded to %d bytes, raw wire size %d", len(enc), noise.RawWireSize())
+	}
+}
+
+// TestBatchCodecTruncationAllEncodings re-runs the every-prefix truncation
+// property against a batch that exercises RLE, FOR, dict and raw columns
+// together, so each tag's decoder proves its bounds checks.
+func TestBatchCodecTruncationAllEncodings(t *testing.T) {
+	enc := encodingBatch(300).Encode(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeBatch(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(enc))
+		}
+	}
+}
+
+// TestBatchCodecCorruption flips the tag and header bytes of a valid
+// encoding: decoding must error out (or decode fully within bounds), never
+// panic or read past the buffer.
+func TestBatchCodecCorruption(t *testing.T) {
+	enc := encodingBatch(300).Encode(nil)
+	for pos := 0; pos < len(enc); pos++ {
+		for _, bit := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), enc...)
+			mut[pos] ^= bit
+			b, n, err := DecodeBatch(mut) // must not panic
+			if err == nil && (n > len(mut) || b == nil) {
+				t.Fatalf("corruption at %d consumed %d of %d bytes", pos, n, len(mut))
+			}
+		}
+	}
+}
+
+func BenchmarkBatchEncode(b *testing.B) {
+	batch := encodingBatch(BatchSize)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = batch.Encode(buf[:0])
+	}
+	b.SetBytes(int64(batch.RawWireSize()))
+}
+
+func BenchmarkBatchDecode(b *testing.B) {
+	enc := encodingBatch(BatchSize).Encode(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeBatch(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(enc)))
+}
+
+// BenchmarkBatchCodecRaw measures the bulk raw path alone (incompressible
+// data): this is the whole-slice copy fast path of the codec.
+func BenchmarkBatchCodecRaw(b *testing.B) {
+	batch := NewBatch([]Kind{Int64, Float64})
+	for i := 0; i < BatchSize; i++ {
+		batch.Cols[0].AppendInt64(int64(uint64(i)*0x9e3779b97f4a7c15) + 1)
+		batch.Cols[1].AppendFloat64(float64(i) * 1.0000001)
+	}
+	enc := batch.Encode(nil)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = batch.Encode(buf[:0])
+		if _, _, err := DecodeBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
