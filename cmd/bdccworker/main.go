@@ -9,12 +9,18 @@
 // Usage:
 //
 //	bdccworker [-listen :4710] [-workers N] [-auth-token SECRET]
-//	           [-drain-timeout 30s] [-v]
+//	           [-part-limit-mb N] [-drain-timeout 30s] [-v]
 //
 // Point a query at one or more daemons with tpchbench -remotes
 // host:port,host:port — results are byte-identical to the single-box run;
 // if a worker dies mid-query its units fail over to the survivors, and a
-// restarted worker is re-admitted by the queries' health probers. See
+// restarted worker is re-admitted by the queries' health probers. With
+// tpchbench -partition, each query additionally ships this daemon its
+// partition of every scatter-scanned base table at setup and the daemon
+// serves scan units from that local copy (docs/PARTITIONING.md); the
+// -part-limit-mb knob caps the decoded bytes a session may park in shipped
+// partitions — an over-limit table fails its scans (the query re-scans
+// those units on the coordinator) without dropping the session. See
 // docs/OPERATIONS.md for deployment, failover behavior, and metering.
 package main
 
@@ -36,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", engine.DefaultWorkers(), "scheduler pool goroutines")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "bound on the shutdown drain; sessions still running after it are abandoned (0 waits forever)")
 	token := flag.String("auth-token", "", "shared secret sessions must present in their hello (constant-time compare; mismatch drops the connection)")
+	partLimit := flag.Int64("part-limit-mb", 0, "cap in MB on decoded shipped-partition bytes per session (0 = unlimited); over-limit tables fail their scans back to the coordinator")
 	verbose := flag.Bool("v", false, "log a status line per completed unit batch (every 1000 units)")
 	flag.Parse()
 
@@ -45,6 +52,7 @@ func main() {
 	}
 	srv := shard.NewServer(*workers)
 	srv.SetAuthToken(*token)
+	srv.SetPartLimit(*partLimit << 20)
 	if *verbose {
 		srv.OnUnitDone = func(total int64) {
 			if total%1000 == 0 {

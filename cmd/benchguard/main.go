@@ -9,7 +9,8 @@
 //
 //	benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P]
 //	           [-downs-min N] [-readmits-min N] [-concurrency-expected N]
-//	           [-compression-expected 0|1]
+//	           [-compression-expected 0|1] [-partition-expected N]
+//	           [-partition-baseline SINGLE_BOX.json]
 //	           BENCH_tpch.json
 //
 // Checks:
@@ -47,7 +48,22 @@
 //     well-formed record per scheme (clients, requests, qps, latency
 //     quantiles, admission counters, no errors); -concurrency-expected N
 //     additionally fails the gate unless the leg exists, covers all three
-//     schemes with N clients each, and recorded real throughput.
+//     schemes with N clients each, and recorded real throughput;
+//   - the shared-nothing leg: worker_mb_read may only appear on BDCC cells
+//     of a partitioned grid, carries one slot per worker with a positive
+//     total (worker_device_ms, when present, the same slot count), and a
+//     partitioned grid must have at least one such cell;
+//     -partition-expected N fails the gate unless the grid ran partitioned
+//     over exactly N workers; -partition-baseline names the single-box grid
+//     of the same scale factor and gates the headline claim: per query,
+//     each worker's local scan volume must stay within slack of its 1/N
+//     share of the single-box mb_read (single/N × partSlack + partFloorMB —
+//     the placement balances to total/N plus one cell, shipped scans forgo
+//     predicate pushdown, and tiny grids read at page granularity, hence
+//     slack plus a floor rather than equality), and in aggregate each
+//     worker's total across all partitioned queries must stay below
+//     partAggFrac of the summed single-box volume, which is what proves the
+//     scans were divided rather than replicated.
 //
 // The file is decoded into generic JSON, not the tpch structs, so a field
 // rename in the producer cannot silently satisfy the guard.
@@ -67,6 +83,23 @@ var requiredCell = []string{"scheme", "query", "rows", "device_ms", "mb_read", "
 
 var schemes = []string{"plain", "pk", "bdcc"}
 
+// Partition-baseline bounds. Per query, a worker may read up to its 1/N
+// share of the single-box scan volume times partSlack, plus partFloorMB:
+// the placement balances by cumulative rows with a worst case of total/N
+// plus one z-order cell, shipped scans read without predicate pushdown
+// (layout-dependent, so the coordinator's lazy-materialization savings
+// don't transfer), and smoke-scale grids read whole pages of sub-page
+// scans — hence slack plus a floor, not equality. The division claim
+// itself is gated in aggregate, where page rounding and pushdown loss
+// amortize: each worker's summed MB across all partitioned queries must
+// stay below partAggFrac of the summed single-box volume of those same
+// queries.
+const (
+	partSlack   = 1.5
+	partFloorMB = 1.0
+	partAggFrac = 0.95
+)
+
 func main() {
 	shardsExpected := flag.Int("shards-expected", -1, "fail unless the grid's shards knob equals this (-1 skips)")
 	remotesExpected := flag.Int("remotes-expected", -1, "fail unless the grid ran against this many bdccworker daemons (-1 skips)")
@@ -75,19 +108,21 @@ func main() {
 	readmitsMin := flag.Int("readmits-min", -1, "fail unless mid-query re-admissions summed across the grid reach this (-1 skips)")
 	concExpected := flag.Int("concurrency-expected", -1, "fail unless the grid carries a concurrency leg of this many clients per scheme (-1 skips)")
 	compExpected := flag.Int("compression-expected", -1, "fail unless the grid ran with compression on (1) or off (0) and the section proves it (-1 skips)")
+	partExpected := flag.Int("partition-expected", -1, "fail unless the grid ran shared-nothing partitioned over this many workers (-1 skips)")
+	partBaseline := flag.String("partition-baseline", "", "single-box grid JSON; fail unless every partitioned worker's per-query mb_read stays within slack of its 1/N share (empty skips)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] [-concurrency-expected N] [-compression-expected 0|1] BENCH_tpch.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] [-concurrency-expected N] [-compression-expected 0|1] [-partition-expected N] [-partition-baseline SINGLE_BOX.json] BENCH_tpch.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin, *concExpected, *compExpected); err != nil {
+	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin, *concExpected, *compExpected, *partExpected, *partBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: grid OK")
 }
 
-func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin, concExpected, compExpected int) error {
+func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin, concExpected, compExpected, partExpected int, partBaseline string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -125,13 +160,28 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if balanceExpected != "" && balance != balanceExpected {
 		return fmt.Errorf("grid ran with balance=%s, expected %s", balance, balanceExpected)
 	}
+	partition, _ := top["partition"].(bool)
+	if partExpected >= 0 {
+		if !partition {
+			return fmt.Errorf("grid did not run partitioned, expected shared-nothing over %d workers", partExpected)
+		}
+		if int(shards) != partExpected {
+			return fmt.Errorf("partitioned grid ran over %d workers, expected %d", int(shards), partExpected)
+		}
+	}
+	baseMB, err := loadBaselineMB(partBaseline)
+	if err != nil {
+		return err
+	}
 	queries, ok := top["queries"].([]any)
 	if !ok || len(queries) == 0 {
 		return fmt.Errorf("grid has no queries array")
 	}
 
 	seen := make(map[string]bool)
-	netCells := 0
+	netCells, partCells := 0, 0
+	workerMB := make([]float64, int(shards))
+	var partBaseSum float64
 	var downsTotal, readmitsTotal float64
 	for i, qa := range queries {
 		cell, ok := qa.(map[string]any)
@@ -220,6 +270,54 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 				}
 			}
 		}
+		if rawMB, ok := cell["worker_mb_read"]; ok {
+			if !partition {
+				return fmt.Errorf("%s reports worker_mb_read but the grid did not run partitioned", key)
+			}
+			if cell["scheme"] != "bdcc" {
+				return fmt.Errorf("%s reports worker_mb_read but only BDCC has scatter scans to partition", key)
+			}
+			arr, ok := rawMB.([]any)
+			if !ok || len(arr) != int(shards) {
+				return fmt.Errorf("%s carries a malformed worker_mb_read (want %d slots): %v", key, int(shards), rawMB)
+			}
+			var sum, base float64
+			if baseMB != nil {
+				if base, ok = baseMB[fmt.Sprint(cell["query"])]; !ok || base <= 0 {
+					return fmt.Errorf("%s: partition baseline has no single-box mb_read for this query", key)
+				}
+				partBaseSum += base
+			}
+			for w, v := range arr {
+				n, ok := v.(float64)
+				if !ok || n < 0 {
+					return fmt.Errorf("%s: worker_mb_read[%d] = %v is not a non-negative number", key, w, v)
+				}
+				sum += n
+				workerMB[w] += n
+				if baseMB != nil {
+					if limit := base/shards*partSlack + partFloorMB; n > limit {
+						return fmt.Errorf("%s: worker %d read %.3f MB, above its 1/N bound %.3f MB (single-box %.3f MB over %d workers) — partitioning stopped dividing the scan",
+							key, w, n, limit, base, int(shards))
+					}
+				}
+			}
+			if sum <= 0 {
+				return fmt.Errorf("%s carries worker_mb_read slots but no worker read anything", key)
+			}
+			if rawMS, ok := cell["worker_device_ms"]; ok {
+				ms, ok := rawMS.([]any)
+				if !ok || len(ms) != int(shards) {
+					return fmt.Errorf("%s carries a malformed worker_device_ms (want %d slots): %v", key, int(shards), rawMS)
+				}
+				for w, v := range ms {
+					if n, ok := v.(float64); !ok || n < 0 {
+						return fmt.Errorf("%s: worker_device_ms[%d] = %v is not a non-negative number", key, w, v)
+					}
+				}
+			}
+			partCells++
+		}
 	}
 	for _, s := range schemes {
 		for q := 1; q <= 22; q++ {
@@ -235,6 +333,17 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if int(shards) >= 2 && netCells == 0 {
 		return fmt.Errorf("sharded grid (shards=%d) records no transport activity on any BDCC cell", int(shards))
 	}
+	if partition && partCells == 0 {
+		return fmt.Errorf("partitioned grid records worker-local scan reads on no BDCC cell — the shared-nothing path went unexercised")
+	}
+	if baseMB != nil && partCells > 0 {
+		for w, mb := range workerMB {
+			if mb >= partAggFrac*partBaseSum {
+				return fmt.Errorf("worker %d read %.3f MB across the partitioned queries, not below %.0f%% of their %.3f MB single-box total — the scans were replicated, not divided",
+					w, mb, partAggFrac*100, partBaseSum)
+			}
+		}
+	}
 	if downsMin >= 0 && downsTotal < float64(downsMin) {
 		return fmt.Errorf("grid records %d backend down transitions, expected at least %d — the chaos restart left no trace", int(downsTotal), downsMin)
 	}
@@ -249,9 +358,45 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s, %d cells, %d with transport activity, %d downs, %d readmits, %d concurrency records, %d compression records\n",
-		sf, int(workers), int(shards), int(remotes), balance, len(seen), netCells, int(downsTotal), int(readmitsTotal), concCells, compRecords)
+	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s partition=%v, %d cells, %d with transport activity, %d partitioned, %d downs, %d readmits, %d concurrency records, %d compression records\n",
+		sf, int(workers), int(shards), int(remotes), balance, partition, len(seen), netCells, partCells, int(downsTotal), int(readmitsTotal), concCells, compRecords)
 	return nil
+}
+
+// loadBaselineMB reads the single-box grid named by the -partition-baseline
+// flag and returns its BDCC mb_read per query name. An empty path returns
+// nil (no baseline gating); a malformed baseline fails the gate — a broken
+// reference grid must not silently disable the headline check.
+func loadBaselineMB(path string) (map[string]float64, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("partition baseline: %w", err)
+	}
+	var top map[string]any
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return nil, fmt.Errorf("partition baseline %s: %w", path, err)
+	}
+	queries, ok := top["queries"].([]any)
+	if !ok || len(queries) == 0 {
+		return nil, fmt.Errorf("partition baseline %s has no queries array", path)
+	}
+	base := make(map[string]float64)
+	for _, qa := range queries {
+		cell, ok := qa.(map[string]any)
+		if !ok || cell["scheme"] != "bdcc" {
+			continue
+		}
+		if mb, ok := cell["mb_read"].(float64); ok {
+			base[fmt.Sprint(cell["query"])] = mb
+		}
+	}
+	if len(base) == 0 {
+		return nil, fmt.Errorf("partition baseline %s carries no BDCC mb_read cells", path)
+	}
+	return base, nil
 }
 
 // checkCompression validates the compression section of the grid. With

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tpchbench [-sf 0.05] [-workers N] [-shards N] [-remotes host:port,...]
-//	          [-balance hash|size] [-probe-base D] [-probe-max D]
+//	          [-partition] [-balance hash|size] [-probe-base D] [-probe-max D]
 //	          [-clients N] [-rounds N] [-daemon host:port] [-pools N]
 //	          [-auth-token SECRET] [-compress=false]
 //	          [-v] [-explain] [-orderings] [-json BENCH_tpch.json]
@@ -29,7 +29,17 @@
 // -probe-base / -probe-max) and re-admits it once it answers.
 // The -balance knob picks the group-placement policy: "hash" (default)
 // places groups by group-id hash, "size" places each group on the backend
-// with the least cumulative routed bytes. The -v flag prints the per-scheme
+// with the least cumulative routed bytes.
+//
+// The -partition knob (requires -shards ≥ 2 or -remotes) turns the workers
+// shared-nothing: each query partitions its scatter-scanned base tables
+// across the workers by BDCC cell blocks, ships every worker its partition
+// at setup, and lowers scatter scans to shipped row-range units that read
+// from worker-local storage (docs/PARTITIONING.md). Results stay
+// byte-identical — including runs where a worker dies mid-scan and its
+// units re-scan on the coordinator's copy — and each worker's local scan
+// volume appears per query as worker_mb_read in the JSON grid, at roughly
+// 1/N of the single-box mb_read. The -v flag prints the per-scheme
 // scheduler activity (tasks, steals, idle time, hidden I/O, network
 // messages, per-backend routed units). The -json flag additionally writes
 // the full measurement grid (per-query device-ms, MB-read, peak-MB per
@@ -74,6 +84,7 @@ func main() {
 	shards := flag.Int("shards", 1, "backends to shard BDCC group streams across (1 = single-box)")
 	remotes := flag.String("remotes", "", "comma-separated bdccworker addresses (host:port); replaces simulated backends")
 	balance := flag.String("balance", "hash", "group placement policy: hash | size")
+	partition := flag.Bool("partition", false, "partition base tables across the workers and ship scatter scans (shared-nothing; needs -shards ≥ 2 or -remotes)")
 	workerToken := flag.String("worker-token", "", "shared secret presented to the bdccworker daemons of -remotes")
 	probeBase := flag.Duration("probe-base", 0, "first reconnect backoff of the worker health prober (0 = default)")
 	probeMax := flag.Duration("probe-max", 0, "reconnect backoff cap of the worker health prober (0 = default)")
@@ -98,6 +109,9 @@ func main() {
 			remoteAddrs = append(remoteAddrs, a)
 		}
 	}
+	if *partition && *shards < 2 && len(remoteAddrs) == 0 {
+		fatal(fmt.Errorf("-partition needs workers to partition across: set -shards ≥ 2 or -remotes"))
+	}
 
 	if len(remoteAddrs) > 0 {
 		fmt.Printf("generating TPC-H SF%g and materializing plain/pk/bdcc schemes (workers=%d remotes=%v balance=%s)...\n",
@@ -114,6 +128,7 @@ func main() {
 	b.Shards = *shards
 	b.Remotes = remoteAddrs
 	b.Balance = *balance
+	b.Partition = *partition
 	b.AuthToken = *workerToken
 	b.ProbeBase = *probeBase
 	b.ProbeMax = *probeMax

@@ -69,25 +69,34 @@
 // on, instead of running it on the local pool. The contract extends as
 // follows:
 //
-//   - A Fragment (fragment.go) is the complete group-join configuration:
-//     input schemas, join keys, join type, and residual. Fragment.Run
-//     touches only its unit, per-call state, and the fragment's frozen
-//     bound state (read-only after Prepare), so it runs identically on a
-//     local pool task, an in-process simulated remote, or a bdccworker
-//     daemon that received the fragment over the wire. Hash-table memory is
-//     metered on the box that builds it (the fragment's Mem hook): the
-//     query's tracker locally, the worker's tracker remotely.
-//   - Backends invoke emit sequentially per unit and done exactly once;
-//     emitted batches must not share memory with the shipped unit. The
-//     exchange registers every shipped unit (beginJob) and close joins all
-//     done callbacks, so an abandoned consumer leaves no in-flight units,
+//   - A Fragment (fragment.go) is the complete per-operator configuration:
+//     for the group join, input schemas, join keys, join type, and
+//     residual; for the partitioned scatter scan, the table name, output
+//     schema, and filter. Fragment.Run touches only its unit, per-call
+//     state, and the fragment's frozen bound state (read-only after
+//     Prepare), so it runs identically on a local pool task, an in-process
+//     simulated remote, or a bdccworker daemon that received the fragment
+//     over the wire. Hash-table memory is metered on the box that builds it
+//     (the fragment's Mem hook): the query's tracker locally, the worker's
+//     tracker remotely; scan device reads likewise charge the box that
+//     performs them (the fragment's Acct locally, per-unit ScanStats
+//     reported in done frames remotely).
+//   - Units come in two shapes (backend.go): join units carry a group's
+//     cloned batches to whichever backend the router picks; scan units
+//     carry only row ranges, pinned to the worker holding the table
+//     partition the planner shipped there (Context.Partition). Backends
+//     invoke emit sequentially per unit and done exactly once; emitted
+//     batches must not share memory with the shipped unit. The exchange
+//     registers every shipped unit (beginJob) and close joins all done
+//     callbacks, so an abandoned consumer leaves no in-flight units,
 //     goroutines, or accounted bytes behind — on either side of the
 //     transport.
 //   - The exchange merges backend results in group order exactly as it
 //     merges local task output, so results are byte-identical across shard
-//     counts, routing policies, and transports (the Shards knob's 0/1
-//     single-box setting preserves the paper's measurement setup outright),
-//     and a unit rerouted to a surviving backend after a worker failure
+//     counts, routing policies, transports, and data placement (the Shards
+//     knob's 0/1 single-box setting preserves the paper's measurement setup
+//     outright), and a unit rerouted after a worker failure — to a
+//     survivor for joins, to the coordinator's full table copy for scans —
 //     reproduces the same bytes the failed backend would have.
 package engine
 
@@ -171,8 +180,30 @@ type Context struct {
 	// FallbackUnits reports how many units ran on the coordinator's local
 	// fallback because no remote backend survived them; nil when single-box.
 	FallbackUnits func() int64
+	// Partition is the shared-nothing knob: with it set (and a backend set
+	// installed), the planner partitions each BDCC base table across the
+	// workers, ships every worker its partition once, and lowers scatter
+	// scans to placement-pinned scan units that stream from worker-local
+	// storage — the coordinator charges no device I/O for them and only
+	// merges the returned group batches. Ignored when single-box.
+	Partition bool
+	// WorkerIO reports the per-worker scan device reads of a partitioned
+	// query (index-aligned with the backend set), fed by the read stats the
+	// workers return in scan units' done frames; nil when not partitioned.
+	// Installed by the planner together with Backends.
+	WorkerIO func() []iosim.Stats
 
 	sched *Sched
+}
+
+// WorkerIOStats returns the per-worker scan device reads of a partitioned
+// query; nil when single-box or not partitioned. Like ShardLoads, it must
+// be read before CloseBackends.
+func (c *Context) WorkerIOStats() []iosim.Stats {
+	if c == nil || c.WorkerIO == nil {
+		return nil
+	}
+	return c.WorkerIO()
 }
 
 // ShardLoads returns the per-backend routed load of the query's backend
@@ -233,6 +264,7 @@ func (c *Context) CloseBackends() error {
 	c.Loads = nil
 	c.Health = nil
 	c.FallbackUnits = nil
+	c.WorkerIO = nil
 	return first
 }
 
@@ -287,6 +319,9 @@ type Options struct {
 	ProbeMax  time.Duration
 	// AuthToken is the shared secret for the workers' hello frames.
 	AuthToken string
+	// Partition is Context.Partition (worker-local base tables and shipped
+	// scatter scans; needs Shards ≥ 2 or Remotes).
+	Partition bool
 }
 
 // Apply copies the option set's knobs onto a context.
@@ -298,6 +333,7 @@ func (o Options) Apply(c *Context) {
 	c.ProbeBase = o.ProbeBase
 	c.ProbeMax = o.ProbeMax
 	c.AuthToken = o.AuthToken
+	c.Partition = o.Partition
 }
 
 // NewContext returns a context with fresh meters for the given device and

@@ -4,33 +4,77 @@ import (
 	"fmt"
 
 	"bdcc/internal/expr"
+	"bdcc/internal/iosim"
+	"bdcc/internal/storage"
 	"bdcc/internal/vector"
 )
 
-// Fragment is the sandwich plan fragment: the frozen group-join
-// configuration a backend needs to execute GroupUnits of one
-// SandwichHashJoin — input schemas, join keys, join type, and the residual
-// predicate. It is the unit of plan shipping: a remote backend receives the
-// fragment once at query setup (serialized by internal/shard's fragment
-// codec), Prepares it, and then executes every unit of that operator against
-// it, so only batch data crosses the wire per group.
+// FragKind discriminates what a shipped Fragment executes: the sandwich
+// group join (FragJoin, the original and zero-valued kind, so pre-v5 peers
+// and old call sites read unchanged) or a partitioned scatter scan
+// (FragScan), where units carry row ranges instead of batches and the
+// fragment streams pages from the execution site's local copy of the table.
+type FragKind uint8
+
+const (
+	// FragJoin runs the sandwich group join over the unit's batches.
+	FragJoin FragKind = iota
+	// FragScan scans the unit's row ranges from site-local table storage.
+	FragScan
+)
+
+// ScanTable is an execution site's resolution of a scan fragment's table: the
+// local stored copy and, when the copy is a shipped partition rather than the
+// full table, the mapping from coordinator row space to local row space. A
+// nil Map means identity (the site holds the full table at original offsets —
+// the coordinator itself, or its failover re-scan).
+type ScanTable struct {
+	Tab *storage.Table
+	Map func(storage.RowRange) (storage.RowRange, error)
+}
+
+// ScanSource resolves a table name to the execution site's local storage.
+// Each site installs its own: the planner resolves against the coordinator's
+// database, a worker daemon against the partitions shipped to its session.
+type ScanSource func(table string) (ScanTable, error)
+
+// Fragment is the shipped plan fragment: the frozen per-operator
+// configuration a backend needs to execute GroupUnits of one operator. For
+// the sandwich group join (FragJoin) that is input schemas, join keys, join
+// type, and the residual predicate; for the partitioned scatter scan
+// (FragScan) it is the table name, the output schema (whose column names are
+// the physical columns to read), and the scan filter carried in Residual. It
+// is the unit of plan shipping: a remote backend receives the fragment once
+// at query setup (serialized by internal/shard's fragment codec), Prepares
+// it, and then executes every unit of that operator against it, so only
+// batch data — or, for scans, only row ranges — crosses the wire per group.
 //
-// The first six fields fully describe the plan and are what the wire codec
-// carries. The remaining fields are execution-site state: Prepare derives
-// the bound form (key indexes, output schema, bound residual), and the
-// optional Mem/NoteGroup hooks meter whichever box the fragment runs on —
-// the query's trackers locally, the worker daemon's remotely, nil for none.
+// The wire fields (Kind through Residual) fully describe the plan and are
+// what the wire codec carries. The remaining fields are execution-site
+// state: Prepare derives the bound form (key indexes, output schema, bound
+// residual, resolved scan table), and the optional hooks meter whichever box
+// the fragment runs on — the query's trackers locally, the worker daemon's
+// remotely, nil for none.
 type Fragment struct {
+	// Kind selects the execution shape; the zero value is the group join.
+	Kind FragKind
+	// Table is the scanned base table's name (FragScan only); Prepare
+	// resolves it through Src at the execution site.
+	Table string
 	// Probe and Build are the probe-side (left) and build-side (right) input
-	// schemas; unit batches must conform to them.
+	// schemas; unit batches must conform to them. A scan fragment uses Probe
+	// as its output schema — the column names are the physical columns read
+	// from Table — and leaves Build empty.
 	Probe, Build expr.Schema
-	// ProbeKeys and BuildKeys are the equated join key columns, by name.
+	// ProbeKeys and BuildKeys are the equated join key columns, by name
+	// (FragJoin only).
 	ProbeKeys, BuildKeys []string
-	// Type is the join type.
+	// Type is the join type (FragJoin only).
 	Type JoinType
-	// Residual is the non-equi predicate evaluated over probe+build rows,
-	// nil for none. Prepare binds it against the combined schema, so a
-	// decoded (unbound) tree and the operator's already-bound tree are
+	// Residual is the non-equi predicate evaluated over probe+build rows for
+	// a join, or the scan filter evaluated over Probe rows for a scan; nil
+	// for none. Prepare binds it against the matching schema, so a decoded
+	// (unbound) tree and the operator's already-bound tree are
 	// interchangeable — binding resolves to the same indexes either way.
 	Residual expr.Expr
 
@@ -40,15 +84,29 @@ type Fragment struct {
 	Mem       *MemTracker
 	NoteGroup func(rows int64)
 
+	// Src resolves Table at the execution site (FragScan only; required
+	// before Prepare). Acct, when set, is charged the scan's modeled device
+	// reads — the coordinator's accountant on a local or fallback run, nil on
+	// a worker, where the site instead calls ScanStats per unit and reports
+	// the stats in the unit's done frame.
+	Src  ScanSource
+	Acct *iosim.Accountant
+
 	probeIdx, buildIdx []int
 	out                expr.Schema
 	prepared           bool
+	scanTab            *storage.Table
+	scanMap            func(storage.RowRange) (storage.RowRange, error)
+	scanIdx            []int
 }
 
 // Prepare derives the fragment's bound execution state: key indexes, the
 // output schema, and the bound residual. It must be called once before Run,
 // on the box that will run the fragment.
 func (f *Fragment) Prepare() error {
+	if f.Kind == FragScan {
+		return f.prepareScan()
+	}
 	var err error
 	f.probeIdx, err = keyIndexes(f.Probe, f.ProbeKeys)
 	if err != nil {
@@ -79,7 +137,44 @@ func (f *Fragment) Prepare() error {
 	return nil
 }
 
-// OutSchema returns the join's output schema. Only valid after Prepare.
+// prepareScan resolves the scan fragment against the execution site's local
+// storage: the table through Src, the physical column indexes from the Probe
+// schema's names, and the filter bound against Probe. The resolved kinds
+// must match the shipped schema — a partition shipped for a different build
+// of the table would silently produce garbage otherwise.
+func (f *Fragment) prepareScan() error {
+	if f.Src == nil {
+		return fmt.Errorf("engine: scan fragment for %q has no table source", f.Table)
+	}
+	st, err := f.Src(f.Table)
+	if err != nil {
+		return errOp("fragment scan source", err)
+	}
+	cols := make([]string, len(f.Probe))
+	for i, c := range f.Probe {
+		cols[i] = c.Name
+	}
+	schema, idx, err := resolveScanSchema(st.Tab, cols)
+	if err != nil {
+		return errOp("fragment scan columns", err)
+	}
+	for i, c := range schema {
+		if c.Kind != f.Probe[i].Kind {
+			return fmt.Errorf("engine: scan fragment column %q is %v locally, %v in plan", c.Name, c.Kind, f.Probe[i].Kind)
+		}
+	}
+	if f.Residual != nil {
+		if err := expr.Bind(f.Residual, f.Probe); err != nil {
+			return errOp("fragment scan filter", err)
+		}
+	}
+	f.scanTab, f.scanMap, f.scanIdx = st.Tab, st.Map, idx
+	f.out = f.Probe
+	f.prepared = true
+	return nil
+}
+
+// OutSchema returns the fragment's output schema. Only valid after Prepare.
 func (f *Fragment) OutSchema() expr.Schema { return f.out }
 
 // Run executes one group unit: build the group's private hash table from the
@@ -93,6 +188,9 @@ func (f *Fragment) OutSchema() expr.Schema { return f.out }
 func (f *Fragment) Run(g *GroupUnit, emit func(*vector.Batch)) error {
 	if !f.prepared {
 		return fmt.Errorf("engine: fragment run before Prepare")
+	}
+	if f.Kind == FragScan {
+		return f.runScan(g, emit)
 	}
 	buf := NewBuffer(f.Build)
 	table := newPartJoinTable(1)
@@ -216,6 +314,81 @@ func (f *Fragment) Run(g *GroupUnit, emit func(*vector.Batch)) error {
 		if out.Len() > 0 {
 			emit(out)
 		}
+	}
+	return nil
+}
+
+// ScanStats returns the modeled device-read stats — runs, pages, bytes —
+// one scan unit costs against the site's local copy of the table: the same
+// measure ChargeIO charges an accountant, computed without performing the
+// scan. A worker daemon calls it per unit and reports the stats in the
+// unit's done frame, which is how partitioned scans account device reads on
+// the box that actually performed them. Only valid on a prepared FragScan.
+func (f *Fragment) ScanStats(g *GroupUnit) (runs, pages, bytes int64, err error) {
+	if !f.prepared || f.Kind != FragScan {
+		return 0, 0, 0, fmt.Errorf("engine: scan stats on an unprepared or non-scan fragment")
+	}
+	ranges := g.ScanRanges
+	if f.scanMap != nil {
+		mapped := make(storage.RowRanges, len(ranges))
+		for i, r := range ranges {
+			m, merr := f.scanMap(r)
+			if merr != nil {
+				return 0, 0, 0, merr
+			}
+			mapped[i] = m
+		}
+		ranges = mapped
+	}
+	runs, pages, bytes = f.scanTab.ReadStats(f.scanIdx, ranges)
+	return runs, pages, bytes, nil
+}
+
+// runScan executes one scan unit: map the unit's coordinator row ranges into
+// the site's local row space (identity when the site holds the full table),
+// stream them through a reader, filter, and emit group-tagged batches. Range
+// lengths survive the mapping and the reader cuts batches only at range
+// boundaries and BatchSize steps, so a worker's local scan and the
+// coordinator's failover re-scan of the same unit produce identical batch
+// sequences — which is what lets the failover layer's delivered-prefix
+// replay splice a half-scanned unit without duplicating or reordering rows.
+// Predicate pushdown is deliberately absent here: pushed intervals prune by
+// encoded chunk layout, which differs between the coordinator's table and a
+// recompressed shipped partition, and the scan re-applies the full filter
+// anyway.
+func (f *Fragment) runScan(g *GroupUnit, emit func(*vector.Batch)) error {
+	ranges := g.ScanRanges
+	if f.scanMap != nil {
+		mapped := make(storage.RowRanges, len(ranges))
+		for i, r := range ranges {
+			m, err := f.scanMap(r)
+			if err != nil {
+				return err
+			}
+			mapped[i] = m
+		}
+		ranges = mapped
+	}
+	r := storage.NewReaderPush(f.scanTab, f.scanIdx, ranges, f.Acct, nil)
+	kinds := f.out.Kinds()
+	raw := vector.NewBatch(kinds)
+	var pred *vector.Vector
+	if f.Residual != nil {
+		pred = expr.NewScratch(vector.Int64)
+	}
+	for r.Next(raw) {
+		out := vector.NewBatch(kinds)
+		if f.Residual != nil {
+			filterInto(f.Residual, pred, raw, out)
+		} else {
+			out.AppendBatch(raw)
+		}
+		if out.Len() == 0 {
+			continue
+		}
+		out.Grouped = true
+		out.GroupID = g.GID
+		emit(out)
 	}
 	return nil
 }

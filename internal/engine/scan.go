@@ -290,6 +290,27 @@ func filterInto(pred expr.Expr, scratch *vector.Vector, in *vector.Batch, out *v
 	out.Grouped = in.Grouped
 }
 
+// PartScanUnit is one run of a partitioned scatter scan: the contiguous
+// slice of one group's row ranges owned by one worker. Units are listed in
+// (group, run) order, the order the exchange merges them back in, so the
+// partitioned stream is byte-identical to the single-box scan's.
+type PartScanUnit struct {
+	GID    uint64
+	Slot   int
+	Ranges storage.RowRanges
+}
+
+// PartScanPlan is the planner's lowering of a scatter scan onto a
+// partitioned backend set: the scan fragment (prepared query-side against
+// the coordinator's own table, which is what the failover re-scan runs),
+// the placement-pinned units, and the backends index-aligned with the
+// units' Slot fields.
+type PartScanPlan struct {
+	Frag     *Fragment
+	Units    []PartScanUnit
+	Backends []Backend
+}
+
 // GroupedScan is the BDCC scatter scan: it reads a BDCC table group by group
 // following a scatter plan, tagging every emitted batch with its group
 // identifier ("this scan adds an additional group identifier to the stream,
@@ -314,6 +335,14 @@ type GroupedScan struct {
 	// group ahead of its morsel tasks, overlapping the scattered reads with
 	// compute (iosim Submit/Wait).
 	Sched *Sched
+	// Part, when non-nil, moves the scan to the shared-nothing path: every
+	// unit streams from a worker's local partition through the plan's
+	// backends, the coordinator only merges the returned group-tagged
+	// batches, and no device I/O is charged query-side (the workers report
+	// their own reads in the units' done frames). Filter pushdown and the
+	// morsel path do not apply here — the fragment re-applies the full
+	// filter at the execution site.
+	Part *PartScanPlan
 
 	schema  expr.Schema
 	colIdx  []int
@@ -366,6 +395,12 @@ func (s *GroupedScan) Open(ctx *Context) error {
 	s.raw = vector.NewBatch(schema.Kinds())
 	s.out = vector.NewBatch(schema.Kinds())
 	s.gi = -1
+	if s.Part != nil {
+		// Shared-nothing: the units' pages are read on the workers, charged
+		// there and reported back per unit, so the coordinator charges
+		// nothing here.
+		return nil
+	}
 	if s.Sched != nil && s.Filter != nil {
 		var unitOf []int
 		var unitRanges []storage.RowRanges
@@ -394,8 +429,46 @@ func (s *GroupedScan) Open(ctx *Context) error {
 	return nil
 }
 
+// startPartScan starts the shared-nothing pipeline: a feeder streams the
+// plan's units to their pinned backends through a merge-only exchange sized
+// by the set's total worker parallelism, and nextBatch returns the merged
+// stream in unit order — (group, run) order, hence byte-identical to the
+// single-box scan.
+func (s *GroupedScan) startPartScan() *exchange {
+	p := s.Part
+	look := 0
+	for _, b := range p.Backends {
+		look += b.Workers()
+	}
+	ex := newExchange(s.ctx.Mem, nil, look+1)
+	ex.seal(len(p.Units))
+	ex.wg.Add(1)
+	go func() {
+		defer ex.wg.Done()
+		for i := range p.Units {
+			job, ok := ex.claim()
+			if !ok {
+				return
+			}
+			u := &p.Units[i]
+			ex.beginJob()
+			p.Backends[u.Slot].RunGroup(
+				&GroupUnit{GID: u.GID, ScanRanges: u.Ranges}, p.Frag,
+				func(b *vector.Batch) { ex.post(job, b) },
+				func(err error) { ex.finish(job, err) })
+		}
+	}()
+	return ex
+}
+
 // Next implements Operator.
 func (s *GroupedScan) Next() (*vector.Batch, error) {
+	if s.Part != nil {
+		if s.ex == nil {
+			s.ex = s.startPartScan()
+		}
+		return s.ex.nextBatch()
+	}
 	if s.morsels != nil {
 		if s.ex == nil {
 			s.ex = startMorselScan(s.ctx, s.Sched, s.BDCC.Data, s.colIdx, s.schema.Kinds(), s.Filter, s.Push, s.morsels, s.io)

@@ -124,6 +124,18 @@ func (a *Accountant) AddRun(pages, bytes int64) {
 	a.mu.Unlock()
 }
 
+// AddRuns records `runs` maximal runs covering `pages` pages totalling
+// `bytes` bytes in one call — the aggregated form worker-reported scan
+// stats arrive in (a partitioned scan's done frames carry per-unit totals,
+// not individual runs).
+func (a *Accountant) AddRuns(runs, pages, bytes int64) {
+	a.mu.Lock()
+	a.runs += runs
+	a.pages += pages
+	a.bytes += bytes
+	a.mu.Unlock()
+}
+
 // AddSaved records n bytes that compression removed from charged traffic:
 // the difference between the raw form and what was actually charged. It is
 // bookkeeping only — the charged (encoded) bytes already reflect the saving,

@@ -31,6 +31,11 @@ type Planner struct {
 	scanChoice map[*Scan]*useChoice
 	alignment  map[*Join]*sharedPair
 	joinPairs  map[*Join][]sharedPair
+	// set is the planner-owned backend set behind Ctx.Backends, kept for the
+	// partitioned-scan path (PartitionTable and the per-worker scan
+	// accountants live on the set, not on the engine-facing Backend slice).
+	// nil when single-box or when the context borrowed a shared set.
+	set *shard.Set
 
 	// memo/sites support plan caching (cache.go): an attached incomplete
 	// memo records this planner's decisions, a completed one replays them.
@@ -271,6 +276,9 @@ func (p *Planner) lowerScan(s *Scan, inherited restrictions) (engine.Operator, *
 		op := &engine.GroupedScan{BDCC: bt, Cols: s.Cols, Groups: groups, Filter: s.Filter, Push: pushPreds(stored, s.Filter, s.Cols), Rename: rename, Sched: p.sched()}
 		info.groupUse = choice.use
 		info.groupBits = choice.bits
+		if err := p.partitionScan(s, bt, stored, groups, op); err != nil {
+			return nil, nil, err
+		}
 		return op, info, nil
 	}
 	ranges := p.zonemapPrune(stored, s.Filter, core.EntriesRanges(entries))
@@ -328,6 +336,7 @@ func (p *Planner) backends() ([]engine.Backend, error) {
 		if p.Ctx.Balance == "size" {
 			set.BalanceBySize()
 		}
+		p.set = set
 		p.Ctx.Backends = set.Backends()
 		p.Ctx.Route = set.Route
 		p.Ctx.Net = set.Net()
@@ -336,6 +345,77 @@ func (p *Planner) backends() ([]engine.Backend, error) {
 		p.Ctx.FallbackUnits = set.LocalFallbackUnits
 	}
 	return p.Ctx.Backends, nil
+}
+
+// partitionScan moves a scatter scan onto the shared-nothing path when the
+// Partition knob is set: the base table is partitioned across the query's
+// workers by BDCC cell blocks (see internal/shard's Partitioning and
+// docs/PARTITIONING.md), each worker receives its blocks once per query
+// setup, and the scan lowers to a PartScanPlan whose units ship row ranges
+// to the worker owning them instead of reading pages locally. The
+// coordinator keeps a fully prepared query-side fragment: it is the
+// failover path, re-scanning a down worker's units from the local copy.
+//
+// The path requires a planner-owned backend set — a shared set (the bdccd
+// daemon's) stays on the ordinary scatter scan, as does a single-box
+// context; both leave the operator untouched. Predicate pushdown is
+// dropped on this path: pushed intervals prune by encoded chunk layout,
+// which differs between the coordinator's table and a recompressed shipped
+// partition, and the sites re-apply the full filter anyway.
+func (p *Planner) partitionScan(s *Scan, bt *core.BDCCTable, stored *storage.Table, groups []core.ScatterGroup, op *engine.GroupedScan) error {
+	if p.Ctx == nil || !p.Ctx.Partition {
+		return nil
+	}
+	bks, err := p.backends()
+	if err != nil {
+		return err
+	}
+	if len(bks) == 0 || p.set == nil {
+		return nil
+	}
+	part := p.set.PartitionTable(bt.Name, stored, bt.Count)
+	p.set.EnableScanIO(p.DB.Device)
+	p.Ctx.WorkerIO = p.set.ScanIO
+
+	schema := make(expr.Schema, len(s.Cols))
+	for i, name := range s.Cols {
+		ci := stored.ColumnIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("plan: table %q has no column %q", s.Table, name)
+		}
+		schema[i] = expr.ColMeta{Name: name, Kind: stored.Cols[ci].Kind}
+	}
+	frag := &engine.Fragment{
+		Kind:     engine.FragScan,
+		Table:    bt.Name,
+		Probe:    schema,
+		Residual: s.Filter,
+		// The coordinator resolves the table to its own full copy at
+		// original offsets (identity map): Prepare needs it to validate the
+		// plan, and the failover re-scan reads through it.
+		Src: func(string) (engine.ScanTable, error) {
+			return engine.ScanTable{Tab: stored}, nil
+		},
+		Acct: p.Ctx.Acct,
+	}
+	if err := frag.Prepare(); err != nil {
+		return err
+	}
+	var units []engine.PartScanUnit
+	for _, g := range groups {
+		runs, err := part.SplitGroup(g.Ranges)
+		if err != nil {
+			return err
+		}
+		for _, r := range runs {
+			units = append(units, engine.PartScanUnit{GID: g.GroupID, Slot: r.Worker, Ranges: r.Ranges})
+		}
+	}
+	op.Push = nil
+	op.Part = &engine.PartScanPlan{Frag: frag, Units: units, Backends: bks}
+	p.logf("scan %s%s: partitioned over %d workers (%d scan units)",
+		s.Table, aliasSuffix(s.Alias), len(bks), len(units))
+	return nil
 }
 
 func aliasSuffix(alias string) string {

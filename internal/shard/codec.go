@@ -6,6 +6,7 @@ import (
 
 	"bdcc/internal/engine"
 	"bdcc/internal/expr"
+	"bdcc/internal/storage"
 	"bdcc/internal/vector"
 )
 
@@ -13,25 +14,31 @@ import (
 // docs/WIRE.md for the full protocol):
 //
 // Group unit — the serialized shape of one engine.GroupUnit. Layout (little
-// endian):
+// endian, protocol v5):
 //
 //	u64 aligned group id
 //	u32 probe batch count, u32 build batch count
 //	probe batches then build batches, each in the vector.Batch wire form
+//	u32 scan range count, then per range u64 start + u64 end
+//	    (coordinator row space; 0 for a join unit, and a scan unit
+//	    carries no batches)
 //
 // Plan fragment — the serialized shape of one engine.Fragment, shipped once
-// per operator at query setup. Layout (little endian):
+// per operator at query setup. Layout (little endian, protocol v5):
 //
+//	u8 fragment kind             (0 join, 1 scan)
+//	table name                   (u32 length + bytes; empty for a join)
 //	probe schema, build schema   (u16 column count; per column: string name
 //	                              as u32 length + bytes, u8 kind)
 //	probe keys, build keys       (u16 count, strings)
 //	u8 join type
 //	u8 residual present, then the expr wire form (unbound; the worker
-//	   re-binds against probe+build)
+//	   re-binds — against probe+build for a join, against the probe/output
+//	   schema for a scan, where the slot carries the scan filter)
 //
 // Both codecs are exact because the batch and expression codecs are: a
-// decoded unit joins under a decoded fragment to bit-identical results,
-// which is what keeps sharded runs byte-identical.
+// decoded unit joins (or scans) under a decoded fragment to bit-identical
+// results, which is what keeps sharded runs byte-identical.
 
 // EncodeUnit appends the wire encoding of u to buf and returns the extended
 // slice.
@@ -45,6 +52,11 @@ func EncodeUnit(u *engine.GroupUnit, buf []byte) []byte {
 	for _, b := range u.Build {
 		buf = b.Encode(buf)
 	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u.ScanRanges)))
+	for _, r := range u.ScanRanges {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Start))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.End))
+	}
 	return buf
 }
 
@@ -52,7 +64,7 @@ func EncodeUnit(u *engine.GroupUnit, buf []byte) []byte {
 // column forced raw — the baseline the transport's wire_bytes_saved counter
 // is measured against.
 func RawUnitWireSize(u *engine.GroupUnit) int {
-	sz := 16
+	sz := 16 + 4 + 16*len(u.ScanRanges)
 	for _, b := range u.Probe {
 		sz += b.RawWireSize()
 	}
@@ -82,6 +94,24 @@ func DecodeUnit(data []byte) (*engine.GroupUnit, error) {
 			u.Probe = append(u.Probe, b)
 		} else {
 			u.Build = append(u.Build, b)
+		}
+	}
+	if len(data) < pos+4 {
+		return nil, fmt.Errorf("shard: truncated unit scan ranges")
+	}
+	nr := int(binary.LittleEndian.Uint32(data[pos:]))
+	pos += 4
+	if nr > 0 {
+		if len(data) < pos+16*nr {
+			return nil, fmt.Errorf("shard: truncated unit scan ranges")
+		}
+		u.ScanRanges = make(storage.RowRanges, nr)
+		for i := 0; i < nr; i++ {
+			u.ScanRanges[i] = storage.RowRange{
+				Start: int(binary.LittleEndian.Uint64(data[pos:])),
+				End:   int(binary.LittleEndian.Uint64(data[pos+8:])),
+			}
+			pos += 16
 		}
 	}
 	if pos != len(data) {
@@ -152,6 +182,8 @@ func decodeStrs(data []byte) ([]string, int, error) {
 // meters) does not travel — the receiving worker Prepares the decoded
 // fragment itself.
 func EncodeFragment(f *engine.Fragment, buf []byte) ([]byte, error) {
+	buf = append(buf, byte(f.Kind))
+	buf = expr.AppendString(buf, f.Table)
 	buf = appendSchema(buf, f.Probe)
 	buf = appendSchema(buf, f.Build)
 	buf = appendStrs(buf, f.ProbeKeys)
@@ -171,6 +203,15 @@ func DecodeFragment(data []byte) (*engine.Fragment, error) {
 	f := &engine.Fragment{}
 	var n int
 	var err error
+	if len(data) < 1 {
+		return nil, fmt.Errorf("shard: truncated fragment kind")
+	}
+	f.Kind = engine.FragKind(data[0])
+	data = data[1:]
+	if f.Table, n, err = expr.DecodeString(data); err != nil {
+		return nil, fmt.Errorf("shard: fragment table: %w", err)
+	}
+	data = data[n:]
 	if f.Probe, n, err = decodeSchema(data); err != nil {
 		return nil, fmt.Errorf("shard: fragment probe schema: %w", err)
 	}

@@ -57,6 +57,16 @@ type failover struct {
 	fallbackUnits int64
 	closed        bool
 
+	// parts registers each partitioned table's per-slot shipments, partsVer
+	// counting registrations: a re-admission ships the registry to the fresh
+	// session and re-checks the version before publishing, so a partition
+	// registered concurrently is never missing from an admitted worker.
+	// scanIO, when enabled, holds the per-slot hooks fed each scan unit's
+	// done-frame read stats.
+	parts    map[string][]*partShipment
+	partsVer uint64
+	scanIO   []func(runs, pages, bytes int64)
+
 	fallback bool // run orphaned units locally instead of erroring
 	probe    ProbeConfig
 	token    string // auth token the prober presents on re-dials
@@ -121,6 +131,7 @@ func newFailover(slots []*slot, opt failoverOptions) ([]engine.Backend, *failove
 		slots:    slots,
 		health:   make([]engine.BackendHealth, len(slots)),
 		frags:    make(map[*engine.Fragment]struct{}),
+		parts:    make(map[string][]*partShipment),
 		fallback: opt.localFallback,
 		probe:    opt.probe.withDefaults(),
 		token:    opt.token,
@@ -202,14 +213,96 @@ func (b *failoverBackend) RunGroup(u *engine.GroupUnit, frag *engine.Fragment, e
 	t := &try{
 		u: u, frag: frag, emit: emit, done: done,
 		excluded: make([]uint64, len(f.slots)),
+		home:     b.idx,
+		pinned:   u.ScanRanges != nil,
 	}
 	f.attempt(t, b.idx, nil)
+}
+
+// partShipper is the capability surface partition shipping needs from a
+// slot's backend: the network client implements it (and the simulated
+// remote inherits it); backends without it — a plain local pass-through —
+// simply never receive partitions, and their scan units fail Prepare as
+// work errors.
+type partShipper interface {
+	ShipPartition(key string, manifest []byte, data [][]byte, saved []int64) error
+	SetScanIO(fn func(runs, pages, bytes int64))
+}
+
+// shipPartition registers table's per-slot shipments (index-aligned with
+// the slots) and sends each live slot its own. Transport errors are
+// deliberately not handled here: a failed ship breaks that session, the
+// slot's units fail with ErrBackendDown, and re-admission re-ships the
+// whole registry over the fresh connection. Idempotent per table.
+func (f *failover) shipPartition(table string, ships []*partShipment) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	if _, done := f.parts[table]; done {
+		f.mu.Unlock()
+		return
+	}
+	f.parts[table] = ships
+	f.partsVer++
+	type target struct {
+		cl   partShipper
+		ship *partShipment
+	}
+	var targets []target
+	for i, s := range f.slots {
+		if s.down || s.backend == nil || ships[i] == nil {
+			continue
+		}
+		if cl, ok := s.backend.(partShipper); ok {
+			targets = append(targets, target{cl, ships[i]})
+		}
+	}
+	f.mu.Unlock()
+	for _, t := range targets {
+		t.cl.ShipPartition(t.ship.key, t.ship.manifest, t.ship.data, t.ship.saved)
+	}
+}
+
+// setScanIO installs the per-slot scan-read-stats hooks (index-aligned with
+// the slots) on every live session; re-admissions install them on fresh
+// sessions before publishing. First call wins — the hooks feed long-lived
+// per-worker accountants, not per-query state.
+func (f *failover) setScanIO(hooks []func(runs, pages, bytes int64)) {
+	f.mu.Lock()
+	if f.scanIO != nil || f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.scanIO = hooks
+	type target struct {
+		cl   partShipper
+		hook func(runs, pages, bytes int64)
+	}
+	var targets []target
+	for i, s := range f.slots {
+		if s.backend == nil || hooks[i] == nil {
+			continue
+		}
+		if cl, ok := s.backend.(partShipper); ok {
+			targets = append(targets, target{cl, hooks[i]})
+		}
+	}
+	f.mu.Unlock()
+	for _, t := range targets {
+		t.cl.SetScanIO(t.hook)
+	}
 }
 
 // try is the cross-attempt state of one unit: the delivered-batch prefix
 // and the exclusion chain. excluded[i] holds epoch+1 of slot i at the
 // attempt that failed on it (0 = never failed there), so a re-admitted
-// incarnation — a higher epoch — is eligible again.
+// incarnation — a higher epoch — is eligible again. A pinned try (a scan
+// unit) only ever runs on its home slot: the unit's partition lives there
+// and nowhere else among the workers, so on failure the only retry targets
+// are a re-admitted incarnation of home (which re-ships the partition
+// first) and the coordinator's local fallback, which holds the full table.
 type try struct {
 	u         *engine.GroupUnit
 	frag      *engine.Fragment
@@ -218,6 +311,8 @@ type try struct {
 	delivered int
 	excluded  []uint64
 	attempts  int
+	home      int
+	pinned    bool
 }
 
 // pick returns the first usable slot at or after pref (cyclically): not
@@ -228,6 +323,13 @@ type try struct {
 func (f *failover) pick(pref int, t *try) (int, engine.Backend, uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if t.pinned {
+		s := f.slots[t.home]
+		if s.down || s.backend == nil || t.excluded[t.home] == s.epoch+1 {
+			return -1, nil, 0
+		}
+		return t.home, s.backend, s.epoch
+	}
 	n := len(f.slots)
 	for k := 0; k < n; k++ {
 		i := (pref + k) % n
@@ -334,44 +436,73 @@ const (
 	readmitClosed                      // the set closed; stop probing
 )
 
-// readmit re-admits slot i over the fresh connection cl: the session's plan
-// fragments are re-shipped first (a recovered worker has an empty fragment
-// registry, and units may reference any fragment of the query), then the
-// slot is published up with its epoch advanced — resetting every unit's
-// exclusion of it. The previous dead backend, if any, is closed.
+// readmit re-admits slot i over the fresh connection cl: the slot's table
+// partitions and the session's plan fragments are re-shipped first (a
+// recovered worker has an empty registry of both, units may reference any
+// fragment of the query, and a scan unit pinned to this slot needs its
+// partition back before it can land), then the slot is published up with
+// its epoch advanced — resetting every unit's exclusion of it. A partition
+// registered while shipping was under way is caught by the version re-check
+// and shipped in another pass (the client's per-session dedup makes the
+// re-pass cheap). The previous dead backend, if any, is closed.
 func (f *failover) readmit(i int, cl *client) readmitResult {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return readmitClosed
-	}
-	frags := make([]*engine.Fragment, 0, len(f.frags))
-	for fr := range f.frags {
-		frags = append(frags, fr)
-	}
-	f.mu.Unlock()
-	for _, fr := range frags {
-		if err := cl.Preload(fr); err != nil {
-			return readmitRetry
+	for {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return readmitClosed
 		}
-	}
-	f.mu.Lock()
-	if f.closed {
+		ver := f.partsVer
+		var ships []*partShipment
+		for _, perSlot := range f.parts {
+			if perSlot[i] != nil {
+				ships = append(ships, perSlot[i])
+			}
+		}
+		var hook func(runs, pages, bytes int64)
+		if f.scanIO != nil {
+			hook = f.scanIO[i]
+		}
+		frags := make([]*engine.Fragment, 0, len(f.frags))
+		for fr := range f.frags {
+			frags = append(frags, fr)
+		}
 		f.mu.Unlock()
-		return readmitClosed
+		if hook != nil {
+			cl.SetScanIO(hook)
+		}
+		for _, sh := range ships {
+			if err := cl.ShipPartition(sh.key, sh.manifest, sh.data, sh.saved); err != nil {
+				return readmitRetry
+			}
+		}
+		for _, fr := range frags {
+			if err := cl.Preload(fr); err != nil {
+				return readmitRetry
+			}
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return readmitClosed
+		}
+		if f.partsVer != ver {
+			f.mu.Unlock()
+			continue
+		}
+		s := f.slots[i]
+		old := s.backend
+		s.backend = cl
+		s.workers = cl.Workers()
+		s.down, s.probing = false, false
+		s.epoch++
+		f.health[i].Readmits++
+		f.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		return readmitOK
 	}
-	s := f.slots[i]
-	old := s.backend
-	s.backend = cl
-	s.workers = cl.Workers()
-	s.down, s.probing = false, false
-	s.epoch++
-	f.health[i].Readmits++
-	f.mu.Unlock()
-	if old != nil {
-		old.Close()
-	}
-	return readmitOK
 }
 
 // runLocal is graceful degradation: with no backend surviving the unit's

@@ -34,22 +34,30 @@ import (
 // grew, so again a bump, not an addition. Version 4 changed the batch wire
 // form itself (a per-column encoding tag byte with RLE/FOR/dictionary
 // compressed payloads) — an old peer would misparse every unit and result
-// batch, so once more a bump, not an addition.
+// batch, so once more a bump, not an addition. Version 5 made the workers
+// shared-nothing: the client ships base-table partitions (framePartTable
+// manifest + framePartData row batches), the setup payload gained a
+// fragment-kind byte and table name (scan fragments), the unit payload
+// gained a scan-range list, and the done payload gained a status byte plus
+// optional per-unit scan read stats — four payload-layout changes, so once
+// more a bump, not an addition.
 const (
 	ProtoMagic   = "BDCW"
-	ProtoVersion = 4
+	ProtoVersion = 5
 )
 
 // Transport frame types. Every frame is one message on the stream:
 // u32 payload length, u64 id, u8 type, payload.
 const (
-	frameHello = byte(1) // both directions at session start: version handshake
-	frameSetup = byte(2) // query → worker: one plan fragment; id = fragment id
-	frameUnit  = byte(3) // query → worker: one group unit; id = unit id
-	frameBatch = byte(4) // worker → query: one result batch; id = unit id
-	frameDone  = byte(5) // worker → query: unit finished; payload = error text
-	framePing  = byte(6) // query → worker: liveness probe; id = ping id
-	framePong  = byte(7) // worker → query: ping echo; id = the ping's id
+	frameHello     = byte(1) // both directions at session start: version handshake
+	frameSetup     = byte(2) // query → worker: one plan fragment; id = fragment id
+	frameUnit      = byte(3) // query → worker: one group unit; id = unit id
+	frameBatch     = byte(4) // worker → query: one result batch; id = unit id
+	frameDone      = byte(5) // worker → query: unit finished; payload = status (+stats or error)
+	framePing      = byte(6) // query → worker: liveness probe; id = ping id
+	framePong      = byte(7) // worker → query: ping echo; id = the ping's id
+	framePartTable = byte(8) // query → worker: partition manifest; id = partition id
+	framePartData  = byte(9) // query → worker: partition row batch; id = partition id
 )
 
 const frameHeader = 4 + 8 + 1
@@ -143,7 +151,7 @@ type client struct {
 	name string // dial address, or "sim" for the in-process pipe
 	net  *iosim.Accountant
 
-	wmu sync.Mutex // frames the request stream; also guards frags
+	wmu sync.Mutex // frames the request stream; also guards frags and parts
 	// frags is the by-pointer registry of shipped fragments; fragsByKey
 	// indexes the same registrations by encoded content, so two Fragment
 	// values with identical wire forms — e.g. the same cached plan
@@ -152,6 +160,11 @@ type client struct {
 	frags      map[*engine.Fragment]uint64
 	fragsByKey map[string]uint64
 	nextFrag   uint64
+	// parts records shipped table partitions by content key, so a partition
+	// offered twice to one session (plan-time ship racing a re-admission
+	// re-ship) crosses the wire once.
+	parts    map[string]uint64
+	nextPart uint64
 
 	// dmu serializes callback delivery: the read loop's emit/done calls and
 	// fail's drain of pending dones are mutually exclusive, so a unit never
@@ -167,6 +180,10 @@ type client struct {
 	nextPing uint64
 	broken   error
 	closed   bool
+	// onScanIO, when set, receives the per-unit modeled read stats a v5 done
+	// frame carries for scan units — the worker's local device reads, fed
+	// into the query's per-worker scan accountant.
+	onScanIO func(runs, pages, bytes int64)
 
 	workers int
 	loop    sync.WaitGroup
@@ -190,6 +207,7 @@ func newClient(conn net.Conn, name, token string, acct *iosim.Accountant) (*clie
 		net:        acct,
 		frags:      make(map[*engine.Fragment]uint64),
 		fragsByKey: make(map[string]uint64),
+		parts:      make(map[string]uint64),
 		pending:    make(map[uint64]*call),
 		pings:      make(map[uint64]chan error),
 	}
@@ -232,6 +250,59 @@ func newClient(conn net.Conn, name, token string, acct *iosim.Accountant) (*clie
 // Workers implements engine.Backend, reporting the parallelism the worker
 // announced in its hello.
 func (c *client) Workers() int { return c.workers }
+
+// SetScanIO installs the hook that receives the per-unit scan read stats
+// carried by done frames (the worker's modeled local device reads). The
+// failover layer installs one per slot, feeding the query's per-worker scan
+// accountants.
+func (c *client) SetScanIO(fn func(runs, pages, bytes int64)) {
+	c.mu.Lock()
+	c.onScanIO = fn
+	c.mu.Unlock()
+}
+
+// ShipPartition sends one table partition to the worker: the manifest
+// payload, then the row-batch payloads, each as its own frame sharing the
+// partition id. key identifies the shipment's content (table name + scheme
+// revision); a partition already shipped under the same key on this session
+// is skipped, so a plan-time ship racing a re-admission re-ship crosses the
+// wire once. saved[i] is batch i's raw-minus-encoded wire saving, credited
+// to the network accountant like any other compressed frame. The payload
+// slices are copied per send (writeFrame patches a header in place, and the
+// caller shares the payloads across sessions).
+func (c *client) ShipPartition(key string, manifest []byte, data [][]byte, saved []int64) error {
+	c.mu.Lock()
+	if err := c.unusable(); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
+	c.wmu.Lock()
+	if _, done := c.parts[key]; done {
+		c.wmu.Unlock()
+		return nil
+	}
+	id := c.nextPart
+	c.nextPart++
+	if err := writeFrame(c.conn, c.net, id, framePartTable, append(frameBuf(), manifest...)); err != nil {
+		c.wmu.Unlock()
+		c.fail(fmt.Errorf("ship partition manifest: %w", err))
+		return fmt.Errorf("%w: %s: ship partition: %v", ErrBackendDown, c.name, err)
+	}
+	for i, d := range data {
+		if err := writeFrame(c.conn, c.net, id, framePartData, append(frameBuf(), d...)); err != nil {
+			c.wmu.Unlock()
+			c.fail(fmt.Errorf("ship partition data: %w", err))
+			return fmt.Errorf("%w: %s: ship partition: %v", ErrBackendDown, c.name, err)
+		}
+		if saved[i] > 0 && c.net != nil {
+			c.net.AddSaved(saved[i])
+		}
+	}
+	c.parts[key] = id
+	c.wmu.Unlock()
+	return nil
+}
 
 // RunGroup implements engine.Backend: register the call, ship the fragment
 // on first use, ship the unit. The read loop delivers results. done is
@@ -497,9 +568,30 @@ func (c *client) readLoop() {
 			case frameBatch:
 				cl.emit(b)
 			case frameDone:
-				if len(payload) != 0 {
-					cl.done(errors.New(string(payload)))
-				} else {
+				// v5 done payload: status byte (0 success, 1 work error),
+				// then — success only, scan units only — 24 bytes of
+				// little-endian per-unit scan read stats (runs, pages,
+				// bytes); on failure the error text. The status byte also
+				// removes v4's ambiguity between success and an empty error
+				// string.
+				switch {
+				case len(payload) < 1:
+					c.dmu.Unlock()
+					c.fail(fmt.Errorf("done frame with empty payload"))
+					return
+				case payload[0] != 0:
+					cl.done(errors.New(string(payload[1:])))
+				default:
+					if len(payload) >= 25 {
+						c.mu.Lock()
+						fn := c.onScanIO
+						c.mu.Unlock()
+						if fn != nil {
+							fn(int64(binary.LittleEndian.Uint64(payload[1:])),
+								int64(binary.LittleEndian.Uint64(payload[9:])),
+								int64(binary.LittleEndian.Uint64(payload[17:])))
+						}
+					}
 					cl.done(nil)
 				}
 			}
@@ -552,9 +644,10 @@ func DialToken(addr, token string, acct *iosim.Accountant) (engine.Backend, erro
 // connection is an independent session with its own fragment registry, so
 // concurrent queries do not observe each other.
 type Server struct {
-	sched *engine.Sched
-	mem   *engine.MemTracker
-	token string
+	sched     *engine.Sched
+	mem       *engine.MemTracker
+	token     string
+	partLimit int64
 
 	// OnUnitDone, when set before serving, is called after each unit
 	// completes with the total completed so far — a diagnostic and test
@@ -600,6 +693,13 @@ func NewServer(workers int) *Server {
 // token). Set before serving; the comparison is constant-time and a
 // mismatch drops the connection without a reply.
 func (s *Server) SetAuthToken(token string) { s.token = token }
+
+// SetPartLimit caps the decoded bytes of shipped table partitions one
+// session may hold (0, the default, means unlimited). Crossing the cap
+// poisons the affected table, failing its scan units as work errors without
+// dropping the session — back-pressure for a coordinator shipping more data
+// than the worker box should hold. Set before serving.
+func (s *Server) SetPartLimit(bytes int64) { s.partLimit = bytes }
 
 // Workers returns the server's scheduler parallelism (announced to clients
 // in the hello exchange).
@@ -701,6 +801,7 @@ func (s *Server) session(conn net.Conn) {
 
 	frags := make(map[uint64]*engine.Fragment)
 	fragErrs := make(map[uint64]error)
+	parts := newPartStore(s.partLimit)
 	var tasks sync.WaitGroup
 	defer tasks.Wait()
 	for {
@@ -714,6 +815,13 @@ func (s *Server) session(conn net.Conn) {
 			frag, err := DecodeFragment(payload)
 			if err == nil {
 				frag.Mem = s.mem
+				if frag.Kind == engine.FragScan {
+					// The session's shipped partitions are the scan source;
+					// a table never shipped (or poisoned by the part limit)
+					// surfaces here as a Prepare error, failing the scan's
+					// units as work errors.
+					frag.Src = parts.source
+				}
 				err = frag.Prepare()
 			}
 			if err != nil {
@@ -721,6 +829,16 @@ func (s *Server) session(conn net.Conn) {
 				continue
 			}
 			frags[id] = frag
+		case framePartTable:
+			if err := parts.addManifest(id, payload); err != nil {
+				conn.Close() // protocol corruption: drop the session
+				return
+			}
+		case framePartData:
+			if err := parts.addData(id, payload); err != nil {
+				conn.Close()
+				return
+			}
 		case framePing:
 			wmu.Lock()
 			writeFrame(conn, nil, id, framePong, frameBuf())
@@ -737,7 +855,7 @@ func (s *Server) session(conn net.Conn) {
 				if err == nil {
 					err = fmt.Errorf("shard: unit references unknown fragment %d", fid)
 				}
-				s.finishUnit(conn, &wmu, id, err)
+				s.finishUnit(conn, &wmu, id, nil, err)
 				continue
 			}
 			body := payload[8:]
@@ -748,6 +866,16 @@ func (s *Server) session(conn net.Conn) {
 					s.OnUnitStart()
 				}
 				u, err := DecodeUnit(body)
+				var stats *scanStats
+				if err == nil && frag.Kind == engine.FragScan {
+					// The unit's modeled local read cost rides its done
+					// frame; computing it before the scan keeps a mapping
+					// error a clean unit failure.
+					var st scanStats
+					if st.runs, st.pages, st.bytes, err = frag.ScanStats(u); err == nil {
+						stats = &st
+					}
+				}
 				var oversized error
 				if err == nil {
 					err = frag.Run(u, func(b *vector.Batch) {
@@ -779,7 +907,7 @@ func (s *Server) session(conn net.Conn) {
 						err = oversized
 					}
 				}
-				s.finishUnit(conn, &wmu, id, err)
+				s.finishUnit(conn, &wmu, id, stats, err)
 			})
 		default:
 			conn.Close()
@@ -788,17 +916,34 @@ func (s *Server) session(conn net.Conn) {
 	}
 }
 
+// scanStats is one scan unit's modeled local read cost, reported to the
+// client in the unit's done frame.
+type scanStats struct {
+	runs, pages, bytes int64
+}
+
 // finishUnit reports a unit's completion (err == nil) or its work error.
-// The counter (and hook) advance before the done frame ships, so a client
-// that observed a completion always finds it counted.
-func (s *Server) finishUnit(conn net.Conn, wmu *sync.Mutex, id uint64, err error) {
+// The done payload is a status byte — 0 success, 1 failure — followed on
+// failure by the error text and on a scan unit's success by the 24-byte
+// read stats. The counter (and hook) advance before the done frame ships,
+// so a client that observed a completion always finds it counted.
+func (s *Server) finishUnit(conn net.Conn, wmu *sync.Mutex, id uint64, stats *scanStats, err error) {
 	n := s.unitsDone.Add(1)
 	if s.OnUnitDone != nil {
 		s.OnUnitDone(n)
 	}
 	msg := frameBuf()
-	if err != nil {
+	switch {
+	case err != nil:
+		msg = append(msg, 1)
 		msg = append(msg, err.Error()...)
+	case stats != nil:
+		msg = append(msg, 0)
+		msg = binary.LittleEndian.AppendUint64(msg, uint64(stats.runs))
+		msg = binary.LittleEndian.AppendUint64(msg, uint64(stats.pages))
+		msg = binary.LittleEndian.AppendUint64(msg, uint64(stats.bytes))
+	default:
+		msg = append(msg, 0)
 	}
 	wmu.Lock()
 	writeFrame(conn, nil, id, frameDone, msg)

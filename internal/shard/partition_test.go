@@ -1,0 +1,382 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bdcc/internal/core"
+	"bdcc/internal/storage"
+	"bdcc/internal/vector"
+)
+
+// testEntries builds a synthetic count table in key order whose row offsets
+// are deliberately NOT monotone — entries 1 and 4 live in a relocation area
+// at the end of the table, as BDCC's small-cell relocation produces — so
+// every lookup in these tests goes through the offset-interval index.
+func testEntries() []core.CountEntry {
+	return []core.CountEntry{
+		{Key: 0, Count: 10, Offset: 0},
+		{Key: 1, Count: 4, Offset: 100, Relocated: true},
+		{Key: 2, Count: 20, Offset: 10},
+		{Key: 3, Count: 6, Offset: 30},
+		{Key: 4, Count: 3, Offset: 104, Relocated: true},
+		{Key: 5, Count: 25, Offset: 36},
+		{Key: 6, Count: 12, Offset: 61},
+		{Key: 7, Count: 27, Offset: 73},
+	}
+}
+
+func TestPartitioningDeterministicAndCovering(t *testing.T) {
+	entries := testEntries()
+	var total int64
+	for _, e := range entries {
+		total += e.Count
+	}
+	for workers := 1; workers <= 5; workers++ {
+		p := NewPartitioning("t", entries, workers)
+		q := NewPartitioning("t", entries, workers)
+		for w := 0; w < workers; w++ {
+			if !reflect.DeepEqual(p.Segments(w), q.Segments(w)) {
+				t.Fatalf("workers=%d: two partitionings of the same count table differ at worker %d", workers, w)
+			}
+		}
+		if p.TotalRows() != total {
+			t.Fatalf("workers=%d: partitioning owns %d rows, table has %d", workers, p.TotalRows(), total)
+		}
+		// Every entry is owned by exactly one worker, whole and in key order.
+		owned := map[int]int{} // entry index -> worker
+		next := 0
+		for w := 0; w < workers; w++ {
+			var rows int64
+			for _, s := range p.Segments(w) {
+				if next >= len(entries) {
+					t.Fatalf("workers=%d: worker %d owns more segments than there are entries", workers, w)
+				}
+				e := entries[next]
+				if s.Start != int(e.Offset) || s.End != int(e.Offset+e.Count) {
+					t.Fatalf("workers=%d: worker %d segment [%d,%d) is not entry %d's interval [%d,%d) — blocks must be contiguous in key order",
+						workers, w, s.Start, s.End, next, e.Offset, e.Offset+e.Count)
+				}
+				owned[next] = w
+				next++
+				rows += int64(s.Len())
+			}
+			if rows != p.Rows(w) {
+				t.Fatalf("workers=%d: worker %d segments cover %d rows, Rows says %d", workers, w, rows, p.Rows(w))
+			}
+		}
+		if next != len(entries) {
+			t.Fatalf("workers=%d: only %d of %d entries owned", workers, next, len(entries))
+		}
+		// WorkerFor agrees with the segment assignment, including on
+		// sub-ranges (zonemap-shrunk ranges stay inside their entry).
+		for i, e := range entries {
+			full := storage.RowRange{Start: int(e.Offset), End: int(e.Offset + e.Count)}
+			w, err := p.WorkerFor(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != owned[i] {
+				t.Fatalf("workers=%d: WorkerFor(entry %d) = %d, segments say %d", workers, i, w, owned[i])
+			}
+			shrunk := storage.RowRange{Start: full.Start + 1, End: full.End}
+			if full.Len() > 1 {
+				if sw, err := p.WorkerFor(shrunk); err != nil || sw != w {
+					t.Fatalf("workers=%d: shrunk range of entry %d maps to %d/%v, want %d", workers, i, sw, err, w)
+				}
+			}
+		}
+		// Balance: no worker owns more than a fair share plus the largest
+		// single cell (a cell is never split across workers).
+		var maxCell int64
+		for _, e := range entries {
+			if e.Count > maxCell {
+				maxCell = e.Count
+			}
+		}
+		fair := total/int64(workers) + maxCell
+		for w := 0; w < workers; w++ {
+			if p.Rows(w) > fair {
+				t.Fatalf("workers=%d: worker %d owns %d rows, bound is %d (fair %d + max cell %d)",
+					workers, w, p.Rows(w), fair, total/int64(workers), maxCell)
+			}
+		}
+	}
+}
+
+func TestWorkerForRejectsEntrySpanningRange(t *testing.T) {
+	p := NewPartitioning("t", testEntries(), 3)
+	// [5, 15) straddles entry 0 ([0,10)) and entry 2 ([10,30)).
+	if _, err := p.WorkerFor(storage.RowRange{Start: 5, End: 15}); err == nil {
+		t.Fatal("a range spanning two count entries must be rejected, not split")
+	}
+	if _, err := p.WorkerFor(storage.RowRange{Start: 200, End: 201}); err == nil {
+		t.Fatal("a range outside every entry must be rejected")
+	}
+}
+
+func TestSplitGroupPreservesOrder(t *testing.T) {
+	entries := testEntries()
+	p := NewPartitioning("t", entries, 3)
+	// A scatter group: one (possibly shrunk) range per count entry, in key
+	// order — exactly what ScatterPlan plus zonemap pruning emits.
+	var group storage.RowRanges
+	for i, e := range entries {
+		r := storage.RowRange{Start: int(e.Offset), End: int(e.Offset + e.Count)}
+		if i%2 == 1 && r.Len() > 2 {
+			r.Start++ // shrink some ranges like pruning would
+		}
+		group = append(group, r)
+	}
+	runs, err := p.SplitGroup(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat storage.RowRanges
+	for i, run := range runs {
+		if i > 0 && runs[i-1].Worker == run.Worker {
+			t.Fatalf("runs %d and %d share worker %d — runs must be maximal", i-1, i, run.Worker)
+		}
+		for _, r := range run.Ranges {
+			w, err := p.WorkerFor(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != run.Worker {
+				t.Fatalf("range [%d,%d) in run of worker %d is owned by worker %d", r.Start, r.End, run.Worker, w)
+			}
+		}
+		flat = append(flat, run.Ranges...)
+	}
+	if !reflect.DeepEqual(flat, group) {
+		t.Fatalf("concatenated runs = %v, want the original group order %v", flat, group)
+	}
+}
+
+// TestSplitGroupCutsMergedRanges feeds SplitGroup the normalized form a
+// pruned group actually has — adjacent entry intervals merged into one
+// range — and checks the range is cut at every entry boundary, each piece
+// owned by its entry's worker, with the concatenated row sequence unchanged.
+func TestSplitGroupCutsMergedRanges(t *testing.T) {
+	entries := testEntries()
+	p := NewPartitioning("t", entries, 4)
+	// Rows [10,61) merge entries 2 ([10,30)), 3 ([30,36)) and 5 ([36,61)),
+	// which the quota walk spreads over more than one worker.
+	merged := storage.RowRanges{{Start: 0, End: 10}, {Start: 10, End: 61}}
+	runs, err := p.SplitGroup(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat storage.RowRanges
+	for _, run := range runs {
+		for _, r := range run.Ranges {
+			w, err := p.WorkerFor(r) // each piece must sit inside one entry
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w != run.Worker {
+				t.Fatalf("piece [%d,%d) owned by %d, run says %d", r.Start, r.End, w, run.Worker)
+			}
+			flat = append(flat, r)
+		}
+	}
+	next := 0
+	for _, r := range flat {
+		if r.Start != next {
+			t.Fatalf("pieces not contiguous: [%d,%d) after row %d", r.Start, r.End, next)
+		}
+		next = r.End
+	}
+	if next != 61 {
+		t.Fatalf("pieces cover rows up to %d, want 61", next)
+	}
+	if _, err := p.SplitGroup(storage.RowRanges{{Start: 61, End: 120}}); err == nil {
+		t.Fatal("rows in no count entry must be rejected")
+	}
+}
+
+func TestRangeMapOffsets(t *testing.T) {
+	segs := storage.RowRanges{{Start: 10, End: 30}, {Start: 36, End: 61}, {Start: 104, End: 107}}
+	m := NewRangeMap(segs)
+	if m.Rows() != 20+25+3 {
+		t.Fatalf("Rows = %d, want 48", m.Rows())
+	}
+	cases := []struct{ in, want storage.RowRange }{
+		{storage.RowRange{Start: 10, End: 30}, storage.RowRange{Start: 0, End: 20}},
+		{storage.RowRange{Start: 15, End: 20}, storage.RowRange{Start: 5, End: 10}},
+		{storage.RowRange{Start: 36, End: 61}, storage.RowRange{Start: 20, End: 45}},
+		{storage.RowRange{Start: 104, End: 107}, storage.RowRange{Start: 45, End: 48}},
+	}
+	for _, c := range cases {
+		got, err := m.Map(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("Map(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if got.Len() != c.in.Len() {
+			t.Fatalf("Map(%v) changed the range length", c.in)
+		}
+	}
+	for _, bad := range []storage.RowRange{{Start: 0, End: 5}, {Start: 25, End: 40}, {Start: 61, End: 62}} {
+		if _, err := m.Map(bad); err == nil {
+			t.Fatalf("Map(%v) must fail — range outside the shipped partition", bad)
+		}
+	}
+}
+
+// shipTestTable builds a small table whose single int64 column equals the row
+// index, so shipped values identify their coordinator row.
+func shipTestTable(t *testing.T, rows int, compress bool) *storage.Table {
+	t.Helper()
+	i64 := make([]int64, rows)
+	str := make([]string, rows)
+	for i := range i64 {
+		i64[i] = int64(i)
+		str[i] = fmt.Sprintf("r%04d", i)
+	}
+	tab, err := storage.NewTable("lineitem", 1<<10,
+		storage.NewInt64Column("id", i64), storage.NewStringColumn("tag", str))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compress {
+		tab.Compress()
+	}
+	return tab
+}
+
+func TestPartShipmentRoundtrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			tab := shipTestTable(t, 500, compress)
+			segs := storage.RowRanges{{Start: 40, End: 160}, {Start: 200, End: 210}, {Start: 480, End: 500}}
+			ship := buildPartShipment("lineitem/0@2", tab, segs)
+
+			store := newPartStore(0)
+			if err := store.addManifest(1, ship.manifest); err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ship.data {
+				if err := store.addData(1, d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, err := store.source("lineitem")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Tab.Compressed() != compress {
+				t.Fatalf("rebuilt partition compressed=%v, original %v", st.Tab.Compressed(), compress)
+			}
+			if got, want := st.Tab.Rows(), 120+10+20; got != want {
+				t.Fatalf("rebuilt partition has %d rows, want %d", got, want)
+			}
+			// Every coordinator row in the shipment maps to a local row
+			// holding the same values.
+			r := storage.NewReader(st.Tab, []int{0, 1}, storage.FullRange(st.Tab.Rows()), nil)
+			b := vector.NewBatch([]vector.Kind{vector.Int64, vector.String})
+			var local []int64
+			for r.Next(b) {
+				local = append(local, b.Cols[0].I64...)
+			}
+			want := []int64{}
+			for _, s := range segs {
+				for i := s.Start; i < s.End; i++ {
+					want = append(want, int64(i))
+				}
+			}
+			if !reflect.DeepEqual(local, want) {
+				t.Fatalf("rebuilt partition rows = %v..., want the segments' rows in ship order", local[:5])
+			}
+			// And the RangeMap agrees.
+			m, err := st.Map(storage.RowRange{Start: 200, End: 210})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Start != 120 || m.End != 130 {
+				t.Fatalf("Map([200,210)) = %v, want [120,130)", m)
+			}
+		})
+	}
+}
+
+func TestPartStoreLimitPoisonsNotDrops(t *testing.T) {
+	tab := shipTestTable(t, 400, false)
+	ship := buildPartShipment("lineitem/0@2", tab, storage.FullRange(tab.Rows()))
+	store := newPartStore(64) // far below the shipment's decoded bytes
+	if err := store.addManifest(7, ship.manifest); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ship.data {
+		if err := store.addData(7, d); err != nil {
+			t.Fatalf("an over-limit partition must poison the table, not drop the session: %v", err)
+		}
+	}
+	if _, err := store.source("lineitem"); err == nil {
+		t.Fatal("scans of a poisoned partition must fail Prepare")
+	}
+	if store.used != 0 {
+		t.Fatalf("poisoning must release the partial transfer's bytes, %d still held", store.used)
+	}
+}
+
+func TestPartStoreDuplicateTableKeepsFirst(t *testing.T) {
+	tab := shipTestTable(t, 100, false)
+	ship := buildPartShipment("lineitem/0@2", tab, storage.FullRange(tab.Rows()))
+	store := newPartStore(0)
+	if err := store.addManifest(1, ship.manifest); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ship.data {
+		if err := store.addData(1, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := store.source("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second transfer of the same table (re-admission re-ship racing the
+	// dedup) drains silently and keeps the first copy.
+	if err := store.addManifest(2, ship.manifest); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ship.data {
+		if err := store.addData(2, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := store.source("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Tab != first.Tab {
+		t.Fatal("a duplicate transfer replaced the finalized partition")
+	}
+	// Reusing a transfer id is protocol corruption, though.
+	if err := store.addManifest(1, ship.manifest); err == nil {
+		t.Fatal("reused partition id must be a protocol error")
+	}
+}
+
+func TestPartManifestRejectsCorruption(t *testing.T) {
+	tab := shipTestTable(t, 50, false)
+	good := encodePartManifest(tab, storage.RowRanges{{Start: 0, End: 50}}, nil)
+	if _, err := decodePartManifest(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePartManifest(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated manifest must be rejected")
+	}
+	// Declare 50 rows but cover 40: row/segment mismatch.
+	bad := encodePartManifest(tab, storage.RowRanges{{Start: 0, End: 40}}, nil)
+	// Patch the row count up by rebuilding via the original then swapping
+	// segments is fiddly; instead decode-check that mismatched totals from a
+	// hand-built payload fail. The simplest corruption: chop one segment off.
+	if _, err := decodePartManifest(bad[:len(bad)-16]); err == nil {
+		t.Fatal("segment section shorter than its count must be rejected")
+	}
+}

@@ -1,0 +1,345 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bdcc/internal/engine"
+	"bdcc/internal/expr"
+	"bdcc/internal/storage"
+	"bdcc/internal/vector"
+)
+
+// Partition shipping: the wire form and both ends of the base-table
+// partition transfer that makes workers shared-nothing (protocol v5, frames
+// framePartTable and framePartData; see docs/WIRE.md and
+// docs/PARTITIONING.md).
+//
+// Manifest payload layout (little endian):
+//
+//	table name        (u32 length + bytes)
+//	u8  compressed    (1 = the worker compresses its rebuilt copy)
+//	u64 page size
+//	u64 total rows
+//	u16 column count, then per column: name (u32 length + bytes), u8 kind
+//	u32 segment count, then per segment: u64 start + u64 end
+//	    (coordinator row space, in ship order — the order the data frames'
+//	    rows concatenate in, and the order RangeMap assumes)
+//
+// Each data frame carries one vector.Batch in its standard wire form. The
+// transfer has no explicit end: the worker finalizes the partition the
+// moment the accumulated row count reaches the manifest's total, and a scan
+// fragment referencing a table still short of its total fails Prepare —
+// which cannot happen on a correct client, since ShipPartition writes every
+// frame before any unit ships.
+
+// partManifest is the decoded manifest of one shipped partition.
+type partManifest struct {
+	Table      string
+	Compressed bool
+	PageSize   int64
+	Rows       int64
+	Cols       expr.Schema
+	Segs       storage.RowRanges
+}
+
+// encodePartManifest appends the manifest payload describing shipping the
+// given segments of tab to buf and returns the extended slice.
+func encodePartManifest(tab *storage.Table, segs storage.RowRanges, buf []byte) []byte {
+	buf = expr.AppendString(buf, tab.Name)
+	if tab.Compressed() {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(tab.PageSize))
+	var rows int64
+	for _, s := range segs {
+		rows += int64(s.Len())
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rows))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(tab.Cols)))
+	for _, c := range tab.Cols {
+		buf = expr.AppendString(buf, c.Name)
+		buf = append(buf, byte(c.Kind))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(segs)))
+	for _, s := range segs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Start))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.End))
+	}
+	return buf
+}
+
+// decodePartManifest decodes one manifest payload occupying all of data.
+func decodePartManifest(data []byte) (*partManifest, error) {
+	m := &partManifest{}
+	name, n, err := expr.DecodeString(data)
+	if err != nil {
+		return nil, fmt.Errorf("shard: partition manifest table: %w", err)
+	}
+	m.Table = name
+	data = data[n:]
+	if len(data) < 1+8+8+2 {
+		return nil, fmt.Errorf("shard: truncated partition manifest")
+	}
+	m.Compressed = data[0] != 0
+	m.PageSize = int64(binary.LittleEndian.Uint64(data[1:]))
+	m.Rows = int64(binary.LittleEndian.Uint64(data[9:]))
+	nc := int(binary.LittleEndian.Uint16(data[17:]))
+	data = data[19:]
+	m.Cols = make(expr.Schema, 0, nc)
+	for i := 0; i < nc; i++ {
+		cname, w, err := expr.DecodeString(data)
+		if err != nil {
+			return nil, fmt.Errorf("shard: partition manifest column: %w", err)
+		}
+		data = data[w:]
+		if len(data) < 1 {
+			return nil, fmt.Errorf("shard: truncated partition manifest column kind")
+		}
+		m.Cols = append(m.Cols, expr.ColMeta{Name: cname, Kind: vector.Kind(data[0])})
+		data = data[1:]
+	}
+	if m.PageSize <= 0 || m.Rows < 0 || len(m.Cols) == 0 {
+		return nil, fmt.Errorf("shard: malformed partition manifest for %q", m.Table)
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("shard: truncated partition manifest segments")
+	}
+	ns := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != 16*ns {
+		return nil, fmt.Errorf("shard: partition manifest segment section is %d bytes, want %d", len(data), 16*ns)
+	}
+	m.Segs = make(storage.RowRanges, ns)
+	var segRows int64
+	for i := 0; i < ns; i++ {
+		m.Segs[i] = storage.RowRange{
+			Start: int(binary.LittleEndian.Uint64(data)),
+			End:   int(binary.LittleEndian.Uint64(data[8:])),
+		}
+		if m.Segs[i].Start < 0 || m.Segs[i].End < m.Segs[i].Start {
+			return nil, fmt.Errorf("shard: partition manifest segment [%d,%d) malformed", m.Segs[i].Start, m.Segs[i].End)
+		}
+		segRows += int64(m.Segs[i].Len())
+		data = data[16:]
+	}
+	if segRows != m.Rows {
+		return nil, fmt.Errorf("shard: partition manifest for %q declares %d rows but segments cover %d", m.Table, m.Rows, segRows)
+	}
+	return m, nil
+}
+
+// partRecv is one in-flight partition transfer on a worker session.
+type partRecv struct {
+	m     *partManifest
+	rows  int64
+	bytes int64
+	cols  []partCol
+	skip  bool // duplicate or poisoned: drain remaining data frames silently
+}
+
+// partCol accumulates one column's values across the transfer's batches.
+type partCol struct {
+	i64 []int64
+	f64 []float64
+	str []string
+}
+
+// partStore is a worker session's registry of shipped table partitions: the
+// scan source the session installs on every scan fragment it Prepares. All
+// methods run on the session's frame-loop goroutine (frames arrive in
+// order, and frameSetup — the only reader, via source — is a frame too), so
+// the store needs no locking; the resolved engine.ScanTable a fragment
+// captures at Prepare is immutable afterwards and safe on scheduler
+// goroutines.
+type partStore struct {
+	limit int64 // decoded-byte cap across the session's partitions; 0 = none
+	used  int64
+	byID  map[uint64]*partRecv
+	tabs  map[string]engine.ScanTable
+	errs  map[string]error
+}
+
+func newPartStore(limit int64) *partStore {
+	return &partStore{
+		limit: limit,
+		byID:  make(map[uint64]*partRecv),
+		tabs:  make(map[string]engine.ScanTable),
+		errs:  make(map[string]error),
+	}
+}
+
+// addManifest registers one partition transfer. Duplicates (a table already
+// finalized, typically a plan-time ship racing a re-admission re-ship the
+// client-side dedup didn't see) keep the first copy and drain the new
+// transfer. The returned error means protocol corruption — the session
+// drops.
+func (p *partStore) addManifest(id uint64, payload []byte) error {
+	m, err := decodePartManifest(payload)
+	if err != nil {
+		return err
+	}
+	if _, dup := p.byID[id]; dup {
+		return fmt.Errorf("shard: partition id %d reused", id)
+	}
+	r := &partRecv{m: m}
+	if _, have := p.tabs[m.Table]; have {
+		r.skip = true
+	} else if _, poisoned := p.errs[m.Table]; poisoned {
+		r.skip = true
+	} else {
+		r.cols = make([]partCol, len(m.Cols))
+		if m.Rows == 0 {
+			p.byID[id] = r
+			return p.finalize(r)
+		}
+	}
+	p.byID[id] = r
+	return nil
+}
+
+// addData appends one data frame's batch to its transfer, finalizing the
+// partition when the manifest's row total is reached. The returned error
+// means protocol corruption; resource-limit and schema problems instead
+// poison the table, failing its scans as work errors without dropping the
+// session.
+func (p *partStore) addData(id uint64, payload []byte) error {
+	r := p.byID[id]
+	if r == nil {
+		return fmt.Errorf("shard: partition data for unknown id %d", id)
+	}
+	if r.skip {
+		return nil
+	}
+	b, n, err := vector.DecodeBatch(payload)
+	if err != nil {
+		return fmt.Errorf("shard: partition batch: %w", err)
+	}
+	if n != len(payload) {
+		return fmt.Errorf("shard: %d trailing bytes after partition batch", len(payload)-n)
+	}
+	if len(b.Cols) != len(r.m.Cols) {
+		return fmt.Errorf("shard: partition batch for %q has %d columns, manifest %d", r.m.Table, len(b.Cols), len(r.m.Cols))
+	}
+	if p.limit > 0 && p.used+b.Bytes() > p.limit {
+		p.poison(r, fmt.Errorf("shard: partition for %q exceeds the worker's %d-byte partition limit", r.m.Table, p.limit))
+		return nil
+	}
+	for i, v := range b.Cols {
+		if v.Kind != r.m.Cols[i].Kind {
+			return fmt.Errorf("shard: partition batch column %d of %q is kind %d, manifest says %d", i, r.m.Table, v.Kind, r.m.Cols[i].Kind)
+		}
+		switch v.Kind {
+		case vector.Int64:
+			r.cols[i].i64 = append(r.cols[i].i64, v.I64...)
+		case vector.Float64:
+			r.cols[i].f64 = append(r.cols[i].f64, v.F64...)
+		case vector.String:
+			r.cols[i].str = append(r.cols[i].str, v.Str...)
+		}
+	}
+	p.used += b.Bytes()
+	r.bytes += b.Bytes()
+	r.rows += int64(b.Len())
+	if r.rows > r.m.Rows {
+		return fmt.Errorf("shard: partition for %q received %d rows, manifest declares %d", r.m.Table, r.rows, r.m.Rows)
+	}
+	if r.rows == r.m.Rows {
+		return p.finalize(r)
+	}
+	return nil
+}
+
+// finalize rebuilds the partition as a local table — compressed when the
+// coordinator's original was — and publishes it with its coordinator→local
+// range mapping.
+func (p *partStore) finalize(r *partRecv) error {
+	cols := make([]*storage.Column, len(r.m.Cols))
+	for i, c := range r.m.Cols {
+		switch c.Kind {
+		case vector.Int64:
+			if r.cols[i].i64 == nil {
+				r.cols[i].i64 = []int64{}
+			}
+			cols[i] = storage.NewInt64Column(c.Name, r.cols[i].i64)
+		case vector.Float64:
+			if r.cols[i].f64 == nil {
+				r.cols[i].f64 = []float64{}
+			}
+			cols[i] = storage.NewFloat64Column(c.Name, r.cols[i].f64)
+		case vector.String:
+			if r.cols[i].str == nil {
+				r.cols[i].str = []string{}
+			}
+			cols[i] = storage.NewStringColumn(c.Name, r.cols[i].str)
+		default:
+			return fmt.Errorf("shard: partition column %q has unknown kind %d", c.Name, c.Kind)
+		}
+	}
+	tab, err := storage.NewTable(r.m.Table, r.m.PageSize, cols...)
+	if err != nil {
+		p.poison(r, err)
+		return nil
+	}
+	if r.m.Compressed {
+		tab.Compress()
+	}
+	p.tabs[r.m.Table] = engine.ScanTable{Tab: tab, Map: NewRangeMap(r.m.Segs).Map}
+	r.cols, r.skip = nil, true
+	return nil
+}
+
+// poison records why the table's partition is unusable and frees the
+// partial transfer; the table's scan fragments fail Prepare with the cause.
+func (p *partStore) poison(r *partRecv, err error) {
+	p.errs[r.m.Table] = err
+	p.used -= r.bytes
+	r.cols, r.skip = nil, true
+}
+
+// source is the engine.ScanSource a scan fragment resolves its table
+// through at Prepare.
+func (p *partStore) source(table string) (engine.ScanTable, error) {
+	if st, ok := p.tabs[table]; ok {
+		return st, nil
+	}
+	if err, ok := p.errs[table]; ok {
+		return engine.ScanTable{}, err
+	}
+	return engine.ScanTable{}, fmt.Errorf("shard: no partition of %q shipped on this session", table)
+}
+
+// partShipment is the encoded, reusable form of one worker's partition of
+// one table: the payload bytes ShipPartition frames per session. Payloads
+// are shared read-only across sessions (each send copies behind a fresh
+// frame header).
+type partShipment struct {
+	key      string
+	manifest []byte
+	data     [][]byte
+	saved    []int64
+}
+
+// buildPartShipment extracts the given segments of tab (all columns, ship
+// order) and encodes them as a shipment. The extraction reads through a
+// plain reader with no accountant: shipping is network work, metered on the
+// frames by the session's network accountant, not modeled device IO.
+func buildPartShipment(key string, tab *storage.Table, segs storage.RowRanges) *partShipment {
+	s := &partShipment{key: key, manifest: encodePartManifest(tab, segs, nil)}
+	cols := make([]int, len(tab.Cols))
+	kinds := make([]vector.Kind, len(tab.Cols))
+	for i, c := range tab.Cols {
+		cols[i] = i
+		kinds[i] = c.Kind
+	}
+	r := storage.NewReader(tab, cols, segs, nil)
+	b := vector.NewBatch(kinds)
+	for r.Next(b) {
+		pl := b.Encode(nil)
+		s.data = append(s.data, pl)
+		s.saved = append(s.saved, int64(b.RawWireSize()-len(pl)))
+	}
+	return s
+}

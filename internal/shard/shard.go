@@ -1,14 +1,25 @@
 // Package shard scales the engine's BDCC group streams past one box. The
 // paper's organization makes dimension groups the natural unit of
 // distribution: a group's build and probe batches are self-contained (rows
-// never match across groups), so a sandwich-group work unit can ship to
-// another executor with no cross-shard coordination. This package provides
-// the pieces behind the engine's Backend seam:
+// never match across groups, and a scatter group's row ranges never
+// interleave with another group's), so group work units ship to other
+// executors with no cross-shard coordination. Two unit shapes cross the
+// seam: sandwich-join units carry a group's batches to whichever backend
+// the router picks, and scan units carry only row ranges to the worker
+// that owns the matching table partition — the shared-nothing path, where
+// base-table data lives worker-local and only results come back. This
+// package provides the pieces behind the engine's Backend seam:
 //
 //   - Router / Set.Route: group placement — deterministic group-hash by
 //     default, least-loaded-by-bytes under the balance-by-size policy —
 //     with per-backend routed loads recorded either way (placement stays in
 //     the scheduler/backend layer, not in operators).
+//   - Partitioning (partition.go): the deterministic assignment of a BDCC
+//     table's z-order cells to workers, the coordinator→local range
+//     mapping, and the group splitter — the partitioning layer specified
+//     in docs/PARTITIONING.md. Set.PartitionTable builds it and ships each
+//     worker its partition (partstore.go holds the wire form and both ends
+//     of the transfer).
 //   - the wire codecs (codec.go): plan fragments and group units cross a
 //     transport as bytes, never as shared memory.
 //   - the frame protocol (net.go): the client half (engine.Backend over one
@@ -21,7 +32,9 @@
 //   - Dial / DialSet: the same client over real TCP connections to
 //     bdccworker daemons (docs/OPERATIONS.md covers deployment).
 //   - NewFailover (failover.go): unit-level retry across a set — failed
-//     units reroute to surviving backends, excluding failed attempts.
+//     units reroute to surviving backends, excluding failed attempts; scan
+//     units are placement-pinned and instead retry on a re-admitted home
+//     worker or re-scan on the coordinator's full copy.
 //   - the health prober (health.go): down backends with dialable addresses
 //     are re-dialed under bounded jittered backoff, liveness-checked with a
 //     ping/pong round-trip, and re-admitted to the routing set mid-query;
@@ -32,24 +45,33 @@
 //
 // A third-party backend implements engine.Backend against this contract;
 // the transport backends of this package follow it over their framed
-// streams (hello → setup → units → done/close):
+// streams (dial → partitions → setup → units → done/close):
 //
 //   - Connect/handshake: a session begins with the client's hello (magic +
 //     protocol version) and the worker's hello reply (version + worker
 //     parallelism). Versions must match exactly; Workers() reports the
 //     replied parallelism so the engine can size its in-flight lookahead.
+//   - Partitions: before any scan fragment references a table, the client
+//     ships the worker its partition of it — one manifest frame (segments,
+//     schema, total rows) and a stream of row-batch frames, finalized the
+//     moment the row total is reached. Shipments are deduplicated per
+//     session by content key; join-only queries skip this step entirely.
 //   - Setup: the first unit of each operator is preceded by the operator's
 //     serialized plan fragment (one frameSetup per fragment, identified by
 //     a client-assigned id). The worker Prepares the decoded fragment once
-//     and executes every later unit of that id against it. A fragment that
-//     fails to decode or Prepare poisons only its own units (each fails
-//     with the preparation error as a work error), never the session.
+//     and executes every later unit of that id against it — scan fragments
+//     resolve against the session's shipped partitions at Prepare. A
+//     fragment that fails to decode or Prepare poisons only its own units
+//     (each fails with the preparation error as a work error), never the
+//     session.
 //   - Units: RunGroup is asynchronous and concurrent; each unit is
 //     independent. The backend invokes emit sequentially per unit with
 //     result batches that share no memory with the shipped unit, then
-//     done(err) exactly once. Work errors cross the wire as text — error
-//     identity does not survive — and are deterministic: the engine does
-//     not retry them.
+//     done(err) exactly once. A scan unit's done additionally reports the
+//     unit's modeled local read stats (the worker's device traffic, the
+//     per-worker numbers the partitioned benchmarks gate on). Work errors
+//     cross the wire as text — error identity does not survive — and are
+//     deterministic: the engine does not retry them.
 //   - Failure and reroute: transport-level failures (connection loss, a
 //     killed worker, refused dials, protocol corruption) fail every pending
 //     and later unit with an error wrapping ErrBackendDown. That wrapper is
@@ -57,12 +79,17 @@
 //     surviving backends, excluding every backend that already failed the
 //     unit; because unit output is deterministic and emitted sequentially,
 //     the retry replays the same batch sequence and skips the prefix a
-//     half-emitted failed attempt already delivered.
+//     half-emitted failed attempt already delivered. Scan units are
+//     placement-pinned — peers do not hold their partition — so they skip
+//     the survivor chain and go straight to local fallback.
 //   - Recovery: a down backend with a dialable address is probed (bounded
 //     jittered backoff, ping-verified sessions) and re-admitted mid-query
-//     with the session's fragments re-shipped; its exclusion records reset,
-//     so later units land on it again. With no remote surviving, units run
-//     on the coordinator's local fragment copy (graceful degradation).
+//     with the slot's table partitions and the session's fragments
+//     re-shipped first; its exclusion records reset, so later units —
+//     including pinned scan units — land on it again. With no remote
+//     surviving, units run on the coordinator's local fragment copy
+//     (graceful degradation; for scans, against the coordinator's full
+//     table at identical batch boundaries).
 //   - Close: callers Close only after every done callback returned (the
 //     engine's exchange guarantees this). Close tears the transport down
 //     and joins all backend-owned goroutines; a closed backend completes
@@ -71,18 +98,20 @@
 //
 // One backend Set is installed per query (by the planner, when the Shards
 // knob exceeds one or worker addresses are configured); query results are
-// byte-identical across shard counts, routing policies, transports, and
-// mid-query worker failures, because the engine's exchange merges returned
-// batches in group order regardless of where — and after how many attempts —
-// a group ran.
+// byte-identical across shard counts, routing policies, transports,
+// partitioned and shipped-data scans, and mid-query worker failures,
+// because the engine's exchange merges returned batches in group order
+// regardless of where — and after how many attempts — a group ran.
 package shard
 
 import (
 	"fmt"
 	"sync"
 
+	"bdcc/internal/core"
 	"bdcc/internal/engine"
 	"bdcc/internal/iosim"
+	"bdcc/internal/storage"
 	"bdcc/internal/vector"
 )
 
@@ -139,9 +168,11 @@ type Set struct {
 	hash     *Router
 	net      *iosim.Accountant
 
-	mu     sync.Mutex
-	bySize bool
-	loads  []engine.BackendLoad
+	mu        sync.Mutex
+	bySize    bool
+	loads     []engine.BackendLoad
+	parts     map[string]*Partitioning
+	scanAccts []*iosim.Accountant
 }
 
 // SetConfig tunes a set's recovery behavior.
@@ -218,6 +249,103 @@ func newSet(n int, acct *iosim.Accountant) *Set {
 		hash:  NewRouter(n),
 		net:   acct,
 		loads: make([]engine.BackendLoad, n),
+		parts: make(map[string]*Partitioning),
+	}
+}
+
+// PartitionTable partitions the named base table across the set's workers by
+// its BDCC count entries and ships each worker its partition — manifest plus
+// row batches over the session, deduplicated per session by content key, so
+// a second query over the same set reuses both the placement and the already
+// shipped data. The returned Partitioning is the placement the planner
+// splits scatter groups with; it is cached per table name, and shipping
+// failures are deliberately absorbed (a broken session fails its units with
+// ErrBackendDown and re-admission re-ships).
+func (s *Set) PartitionTable(name string, tab *storage.Table, entries []core.CountEntry) *Partitioning {
+	s.mu.Lock()
+	if p, ok := s.parts[name]; ok {
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+	// Built outside the lock — extraction and encoding are heavy, and Route
+	// must not stall behind them. A concurrent builder of the same table is
+	// resolved below (first registration wins; the loser's shipments are
+	// dropped, and per-session dedup absorbs any frames it already sent).
+	p := NewPartitioning(name, entries, len(s.backends))
+	ships := make([]*partShipment, len(s.backends))
+	for w := range ships {
+		key := fmt.Sprintf("%s/%d@%d", name, w, len(s.backends))
+		ships[w] = buildPartShipment(key, tab, p.Segments(w))
+	}
+	s.mu.Lock()
+	if prev, ok := s.parts[name]; ok {
+		s.mu.Unlock()
+		return prev
+	}
+	s.parts[name] = p
+	s.mu.Unlock()
+	s.f.shipPartition(name, ships)
+	return p
+}
+
+// Partitioning returns the cached placement of a table PartitionTable
+// already processed, or nil.
+func (s *Set) Partitioning(name string) *Partitioning {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parts[name]
+}
+
+// EnableScanIO equips every worker slot with a scan-read accountant over
+// dev: the read stats workers report in scan units' done frames accumulate
+// per slot, giving the per-worker device traffic the partitioned
+// benchmarks report (worker_mb_read). First call wins; later calls are
+// no-ops.
+func (s *Set) EnableScanIO(dev iosim.Device) {
+	s.mu.Lock()
+	if s.scanAccts != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.scanAccts = make([]*iosim.Accountant, len(s.backends))
+	hooks := make([]func(runs, pages, bytes int64), len(s.backends))
+	for i := range s.scanAccts {
+		a := iosim.NewAccountant(dev)
+		s.scanAccts[i] = a
+		hooks[i] = a.AddRuns
+	}
+	s.mu.Unlock()
+	s.f.setScanIO(hooks)
+}
+
+// ScanIO returns the per-worker scan read stats accumulated since
+// EnableScanIO, index-aligned with the backends; nil when never enabled.
+// Units that failed over to the coordinator's local copy are charged to the
+// query's own accountant instead, so these stats are exactly what the
+// workers' devices served.
+func (s *Set) ScanIO() []iosim.Stats {
+	s.mu.Lock()
+	accts := s.scanAccts
+	s.mu.Unlock()
+	if accts == nil {
+		return nil
+	}
+	out := make([]iosim.Stats, len(accts))
+	for i, a := range accts {
+		out[i] = a.Stats()
+	}
+	return out
+}
+
+// ResetScanIO clears the per-worker scan accountants (between benchmark
+// repetitions sharing one set).
+func (s *Set) ResetScanIO() {
+	s.mu.Lock()
+	accts := s.scanAccts
+	s.mu.Unlock()
+	for _, a := range accts {
+		a.Reset()
 	}
 }
 

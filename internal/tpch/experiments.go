@@ -25,9 +25,12 @@ type Report struct {
 	Shards  int      // scale-out knob the grid ran with (0/1 = single-box)
 	Remotes []string // bdccworker addresses the grid ran against (empty = simulated)
 	Balance string   // placement policy ("hash" default, "size")
-	Schemes []plan.Scheme
-	Runs    map[plan.Scheme][]QueryRun // indexed by query position
-	Explain map[string][]string        // per "scheme/query"
+	// Partition records the shared-nothing knob: scatter scans lowered to
+	// shipped scan units over worker-local partitions.
+	Partition bool
+	Schemes   []plan.Scheme
+	Runs      map[plan.Scheme][]QueryRun // indexed by query position
+	Explain   map[string][]string        // per "scheme/query"
 	// Compressed records the storage-compression knob; Comp holds the
 	// per-scheme compression outcome (modeled on-disk bytes and the wire
 	// bytes the batch codec saved across the scheme's 22 runs). Comp is
@@ -57,13 +60,14 @@ func (b *Benchmark) RunAll() (*Report, error) {
 		shards = len(b.Remotes)
 	}
 	rep := &Report{
-		SF:      b.SF,
-		Workers: b.Workers,
-		Shards:  shards,
-		Remotes: b.Remotes,
-		Balance: b.Balance,
-		Runs:    make(map[plan.Scheme][]QueryRun),
-		Explain: make(map[string][]string),
+		SF:        b.SF,
+		Workers:   b.Workers,
+		Shards:    shards,
+		Remotes:   b.Remotes,
+		Balance:   b.Balance,
+		Partition: b.Partition,
+		Runs:      make(map[plan.Scheme][]QueryRun),
+		Explain:   make(map[string][]string),
 
 		Compressed: b.Compressed,
 		Comp:       make(map[plan.Scheme]CompRecord),
@@ -240,6 +244,22 @@ func (r *Report) WriteSched(w io.Writer) {
 			fmt.Fprintf(w, "       failover: %d retries, %d downs, %d readmits, %d local-fallback units\n",
 				retries, downs, readmits, fallback)
 		}
+		var workerBytes []int64
+		for _, run := range r.Runs[s] {
+			for i, wio := range run.Stats.WorkerIO {
+				if i >= len(workerBytes) {
+					workerBytes = append(workerBytes, 0)
+				}
+				workerBytes[i] += wio.Bytes
+			}
+		}
+		if len(workerBytes) > 0 {
+			fmt.Fprintf(w, "       partitioned scan MB read per worker:")
+			for _, b := range workerBytes {
+				fmt.Fprintf(w, " %.1f", float64(b)/(1<<20))
+			}
+			fmt.Fprintln(w)
+		}
 	}
 }
 
@@ -323,6 +343,14 @@ type JSONQueryRun struct {
 	// coordinator's local backend because no remote survived them; omitted
 	// when zero.
 	LocalFallbackUnits int64 `json:"local_fallback_units,omitempty"`
+	// WorkerMBRead and WorkerDeviceMS are the per-worker device activity of
+	// a partitioned run (index = worker slot): the bytes each worker's
+	// shipped scan units read from its local partition and their modeled
+	// device time. Present exactly when the Partition knob lowered the
+	// query's scan; the shared-nothing headline is each entry ≈ mb_read/N
+	// of the single-box run. Failover re-scans land in mb_read instead.
+	WorkerMBRead   []float64 `json:"worker_mb_read,omitempty"`
+	WorkerDeviceMS []float64 `json:"worker_device_ms,omitempty"`
 }
 
 // JSONReport is the machine-readable form of the full measurement grid.
@@ -335,9 +363,12 @@ type JSONReport struct {
 	// Remotes is the number of real bdccworker daemons the grid ran
 	// against (0 = simulated backends); Balance is the group-placement
 	// policy ("hash" or "size").
-	Remotes int            `json:"remotes"`
-	Balance string         `json:"balance"`
-	Queries []JSONQueryRun `json:"queries"`
+	Remotes int    `json:"remotes"`
+	Balance string `json:"balance"`
+	// Partition is the shared-nothing knob of the run: scatter scans
+	// lowered to shipped scan units over worker-local partitions.
+	Partition bool           `json:"partition,omitempty"`
+	Queries   []JSONQueryRun `json:"queries"`
 	// Compressed is the storage-compression knob of the run; Compression
 	// holds the per-scheme outcome (present exactly when Compressed).
 	Compressed  bool              `json:"compressed"`
@@ -369,8 +400,8 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		balance = "hash"
 	}
 	out := JSONReport{SF: r.SF, Workers: r.Workers, Shards: r.Shards,
-		Remotes: len(r.Remotes), Balance: balance, Concurrency: r.Concurrency,
-		Compressed: r.Compressed}
+		Remotes: len(r.Remotes), Balance: balance, Partition: r.Partition,
+		Concurrency: r.Concurrency, Compressed: r.Compressed}
 	if r.Compressed {
 		for _, scheme := range r.Schemes {
 			c := r.Comp[scheme]
@@ -399,6 +430,11 @@ func (r *Report) WriteJSON(w io.Writer) error {
 				downs = append(downs, h.Downs)
 				readmits = append(readmits, h.Readmits)
 			}
+			var workerMB, workerMS []float64
+			for _, wio := range st.WorkerIO {
+				workerMB = append(workerMB, float64(wio.Bytes)/(1<<20))
+				workerMS = append(workerMS, float64(wio.Time.Microseconds())/1000)
+			}
 			out.Queries = append(out.Queries, JSONQueryRun{
 				Scheme:             scheme.String(),
 				Query:              run.Query,
@@ -418,6 +454,8 @@ func (r *Report) WriteJSON(w io.Writer) error {
 				ShardDowns:         downs,
 				ShardReadmits:      readmits,
 				LocalFallbackUnits: st.LocalFallbackUnits,
+				WorkerMBRead:       workerMB,
+				WorkerDeviceMS:     workerMS,
 			})
 		}
 	}

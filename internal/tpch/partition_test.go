@@ -1,0 +1,178 @@
+package tpch
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bdcc/internal/plan"
+)
+
+// TestPartitionedEquivalence is the shared-nothing leg of the scale-out
+// oracle: every TPC-H query under every scheme with the Partition knob set,
+// over two real bdccworker servers dialed over TCP — base-table partitions
+// shipped at query setup, scatter scans running as shipped row-range units
+// against worker-local storage — must return byte-identical results to the
+// serial single-box baseline, including exact float bits. Under BDCC the
+// run must additionally prove the shared-nothing claim: scan device reads
+// land on the workers (reported per slot in Stats.WorkerIO), each worker
+// reading strictly less than the single-box scan volume.
+func TestPartitionedEquivalence(t *testing.T) {
+	b := benchmarkFixture(t)
+	srvs, addrs := startWorkers(t, 2, 2)
+	var partBytes [2]int64
+	for _, q := range Queries {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
+				serial, sst, _, err := RunQueryShards(b.DBs[scheme], q, 1, 1)
+				if err != nil {
+					t.Fatalf("%s under %s serial: %v", q.Name, scheme, err)
+				}
+				part, st, _, err := RunQueryOpts(b.DBs[scheme], q,
+					RunOptions{Workers: 2, Remotes: addrs, Partition: true})
+				if err != nil {
+					t.Fatalf("%s under %s partitioned: %v", q.Name, scheme, err)
+				}
+				label := fmt.Sprintf("%s under %s partitioned", q.Name, scheme)
+				assertSameResult(t, label, part, serial)
+				for c := range serial.Cols {
+					for i, v := range serial.Cols[c].F64 {
+						if pv := part.Cols[c].F64[i]; pv != v {
+							t.Fatalf("%s: col %d row %d = %v, %v at baseline — floats must be bit-identical",
+								label, c, i, pv, v)
+						}
+					}
+				}
+				if scheme != plan.BDCC {
+					// Only BDCC has scatter scans to partition; the knob must
+					// be a no-op elsewhere.
+					if st.WorkerIO != nil {
+						t.Fatalf("%s under %s reports worker scan IO without a partitionable scan", q.Name, scheme)
+					}
+					continue
+				}
+				if st.WorkerIO == nil {
+					// Queries whose plans have no scatter scan stay local.
+					continue
+				}
+				if len(st.WorkerIO) != len(addrs) {
+					t.Fatalf("%s: %d worker IO slots for %d workers", q.Name, len(st.WorkerIO), len(addrs))
+				}
+				var sum int64
+				for w, wio := range st.WorkerIO {
+					if wio.Bytes >= sst.IO.Bytes && sst.IO.Bytes > 0 {
+						t.Fatalf("%s: worker %d read %d bytes, not less than the single-box %d — nothing was partitioned",
+							q.Name, w, wio.Bytes, sst.IO.Bytes)
+					}
+					partBytes[w] += wio.Bytes
+					sum += wio.Bytes
+				}
+				if sum == 0 {
+					t.Fatalf("%s: partitioned plan lowered but no worker read any bytes", q.Name)
+				}
+				// The coordinator must not double-charge shipped scans.
+				if st.IO.Bytes >= sst.IO.Bytes+sst.IO.Bytes/10 {
+					t.Fatalf("%s: coordinator read %d bytes on the partitioned run vs %d single-box — shipped scans double-charged",
+						q.Name, st.IO.Bytes, sst.IO.Bytes)
+				}
+			}
+		})
+	}
+	for w, bts := range partBytes {
+		if bts == 0 {
+			t.Fatalf("worker %d performed no local scan reads across the whole suite", w)
+		}
+	}
+	var units int64
+	for _, s := range srvs {
+		units += s.UnitsDone()
+	}
+	if units == 0 {
+		t.Fatal("no unit ever reached a TCP worker — the partitioned path went unexercised")
+	}
+}
+
+// TestPartitionedSimEquivalence is the simulated-backend leg of the
+// shared-nothing oracle (tpchbench -shards 2 -partition): the same
+// partition shipping and shipped scan units run over in-process simulated
+// remotes instead of TCP daemons, and must match the serial baseline with
+// scan reads landing on the workers.
+func TestPartitionedSimEquivalence(t *testing.T) {
+	b := benchmarkFixture(t)
+	for _, qn := range []int{3, 9, 19} {
+		q := Query(qn)
+		serial, _, _, err := RunQueryShards(b.DBs[plan.BDCC], q, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, st, _, err := RunQueryOpts(b.DBs[plan.BDCC], q,
+			RunOptions{Workers: 2, Shards: 2, Partition: true})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		assertSameResult(t, q.Name+" partitioned over simulated backends", part, serial)
+		if st.WorkerIO == nil {
+			t.Fatalf("%s: no per-worker scan IO over simulated backends", q.Name)
+		}
+		for w, wio := range st.WorkerIO {
+			if wio.Bytes == 0 {
+				t.Fatalf("%s: simulated worker %d read no bytes", q.Name, w)
+			}
+		}
+	}
+}
+
+// TestPartitionedFailoverMidScan kills one of two TCP workers in the middle
+// of a partitioned scan-heavy query — after its second completed unit — and
+// asserts the run still matches the serial oracle byte for byte: the dead
+// worker's pinned scan units re-scan on the coordinator's local copy, and
+// the delivered-prefix replay splices half-delivered units without
+// duplicating or reordering rows. The kill is timing-dependent (the query
+// must still be running), so the scenario retries a few times; equivalence
+// is asserted unconditionally on every attempt.
+func TestPartitionedFailoverMidScan(t *testing.T) {
+	b := benchmarkFixture(t)
+	for _, qn := range []int{3, 19} {
+		q := Query(qn)
+		t.Run(q.Name, func(t *testing.T) {
+			serial, _, _, err := RunQueryShards(b.DBs[plan.BDCC], q, 1, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for attempt := 1; ; attempt++ {
+				srvs, addrs := startWorkers(t, 2, 2)
+				for _, s := range srvs {
+					s.OnUnitStart = func() { time.Sleep(2 * time.Millisecond) }
+				}
+				victim := srvs[1]
+				var killed atomic.Bool
+				victim.OnUnitDone = func(total int64) {
+					if total == 2 && !killed.Swap(true) {
+						go victim.Close()
+					}
+				}
+				part, st, _, err := RunQueryOpts(b.DBs[plan.BDCC], q,
+					RunOptions{Workers: 2, Remotes: addrs, Partition: true})
+				if err != nil {
+					t.Fatalf("%s with a worker killed mid-scan failed instead of failing over: %v", q.Name, err)
+				}
+				assertSameResult(t, q.Name+" after mid-scan worker kill", part, serial)
+				if killed.Load() {
+					if st.WorkerIO == nil {
+						t.Fatalf("%s: partitioned run reports no worker IO", q.Name)
+					}
+					if st.IO.Bytes == 0 {
+						t.Fatalf("%s: dead worker's units re-scanned locally but the coordinator charged no reads", q.Name)
+					}
+					return
+				}
+				srvs[0].Close()
+				if attempt == 5 {
+					t.Fatalf("%s: the victim never completed 2 units before the query finished in %d attempts", q.Name, attempt)
+				}
+			}
+		})
+	}
+}

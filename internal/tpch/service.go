@@ -46,8 +46,14 @@ func (s *Service) schemeDB(name string) (*plan.DB, error) {
 }
 
 // knobs fingerprints the plan-shaping execution knobs for the cache key.
+// Partition shapes the plan (a partitioned scatter scan lowers to shipped
+// scan units), so it is part of the fingerprint.
 func knobs(ctx *engine.Context) string {
-	return fmt.Sprintf("w%d/s%d/r%d/%s", ctx.Workers, ctx.Shards, len(ctx.Remotes), ctx.Balance)
+	part := ""
+	if ctx.Partition {
+		part = "/p"
+	}
+	return fmt.Sprintf("w%d/s%d/r%d/%s%s", ctx.Workers, ctx.Shards, len(ctx.Remotes), ctx.Balance, part)
 }
 
 // Handle runs one named query under one scheme on the prepared context. The
