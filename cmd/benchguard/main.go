@@ -10,7 +10,7 @@
 //	benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P]
 //	           [-downs-min N] [-readmits-min N] [-concurrency-expected N]
 //	           [-compression-expected 0|1] [-partition-expected N]
-//	           [-partition-baseline SINGLE_BOX.json]
+//	           [-partition-baseline SINGLE_BOX.json] [-ingest-expected 0|1]
 //	           BENCH_tpch.json
 //
 // Checks:
@@ -63,7 +63,20 @@
 //     slack plus a floor rather than equality), and in aggregate each
 //     worker's total across all partitioned queries must stay below
 //     partAggFrac of the summed single-box volume, which is what proves the
-//     scans were divided rather than replicated.
+//     scans were divided rather than replicated;
+//   - the ingest leg: a grid with ingest_rate > 0 runs every cell twice
+//     (round 1 interleaved with appends, round 2 post-merge), so cells are
+//     keyed by round, each round's 3×22 grid must be complete, every
+//     round-tagged cell must carry a positive epoch, and no round-2 cell may
+//     still see delta rows; -ingest-expected 1 fails the gate unless the
+//     grid ran ingesting, its ingest section carries a record per scheme
+//     proving appends landed (appended_rows > 0) and consolidations
+//     committed (merges ≥ 1, merged_rows > 0), at least one round-1 cell per
+//     scheme saw un-merged delta, and — on compressed grids — each scheme's
+//     round-2 mb_read sum fell below round 1's (the merge re-compressed the
+//     consolidated layout, repaying the freshness tax); -ingest-expected 0
+//     fails if the grid ingested (-1 skips, with structural validation of a
+//     present section either way).
 //
 // The file is decoded into generic JSON, not the tpch structs, so a field
 // rename in the producer cannot silently satisfy the guard.
@@ -110,19 +123,26 @@ func main() {
 	compExpected := flag.Int("compression-expected", -1, "fail unless the grid ran with compression on (1) or off (0) and the section proves it (-1 skips)")
 	partExpected := flag.Int("partition-expected", -1, "fail unless the grid ran shared-nothing partitioned over this many workers (-1 skips)")
 	partBaseline := flag.String("partition-baseline", "", "single-box grid JSON; fail unless every partitioned worker's per-query mb_read stays within slack of its 1/N share (empty skips)")
+	ingestExpected := flag.Int("ingest-expected", -1, "fail unless the grid ran the ingest leg (1) or did not (0) and the section proves it (-1 skips)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] [-concurrency-expected N] [-compression-expected 0|1] [-partition-expected N] [-partition-baseline SINGLE_BOX.json] BENCH_tpch.json")
+		fmt.Fprintln(os.Stderr, "usage: benchguard [-shards-expected N] [-remotes-expected N] [-balance-expected P] [-downs-min N] [-readmits-min N] [-concurrency-expected N] [-compression-expected 0|1] [-partition-expected N] [-partition-baseline SINGLE_BOX.json] [-ingest-expected 0|1] BENCH_tpch.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin, *concExpected, *compExpected, *partExpected, *partBaseline); err != nil {
+	if err := check(flag.Arg(0), *shardsExpected, *remotesExpected, *balanceExpected, *downsMin, *readmitsMin, *concExpected, *compExpected, *partExpected, *partBaseline, *ingestExpected); err != nil {
 		fmt.Fprintln(os.Stderr, "benchguard:", err)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: grid OK")
 }
 
-func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin, concExpected, compExpected, partExpected int, partBaseline string) error {
+// schemeIngest accumulates the per-scheme round evidence of an ingest grid.
+type schemeIngest struct {
+	r1Delta    int // round-1 cells that saw un-merged delta rows
+	r1MB, r2MB float64
+}
+
+func check(path string, shardsExpected, remotesExpected int, balanceExpected string, downsMin, readmitsMin, concExpected, compExpected, partExpected int, partBaseline string, ingestExpected int) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -173,6 +193,14 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if err != nil {
 		return err
 	}
+	ingestRate, _ := top["ingest_rate"].(float64)
+	isIngest := ingestRate > 0
+	if ingestExpected == 1 && !isIngest {
+		return fmt.Errorf("grid did not run the ingest leg (ingest_rate missing or 0), expected a mixed read/write grid")
+	}
+	if ingestExpected == 0 && isIngest {
+		return fmt.Errorf("grid ran ingesting (ingest_rate=%d), expected a read-only grid", int(ingestRate))
+	}
 	queries, ok := top["queries"].([]any)
 	if !ok || len(queries) == 0 {
 		return fmt.Errorf("grid has no queries array")
@@ -183,6 +211,7 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	workerMB := make([]float64, int(shards))
 	var partBaseSum float64
 	var downsTotal, readmitsTotal float64
+	ingestBy := make(map[string]*schemeIngest)
 	for i, qa := range queries {
 		cell, ok := qa.(map[string]any)
 		if !ok {
@@ -194,12 +223,29 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 			}
 		}
 		key := fmt.Sprint(cell["scheme"], "/", cell["query"])
+		round := 0
+		if v, ok := cell["round"]; ok {
+			n, isNum := v.(float64)
+			if !isNum || (n != 1 && n != 2) {
+				return fmt.Errorf("%s: round = %v is not 1 or 2", key, v)
+			}
+			round = int(n)
+		}
+		if isIngest && round == 0 {
+			return fmt.Errorf("%s lacks a round tag in an ingest grid (schema regression)", key)
+		}
+		if !isIngest && round != 0 {
+			return fmt.Errorf("%s carries a round tag but the grid did not run the ingest leg", key)
+		}
+		if round != 0 {
+			key = fmt.Sprintf("%s/r%d", key, round)
+		}
 		if seen[key] {
 			return fmt.Errorf("duplicate grid cell %s", key)
 		}
 		seen[key] = true
 		num := make(map[string]float64)
-		for _, f := range []string{"rows", "device_ms", "mb_read", "peak_mb", "cold_ms", "wall_ms", "hidden_ms", "net_ms", "net_msgs", "local_fallback_units"} {
+		for _, f := range []string{"rows", "device_ms", "mb_read", "peak_mb", "cold_ms", "wall_ms", "hidden_ms", "net_ms", "net_msgs", "local_fallback_units", "epoch", "delta_rows"} {
 			v, ok := cell[f]
 			if !ok {
 				continue
@@ -215,6 +261,30 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 		if num["cold_ms"]+num["hidden_ms"] < num["device_ms"]-0.01 {
 			return fmt.Errorf("%s: cold_ms %.3f + hidden_ms %.3f below device_ms %.3f — cold-time model broken",
 				key, num["cold_ms"], num["hidden_ms"], num["device_ms"])
+		}
+		if round != 0 {
+			// Snapshot provenance: every ingest-grid run pins a version the
+			// appends advanced, and a post-merge run must see no delta.
+			if num["epoch"] < 1 {
+				return fmt.Errorf("%s ran at epoch %d; ingest-grid runs pin an appended version (schema regression)", key, int(num["epoch"]))
+			}
+			si := ingestBy[fmt.Sprint(cell["scheme"])]
+			if si == nil {
+				si = &schemeIngest{}
+				ingestBy[fmt.Sprint(cell["scheme"])] = si
+			}
+			switch round {
+			case 1:
+				if num["delta_rows"] > 0 {
+					si.r1Delta++
+				}
+				si.r1MB += num["mb_read"]
+			case 2:
+				if num["delta_rows"] > 0 {
+					return fmt.Errorf("%s still sees %d delta rows after the merge — consolidation left un-merged delta visible", key, int(num["delta_rows"]))
+				}
+				si.r2MB += num["mb_read"]
+			}
 		}
 		if _, ok := cell["net_ms"]; ok {
 			if int(shards) < 2 {
@@ -319,16 +389,22 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 			partCells++
 		}
 	}
+	suffixes := []string{""}
+	if isIngest {
+		suffixes = []string{"/r1", "/r2"}
+	}
 	for _, s := range schemes {
 		for q := 1; q <= 22; q++ {
-			key := fmt.Sprintf("%s/Q%02d", s, q)
-			if !seen[key] {
-				return fmt.Errorf("grid cell %s missing — a scheme or query failed to run", key)
+			for _, suf := range suffixes {
+				key := fmt.Sprintf("%s/Q%02d%s", s, q, suf)
+				if !seen[key] {
+					return fmt.Errorf("grid cell %s missing — a scheme, query or ingest round failed to run", key)
+				}
 			}
 		}
 	}
-	if len(seen) != len(schemes)*22 {
-		return fmt.Errorf("grid has %d cells, want %d", len(seen), len(schemes)*22)
+	if len(seen) != len(schemes)*22*len(suffixes) {
+		return fmt.Errorf("grid has %d cells, want %d", len(seen), len(schemes)*22*len(suffixes))
 	}
 	if int(shards) >= 2 && netCells == 0 {
 		return fmt.Errorf("sharded grid (shards=%d) records no transport activity on any BDCC cell", int(shards))
@@ -358,9 +434,86 @@ func check(path string, shardsExpected, remotesExpected int, balanceExpected str
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s partition=%v, %d cells, %d with transport activity, %d partitioned, %d downs, %d readmits, %d concurrency records, %d compression records\n",
-		sf, int(workers), int(shards), int(remotes), balance, partition, len(seen), netCells, partCells, int(downsTotal), int(readmitsTotal), concCells, compRecords)
+	compressed, _ := top["compressed"].(bool)
+	ingRecords, err := checkIngest(top, ingestExpected, isIngest, compressed, ingestBy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: sf=%g workers=%d shards=%d remotes=%d balance=%s partition=%v, %d cells, %d with transport activity, %d partitioned, %d downs, %d readmits, %d concurrency records, %d compression records, %d ingest records\n",
+		sf, int(workers), int(shards), int(remotes), balance, partition, len(seen), netCells, partCells, int(downsTotal), int(readmitsTotal), concCells, compRecords, ingRecords)
 	return nil
+}
+
+// checkIngest validates the ingest section of the grid against the per-cell
+// round evidence. With expected == 1 the section must prove the mixed
+// workload really happened: per scheme, rows were appended, at least one
+// consolidation committed and folded rows into the base, at least one
+// round-1 cell saw un-merged delta, and — when the grid ran compressed — the
+// round-2 mb_read sum fell below round 1's (the merge re-compressed the
+// consolidated layout, repaying the uncompressed delta views' freshness
+// tax). With -1 a present section is still structurally validated.
+func checkIngest(top map[string]any, expected int, isIngest, compressed bool, by map[string]*schemeIngest) (int, error) {
+	rawIng, present := top["ingest"]
+	if !present {
+		if isIngest {
+			return 0, fmt.Errorf("grid ran ingesting but has no ingest section (schema regression)")
+		}
+		return 0, nil
+	}
+	if !isIngest {
+		return 0, fmt.Errorf("grid carries an ingest section but ingest_rate is 0 or missing")
+	}
+	arr, ok := rawIng.([]any)
+	if !ok || len(arr) == 0 {
+		return 0, fmt.Errorf("grid ingest section is not a non-empty array: %v", rawIng)
+	}
+	seen := make(map[string]map[string]float64)
+	for i, ra := range arr {
+		rec, ok := ra.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("ingest[%d] is not an object", i)
+		}
+		scheme, _ := rec["scheme"].(string)
+		if _, dup := seen[scheme]; dup {
+			return 0, fmt.Errorf("duplicate ingest record for scheme %q", scheme)
+		}
+		num := make(map[string]float64)
+		for _, f := range []string{"appended_rows", "merges", "merged_rows", "max_drift"} {
+			v, ok := rec[f]
+			if !ok {
+				return 0, fmt.Errorf("ingest[%s] lacks required field %q (schema regression)", scheme, f)
+			}
+			n, ok := v.(float64)
+			if !ok || n < 0 {
+				return 0, fmt.Errorf("ingest[%s]: field %q = %v is not a non-negative number", scheme, f, v)
+			}
+			num[f] = n
+		}
+		seen[scheme] = num
+	}
+	for _, s := range schemes {
+		num, ok := seen[s]
+		if !ok {
+			return 0, fmt.Errorf("ingest section lacks scheme %s", s)
+		}
+		if expected != 1 {
+			continue
+		}
+		if num["appended_rows"] < 1 {
+			return 0, fmt.Errorf("ingest[%s] appended no rows — the write side of the mixed workload did not run", s)
+		}
+		if num["merges"] < 1 || num["merged_rows"] < 1 {
+			return 0, fmt.Errorf("ingest[%s] committed %d merges of %d rows — no consolidation happened", s, int(num["merges"]), int(num["merged_rows"]))
+		}
+		ev := by[s]
+		if ev == nil || ev.r1Delta < 1 {
+			return 0, fmt.Errorf("no round-1 cell of %s saw un-merged delta rows — the grid never measured a fresh snapshot", s)
+		}
+		if compressed && ev.r2MB >= ev.r1MB {
+			return 0, fmt.Errorf("%s round-2 mb_read %.3f not below round-1 %.3f — the merge did not repay the uncompressed delta views", s, ev.r2MB, ev.r1MB)
+		}
+	}
+	return len(arr), nil
 }
 
 // loadBaselineMB reads the single-box grid named by the -partition-baseline

@@ -54,6 +54,17 @@
 // byte-identical. The per-scheme outcome prints with -v and lands in the
 // JSON grid's "compression" section.
 //
+// The -ingest-rate knob turns the grid into a mixed read/write workload:
+// that many orders (with their lineitems) are appended before each round-1
+// query, so every measurement reads a snapshot with in-flight delta; a merge
+// then consolidates (re-clustering the delta into BDCC cells and
+// re-compressing) and round 2 re-measures the 22 queries over the merged
+// base. -ingest-limit bounds the per-table delta (reaching it starts a
+// background merge mid-round) and -ingest-drift triggers merges off the
+// drift detector instead. The JSON grid tags every run with round /
+// delta_rows / epoch and adds an "ingest" section with the per-scheme
+// append/merge counters (docs/INGEST.md).
+//
 // The -clients knob adds the concurrency leg to the grid: N closed-loop
 // clients each issue the 22 queries -rounds times per scheme through a
 // bdccd daemon — the one named by -daemon (authenticating with
@@ -95,6 +106,9 @@ func main() {
 	pools := flag.Int("pools", 2, "scheduler pools of the in-process loopback daemon")
 	authToken := flag.String("auth-token", "", "shared secret for the daemon sessions of the concurrency leg")
 	compress := flag.Bool("compress", true, "chunk-compress stored columns (RLE/dict/FOR) before materializing schemes")
+	ingestRate := flag.Int("ingest-rate", 0, "mixed workload: orders appended before each query of round 1 (0 = read-only grid)")
+	ingestLimit := flag.Int("ingest-limit", 0, "per-table delta rows that trigger a background merge (0 = merge only between rounds)")
+	ingestDrift := flag.Float64("ingest-drift", 0, "drift distance that triggers a background merge (0 disables the trigger)")
 	explain := flag.Bool("explain", false, "print per-query planner decisions under BDCC")
 	orderings := flag.Bool("orderings", false, "also run the Z-order vs major-minor self-comparison")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "write the measurement grid as JSON to this path (empty disables)")
@@ -132,16 +146,31 @@ func main() {
 	b.AuthToken = *workerToken
 	b.ProbeBase = *probeBase
 	b.ProbeMax = *probeMax
-	rep, err := b.RunAll()
+	var rep *tpch.Report
+	if *ingestRate > 0 {
+		// The mixed read/write grid: every query of round 1 runs over a
+		// snapshot with freshly appended delta, then a merge consolidates and
+		// round 2 re-measures the re-clustered base (see docs/INGEST.md).
+		fmt.Printf("ingest grid: %d orders before each round-1 query (limit %d, drift %g)\n",
+			*ingestRate, *ingestLimit, *ingestDrift)
+		rep, err = b.RunAllIngest(*ingestRate, *ingestLimit, *ingestDrift)
+	} else {
+		rep, err = b.RunAll()
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println()
-	rep.WriteFig2(os.Stdout)
-	fmt.Println()
-	rep.WriteFig3(os.Stdout)
-	fmt.Println()
-	rep.WriteIO(os.Stdout)
+	if *ingestRate > 0 {
+		fmt.Println()
+		rep.WriteIngest(os.Stdout)
+	} else {
+		fmt.Println()
+		rep.WriteFig2(os.Stdout)
+		fmt.Println()
+		rep.WriteFig3(os.Stdout)
+		fmt.Println()
+		rep.WriteIO(os.Stdout)
+	}
 	if *verbose {
 		fmt.Println()
 		rep.WriteSched(os.Stdout)

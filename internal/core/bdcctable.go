@@ -69,6 +69,10 @@ type BDCCTable struct {
 	Stats []*GroupStats
 	// RelocatedRows counts tuples copied into the relocation area.
 	RelocatedRows int64
+	// SortedKeys are the _bdcc_ keys (at FullBits granularity) of the logical
+	// rows in table order, retained so incremental merges can splice new rows
+	// into the clustering by binary merge instead of a full re-sort.
+	SortedKeys []uint64
 	// baseRows is the row count of the original table (before relocation).
 	baseRows int64
 }
@@ -183,12 +187,13 @@ func BuildBDCCTable(name string, data *storage.Table, uses []UseBinding, opt Bui
 	}
 	truncated := TruncateMasks(fullMasks, fullBits, b)
 	t := &BDCCTable{
-		Name:     name,
-		Data:     sorted,
-		Bits:     b,
-		FullBits: fullBits,
-		Stats:    stats,
-		baseRows: int64(n),
+		Name:       name,
+		Data:       sorted,
+		Bits:       b,
+		FullBits:   fullBits,
+		Stats:      stats,
+		SortedKeys: sortedKeys,
+		baseRows:   int64(n),
 	}
 	for i, u := range uses {
 		t.Uses = append(t.Uses, &DimensionUse{

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bdcc/internal/storage"
+)
+
+// mergeFixture builds a base table clustered on a single local dimension whose
+// bins were cut over the base data only, plus an un-clustered delta whose keys
+// partly fall outside the observed domain (BinOf clamps those to the nearest
+// bin, the production drift case). Payloads number rows globally so any lost,
+// duplicated or misplaced row is visible.
+func mergeFixture(t testing.TB, nBase, nDelta int, seed int64) (*Dimension, *storage.Table, *storage.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n, off int, outOfRange bool) *storage.Table {
+		k := make([]int64, n)
+		pay := make([]int64, n)
+		for i := range k {
+			k[i] = rng.Int63n(256)
+			if outOfRange && rng.Intn(4) == 0 {
+				k[i] = 300 + rng.Int63n(50)
+			}
+			pay[i] = int64(off + i)
+		}
+		return storage.MustNewTable("t", 4<<10,
+			storage.NewInt64Column("k", k), storage.NewInt64Column("payload", pay))
+	}
+	baseTab := mk(nBase, 0, false)
+	deltaTab := mk(nDelta, nBase, true)
+	obs := make([]WeightedKey, nBase)
+	for i, v := range baseTab.MustColumn("k").I64 {
+		obs[i] = WeightedKey{Val: IntKey(v), Weight: 1}
+	}
+	dim, err := CreateDimension("d_k", "t", []string{"k"}, obs, 6)
+	if err != nil {
+		t.Fatalf("CreateDimension: %v", err)
+	}
+	return dim, baseTab, deltaTab
+}
+
+func binsOf(dim *Dimension, tab *storage.Table, from int) []uint64 {
+	keys := tab.MustColumn("k").I64[from:]
+	bins := make([]uint64, len(keys))
+	for i, v := range keys {
+		bins[i] = dim.BinOf(IntKey(v))
+	}
+	return bins
+}
+
+func sliceRows(t testing.TB, tab *storage.Table, lo, hi int) *storage.Table {
+	t.Helper()
+	cols := make([]*storage.Column, len(tab.Cols))
+	for i, c := range tab.Cols {
+		cols[i] = storage.NewInt64Column(c.Name, append([]int64(nil), c.I64[lo:hi]...))
+	}
+	return storage.MustNewTable(tab.Name, tab.PageSize, cols...)
+}
+
+func sameBDCCTable(t *testing.T, got, want *BDCCTable) {
+	t.Helper()
+	if got.Bits != want.Bits || got.FullBits != want.FullBits {
+		t.Fatalf("granularity %d/%d, want %d/%d", got.Bits, got.FullBits, want.Bits, want.FullBits)
+	}
+	if got.Rows() != want.Rows() || got.RelocatedRows != want.RelocatedRows {
+		t.Fatalf("rows %d+%d relocated, want %d+%d", got.Rows(), got.RelocatedRows, want.Rows(), want.RelocatedRows)
+	}
+	if len(got.SortedKeys) != len(want.SortedKeys) {
+		t.Fatalf("%d sorted keys, want %d", len(got.SortedKeys), len(want.SortedKeys))
+	}
+	for i := range want.SortedKeys {
+		if got.SortedKeys[i] != want.SortedKeys[i] {
+			t.Fatalf("sorted key %d = %#x, want %#x", i, got.SortedKeys[i], want.SortedKeys[i])
+		}
+	}
+	if len(got.Count) != len(want.Count) {
+		t.Fatalf("%d count entries, want %d", len(got.Count), len(want.Count))
+	}
+	for i, w := range want.Count {
+		if got.Count[i] != w {
+			t.Fatalf("count entry %d = %+v, want %+v", i, got.Count[i], w)
+		}
+	}
+	if got.Data.Rows() != want.Data.Rows() {
+		t.Fatalf("data rows %d, want %d", got.Data.Rows(), want.Data.Rows())
+	}
+	for _, name := range []string{"k", "payload"} {
+		g, w := got.Data.MustColumn(name).I64, want.Data.MustColumn(name).I64
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s[%d] = %d, want %d", name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestMergeMatchesFrozenRebuild pins the incremental path against the
+// independent reference: splicing delta batches into the retained clustering
+// (binary merge + count arithmetic) must produce, bit for bit, the same table
+// as re-running Algorithm 1 from scratch over base-then-delta insertion order
+// with the design frozen (same dimension, same granularity). Covered with
+// relocation on (fresh decisions over the merged table) and off, and with the
+// delta split across multiple merge calls.
+func TestMergeMatchesFrozenRebuild(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		opt     BuildOptions
+		batches int
+	}{
+		{"one-batch-relocation", BuildOptions{}, 1},
+		{"three-batches", BuildOptions{DisableRelocation: true}, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nBase, nDelta := 6000, 900
+			dim, baseTab, deltaTab := mergeFixture(t, nBase, nDelta, 7)
+			base, err := BuildBDCCTable("t", baseTab,
+				[]UseBinding{{Dim: dim, BinNos: binsOf(dim, baseTab, 0)}}, tc.opt)
+			if err != nil {
+				t.Fatalf("build base: %v", err)
+			}
+			cur := base
+			for b := 0; b < tc.batches; b++ {
+				lo, hi := b*nDelta/tc.batches, (b+1)*nDelta/tc.batches
+				batch := sliceRows(t, deltaTab, lo, hi)
+				cur, err = MergeBDCCTable(cur, batch,
+					[]UseBinding{{Dim: dim, Path: nil, BinNos: binsOf(dim, batch, 0)}}, tc.opt)
+				if err != nil {
+					t.Fatalf("merge batch %d: %v", b, err)
+				}
+				if err := cur.Validate(); err != nil {
+					t.Fatalf("after batch %d: %v", b, err)
+				}
+			}
+			concat, err := storage.Concat(baseTab, baseTab.Rows(), deltaTab)
+			if err != nil {
+				t.Fatalf("concat: %v", err)
+			}
+			refOpt := tc.opt
+			refOpt.ForceBits = base.Bits
+			ref, err := BuildBDCCTable("t", concat,
+				[]UseBinding{{Dim: dim, BinNos: binsOf(dim, concat, 0)}}, refOpt)
+			if err != nil {
+				t.Fatalf("frozen rebuild: %v", err)
+			}
+			sameBDCCTable(t, cur, ref)
+		})
+	}
+}
+
+// TestRebinDeterminismUnderArrivalOrder checks the property that makes
+// incremental maintenance sound: a row's cell is a pure function of the row,
+// so the same delta rows produce the same cells — identical sorted keys and
+// count table, and identical per-cell row multisets — no matter the order
+// they arrive in.
+func TestRebinDeterminismUnderArrivalOrder(t *testing.T) {
+	nBase, nDelta := 4000, 600
+	dim, baseTab, deltaTab := mergeFixture(t, nBase, nDelta, 21)
+	build := func() *BDCCTable {
+		base, err := BuildBDCCTable("t", baseTab,
+			[]UseBinding{{Dim: dim, BinNos: binsOf(dim, baseTab, 0)}}, BuildOptions{DisableRelocation: true})
+		if err != nil {
+			t.Fatalf("build base: %v", err)
+		}
+		return base
+	}
+	merge := func(base *BDCCTable, delta *storage.Table) *BDCCTable {
+		out, err := MergeBDCCTable(base, delta,
+			[]UseBinding{{Dim: dim, BinNos: binsOf(dim, delta, 0)}}, BuildOptions{DisableRelocation: true})
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		return out
+	}
+	inOrder := merge(build(), deltaTab)
+	shuffle := make([]int32, nDelta)
+	for i := range shuffle {
+		shuffle[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(nDelta, func(i, j int) { shuffle[i], shuffle[j] = shuffle[j], shuffle[i] })
+	shuffled, err := deltaTab.Permute(shuffle)
+	if err != nil {
+		t.Fatalf("shuffle: %v", err)
+	}
+	// Half the shuffled rows in one batch, half in a second.
+	reordered := merge(merge(build(), sliceRows(t, shuffled, 0, nDelta/2)), sliceRows(t, shuffled, nDelta/2, nDelta))
+
+	for i := range inOrder.SortedKeys {
+		if inOrder.SortedKeys[i] != reordered.SortedKeys[i] {
+			t.Fatalf("sorted key %d differs under arrival order: %#x vs %#x",
+				i, inOrder.SortedKeys[i], reordered.SortedKeys[i])
+		}
+	}
+	if len(inOrder.Count) != len(reordered.Count) {
+		t.Fatalf("%d vs %d count entries under arrival order", len(inOrder.Count), len(reordered.Count))
+	}
+	payA := inOrder.Data.MustColumn("payload").I64
+	payB := reordered.Data.MustColumn("payload").I64
+	for i, e := range inOrder.Count {
+		if reordered.Count[i] != e {
+			t.Fatalf("count entry %d: %+v vs %+v under arrival order", i, e, reordered.Count[i])
+		}
+		cell := map[int64]int{}
+		for r := e.Offset; r < e.Offset+e.Count; r++ {
+			cell[payA[r]]++
+			cell[payB[r]]--
+		}
+		for p, c := range cell {
+			if c != 0 {
+				t.Fatalf("cell %#x: row payload %d off by %d under arrival order", e.Key, p, c)
+			}
+		}
+	}
+}
+
+// TestMergeCountTableConsistency brute-force recounts every cell after
+// batched merges: entries must match the key population at the count-table
+// granularity, and the merged key order must be nondecreasing.
+func TestMergeCountTableConsistency(t *testing.T) {
+	dim, baseTab, deltaTab := mergeFixture(t, 5000, 750, 11)
+	base, err := BuildBDCCTable("t", baseTab,
+		[]UseBinding{{Dim: dim, BinNos: binsOf(dim, baseTab, 0)}}, BuildOptions{})
+	if err != nil {
+		t.Fatalf("build base: %v", err)
+	}
+	cur := base
+	for b := 0; b < 5; b++ {
+		lo, hi := b*150, (b+1)*150
+		batch := sliceRows(t, deltaTab, lo, hi)
+		cur, err = MergeBDCCTable(cur, batch,
+			[]UseBinding{{Dim: dim, BinNos: binsOf(dim, batch, 0)}}, BuildOptions{})
+		if err != nil {
+			t.Fatalf("merge batch %d: %v", b, err)
+		}
+	}
+	if err := cur.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	shift := uint(cur.FullBits - cur.Bits)
+	want := map[uint64]int64{}
+	for i, k := range cur.SortedKeys {
+		if i > 0 && k < cur.SortedKeys[i-1] {
+			t.Fatalf("merged keys decrease at %d", i)
+		}
+		want[k>>shift]++
+	}
+	if len(want) != len(cur.Count) {
+		t.Fatalf("%d populated cells, %d count entries", len(want), len(cur.Count))
+	}
+	for _, e := range cur.Count {
+		if want[e.Key] != e.Count {
+			t.Fatalf("cell %#x counts %d, population is %d", e.Key, e.Count, want[e.Key])
+		}
+	}
+}
+
+// TestDriftStats checks the two detector signals: a delta drawn from the base
+// distribution reads as low distance, while arrivals clamping past the
+// observed domain concentrate in the last cells and read as drifted.
+func TestDriftStats(t *testing.T) {
+	dim, baseTab, _ := mergeFixture(t, 6000, 0, 31)
+	base, err := BuildBDCCTable("t", baseTab,
+		[]UseBinding{{Dim: dim, BinNos: binsOf(dim, baseTab, 0)}}, BuildOptions{DisableRelocation: true})
+	if err != nil {
+		t.Fatalf("build base: %v", err)
+	}
+	keysFor := func(vals []int64) []uint64 {
+		tab := storage.MustNewTable("t", 4<<10,
+			storage.NewInt64Column("k", vals), storage.NewInt64Column("payload", make([]int64, len(vals))))
+		keys, err := DeltaKeys(base, []UseBinding{{Dim: dim, BinNos: binsOf(dim, tab, 0)}})
+		if err != nil {
+			t.Fatalf("DeltaKeys: %v", err)
+		}
+		return keys
+	}
+	rng := rand.New(rand.NewSource(32))
+	uniform := make([]int64, 1000)
+	for i := range uniform {
+		uniform[i] = rng.Int63n(256)
+	}
+	low := DriftStats(base, keysFor(uniform))
+	if low.DeltaRows != 1000 || low.Drifted(0.3) {
+		t.Fatalf("in-distribution delta reads as drifted: %v", low)
+	}
+	beyond := make([]int64, 1000)
+	for i := range beyond {
+		beyond[i] = 10_000 + rng.Int63n(5)
+	}
+	high := DriftStats(base, keysFor(beyond))
+	if !high.Drifted(0.3) || high.HotCellFrac < 0.9 {
+		t.Fatalf("out-of-domain delta not detected: %v", high)
+	}
+	if high.Distance <= low.Distance {
+		t.Fatalf("distance ordering: drifted %.3f <= uniform %.3f", high.Distance, low.Distance)
+	}
+	if math.IsNaN(high.Distance) || high.Distance > 1 {
+		t.Fatalf("distance out of range: %v", high.Distance)
+	}
+	if none := DriftStats(base, nil); none.Drifted(0) || none.Distance != 0 {
+		t.Fatalf("empty delta reports drift: %v", none)
+	}
+}

@@ -51,6 +51,12 @@ type DB struct {
 	Clustered *core.Database
 	// Device is the modeled storage device.
 	Device iosim.Device
+	// ing is the ingest state once EnableIngest was called; the fields above
+	// then stay the immutable loaded base forever and queries read versioned
+	// views via Snapshot.
+	ing *Ingest
+	// snap marks a pinned snapshot copy and carries its version metadata.
+	snap *snapState
 }
 
 // NewPlainDB wraps insertion-order tables as the plain scheme.

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bdcc/internal/vector"
+)
+
+// deltaFixture builds a small mixed-kind table of n rows.
+func deltaFixture(t testing.TB, name string, n int, seed int64) *Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	id := &Column{Name: "id", Kind: vector.Int64}
+	price := &Column{Name: "price", Kind: vector.Float64}
+	note := &Column{Name: "note", Kind: vector.String}
+	for i := 0; i < n; i++ {
+		id.I64 = append(id.I64, rng.Int63n(1<<40)-(1<<39))
+		price.F64 = append(price.F64, math.Floor(rng.Float64()*1e6)/100)
+		note.Str = append(note.Str, strings.Repeat("x", rng.Intn(12))+fmt.Sprint(rng.Intn(1000)))
+	}
+	tab, err := NewTable(name, 4<<10, id, price, note)
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return tab
+}
+
+func sameRows(t *testing.T, got, want *Table) {
+	t.Helper()
+	if got.Rows() != want.Rows() {
+		t.Fatalf("%d rows, want %d", got.Rows(), want.Rows())
+	}
+	for i, wc := range want.Cols {
+		gc := got.Cols[i]
+		if gc.Name != wc.Name || gc.Kind != wc.Kind {
+			t.Fatalf("column %d is %s %s, want %s %s", i, gc.Kind, gc.Name, wc.Kind, wc.Name)
+		}
+		for r := 0; r < want.Rows(); r++ {
+			switch wc.Kind {
+			case vector.Int64:
+				if gc.I64[r] != wc.I64[r] {
+					t.Fatalf("%s[%d] = %d, want %d", wc.Name, r, gc.I64[r], wc.I64[r])
+				}
+			case vector.Float64:
+				if math.Float64bits(gc.F64[r]) != math.Float64bits(wc.F64[r]) {
+					t.Fatalf("%s[%d] = %v, want %v", wc.Name, r, gc.F64[r], wc.F64[r])
+				}
+			case vector.String:
+				if gc.Str[r] != wc.Str[r] {
+					t.Fatalf("%s[%d] = %q, want %q", wc.Name, r, gc.Str[r], wc.Str[r])
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSegmentRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 7, 513} {
+		src := deltaFixture(t, "rt", n, int64(n))
+		seg, err := EncodeDeltaSegment(src)
+		if err != nil {
+			t.Fatalf("encode %d rows: %v", n, err)
+		}
+		d := NewDelta(src)
+		got, err := DecodeDeltaSegment(seg, d.cols, d.kinds, src.PageSize, src.Name)
+		if err != nil {
+			t.Fatalf("decode %d rows: %v", n, err)
+		}
+		sameRows(t, got, src)
+	}
+}
+
+// TestDeltaSegmentCorruption flips every byte position in a small segment and
+// truncates it at every length: the decoder must reject each damaged input
+// with an error and never panic or return rows.
+func TestDeltaSegmentCorruption(t *testing.T) {
+	src := deltaFixture(t, "corrupt", 9, 42)
+	seg, err := EncodeDeltaSegment(src)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	d := NewDelta(src)
+	decode := func(b []byte) (*Table, error) {
+		return DecodeDeltaSegment(b, d.cols, d.kinds, src.PageSize, src.Name)
+	}
+	for i := range seg {
+		for _, bit := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), seg...)
+			mut[i] ^= bit
+			if tab, err := decode(mut); err == nil {
+				// An undetected flip would have to collide CRC-32; at this
+				// segment size that would be a codec bug, not bad luck.
+				t.Fatalf("byte %d ^ %#x decoded %d rows without error", i, bit, tab.Rows())
+			}
+		}
+	}
+	for n := 0; n < len(seg); n++ {
+		if tab, err := decode(seg[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded %d rows without error", n, tab.Rows())
+		}
+	}
+}
+
+// FuzzDecodeDeltaSegment mirrors the wire-codec corruption fuzz for the delta
+// format: arbitrary bytes must either decode cleanly or error, never panic.
+func FuzzDecodeDeltaSegment(f *testing.F) {
+	src := deltaFixture(f, "fuzz", 5, 7)
+	seg, _ := EncodeDeltaSegment(src)
+	f.Add(seg)
+	f.Add(seg[:len(seg)-3])
+	f.Add([]byte("BDL1"))
+	f.Add([]byte{})
+	d := NewDelta(src)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := DecodeDeltaSegment(data, d.cols, d.kinds, src.PageSize, src.Name)
+		if err == nil && tab == nil {
+			t.Fatal("nil table without error")
+		}
+	})
+}
+
+func TestDeltaStore(t *testing.T) {
+	base := deltaFixture(t, "d", 4, 1)
+	d := NewDelta(base)
+	b1 := deltaFixture(t, "d", 3, 2)
+	b2 := deltaFixture(t, "d", 5, 3)
+	if n, err := d.Append(b1); err != nil || n != 3 {
+		t.Fatalf("append 1: n=%d err=%v", n, err)
+	}
+	if n, err := d.Append(b2); err != nil || n != 8 {
+		t.Fatalf("append 2: n=%d err=%v", n, err)
+	}
+	if d.Rows() != 8 || d.AppendedRows() != 8 {
+		t.Fatalf("rows=%d appended=%d, want 8/8", d.Rows(), d.AppendedRows())
+	}
+
+	// Prefix at each segment boundary sees exactly the batches appended so far.
+	p0, err := d.Prefix(0)
+	if err != nil || p0.Rows() != 0 {
+		t.Fatalf("prefix 0: rows=%v err=%v", p0, err)
+	}
+	p3, err := d.Prefix(3)
+	if err != nil {
+		t.Fatalf("prefix 3: %v", err)
+	}
+	sameRows(t, p3, b1)
+	p8, err := d.Prefix(8)
+	if err != nil {
+		t.Fatalf("prefix 8: %v", err)
+	}
+	want, err := Concat(b1, b1.Rows(), b2)
+	if err != nil {
+		t.Fatalf("concat: %v", err)
+	}
+	sameRows(t, p8, want)
+
+	// Mid-segment prefixes and overruns are rejected.
+	if _, err := d.Prefix(4); err == nil {
+		t.Fatal("mid-segment prefix succeeded")
+	}
+	if _, err := d.Prefix(9); err == nil {
+		t.Fatal("oversized prefix succeeded")
+	}
+
+	// Truncation drops merged batches and keeps the tail readable.
+	if err := d.TruncatePrefix(4); err == nil {
+		t.Fatal("mid-segment truncate succeeded")
+	}
+	if err := d.TruncatePrefix(3); err != nil {
+		t.Fatalf("truncate 3: %v", err)
+	}
+	if d.Rows() != 5 || d.AppendedRows() != 8 {
+		t.Fatalf("after truncate: rows=%d appended=%d, want 5/8", d.Rows(), d.AppendedRows())
+	}
+	tail, err := d.Prefix(5)
+	if err != nil {
+		t.Fatalf("prefix after truncate: %v", err)
+	}
+	sameRows(t, tail, b2)
+
+	// Schema mismatches and empty batches are rejected.
+	bad := MustNewTable("d", 4<<10, &Column{Name: "id", Kind: vector.Int64, I64: []int64{1}})
+	if _, err := d.Append(bad); err == nil {
+		t.Fatal("schema-mismatched append succeeded")
+	}
+	empty := MustNewTable("d", 4<<10,
+		&Column{Name: "id", Kind: vector.Int64},
+		&Column{Name: "price", Kind: vector.Float64},
+		&Column{Name: "note", Kind: vector.String})
+	if _, err := d.Append(empty); err == nil {
+		t.Fatal("empty append succeeded")
+	}
+}
+
+func TestConcatMatchesCompressedBase(t *testing.T) {
+	base := deltaFixture(t, "c", 200, 11)
+	raw := deltaFixture(t, "c", 200, 11)
+	base.Compress()
+	tail := deltaFixture(t, "c", 30, 12)
+	got, err := Concat(base, base.Rows(), tail)
+	if err != nil {
+		t.Fatalf("concat: %v", err)
+	}
+	if got.Compressed() {
+		t.Fatal("concat result is compressed")
+	}
+	want, err := Concat(raw, raw.Rows(), tail)
+	if err != nil {
+		t.Fatalf("concat raw: %v", err)
+	}
+	sameRows(t, got, want)
+}

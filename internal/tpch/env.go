@@ -133,8 +133,12 @@ func NewEnvShards(db *plan.DB, workers, shards int) *Env {
 }
 
 // NewEnvOpts returns an environment with the full knob set applied — the
-// one place every front end's knob wiring goes through (engine.Options).
+// one place every front end's knob wiring goes through (engine.Options). The
+// database is pinned here: one snapshot serves the whole query, including
+// every scalar-subquery and one-shot-view sub-plan, so a query never mixes
+// ingest versions. Read-only databases pass through unchanged.
 func NewEnvOpts(db *plan.DB, opt RunOptions) *Env {
+	db = db.Snapshot()
 	return &Env{DB: db, Ctx: opt.NewContext(db.Device)}
 }
 
@@ -249,6 +253,11 @@ type Stats struct {
 	// fallback because no remote backend survived them (graceful
 	// degradation); reported as local_fallback_units in the JSON grid.
 	LocalFallbackUnits int64
+	// Epoch is the ingest version the query's snapshot pinned (0 for a
+	// read-only or never-appended database) and DeltaRows the un-merged rows
+	// visible at that version — the freshness the run paid its mb_read for.
+	Epoch     int64
+	DeltaRows int64
 	// WorkerIO is the per-worker device activity of a partitioned run: the
 	// modeled reads each worker's shipped scan units performed against its
 	// local partition (reported back in unit done frames); nil unless the
@@ -293,6 +302,7 @@ func RunQueryShards(db *plan.DB, q QueryDef, workers, shards int) (*engine.Resul
 // including runs where a worker dies mid-query and its units fail over.
 func RunQueryOpts(db *plan.DB, q QueryDef, opt RunOptions) (*engine.Result, *Stats, []string, error) {
 	env := NewEnvOpts(db, opt)
+	db = env.DB // the pinned snapshot
 	defer env.Close()
 	start := time.Now()
 	node, err := q.Build(env)
@@ -314,6 +324,8 @@ func RunQueryOpts(db *plan.DB, q QueryDef, opt RunOptions) (*engine.Result, *Sta
 		Health:             env.Ctx.HealthStats(),
 		LocalFallbackUnits: env.Ctx.LocalFallbackUnits(),
 		WorkerIO:           env.Ctx.WorkerIOStats(),
+		Epoch:              db.Epoch(),
+		DeltaRows:          db.PendingDeltaRows(),
 	}
 	st.Cold = st.IO.ColdTime(wall)
 	if s := env.Ctx.Scheduler(); s != nil {

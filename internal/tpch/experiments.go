@@ -11,10 +11,13 @@ import (
 	"bdcc/internal/storage"
 )
 
-// QueryRun is one (query, scheme) measurement.
+// QueryRun is one (query, scheme) measurement. Round is 0 on a read-only
+// grid; an ingest grid runs every query twice — round 1 interleaved with
+// appends (delta visible), round 2 after the merge consolidated it.
 type QueryRun struct {
 	Query  string
 	Scheme plan.Scheme
+	Round  int
 	Stats  *Stats
 }
 
@@ -42,6 +45,23 @@ type Report struct {
 	// through bdccd, one record per scheme); nil when the grid ran without
 	// a daemon. Populated by tpchbench -clients.
 	Concurrency []ConcurrencyStats
+	// IngestRate and IngestLimit are the mixed-workload knobs of an ingest
+	// grid (RunAllIngest): orders appended before each round-1 query and the
+	// per-table delta bound that triggers background merges. Ingest holds the
+	// per-scheme outcome; all empty/zero on a read-only grid.
+	IngestRate  int
+	IngestLimit int
+	Ingest      map[plan.Scheme]IngestRecord
+}
+
+// IngestRecord is one scheme's ingest outcome over the grid: lifetime
+// appended rows, committed consolidations, and the peak drift distance the
+// un-merged delta reached before the final merge absorbed it.
+type IngestRecord struct {
+	AppendedRows int64
+	Merges       int64
+	MergedRows   int64
+	MaxDrift     float64
 }
 
 // CompRecord is one scheme's compression outcome: the storage-side chunk
@@ -92,6 +112,105 @@ func (b *Benchmark) RunAll() (*Report, error) {
 			rep.Explain[fmt.Sprintf("%s/%s", scheme, q.Name)] = explain
 			comp.WireSaved += st.Net.Saved
 		}
+		rep.Comp[scheme] = comp
+	}
+	return rep, nil
+}
+
+// RunAllIngest executes the mixed read/write grid: every scheme ingests the
+// same pre-generated arrival stream — rate orders (plus their lineitems)
+// appended before each round-1 query, so each measurement reads a snapshot
+// with in-flight delta — then consolidates and runs all queries again
+// post-merge. Round-1 runs carry the freshness tax (uncompressed delta views,
+// delta_rows > 0); round-2 runs must be back at base-layout cost with
+// delta_rows 0. Compression stats are taken post-merge, where the
+// re-clustered chunks have been re-encoded.
+func (b *Benchmark) RunAllIngest(rate, limit int, driftThreshold float64) (*Report, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("tpch: ingest grid needs a positive rate, got %d", rate)
+	}
+	if err := b.EnableIngest(limit, driftThreshold); err != nil {
+		return nil, err
+	}
+	gen := NewDeltaGen(b.Data, 424242)
+	batches := make([]*DeltaBatch, len(Queries))
+	for i := range batches {
+		batches[i] = gen.Next(rate)
+	}
+	shards := b.Shards
+	if len(b.Remotes) > 0 {
+		shards = len(b.Remotes)
+	}
+	rep := &Report{
+		SF:        b.SF,
+		Workers:   b.Workers,
+		Shards:    shards,
+		Remotes:   b.Remotes,
+		Balance:   b.Balance,
+		Partition: b.Partition,
+		Runs:      make(map[plan.Scheme][]QueryRun),
+		Explain:   make(map[string][]string),
+
+		Compressed:  b.Compressed,
+		Comp:        make(map[plan.Scheme]CompRecord),
+		IngestRate:  rate,
+		IngestLimit: limit,
+		Ingest:      make(map[plan.Scheme]IngestRecord),
+	}
+	if rep.Balance == "" {
+		rep.Balance = "hash"
+	}
+	opt := b.RunOptions
+	for _, scheme := range []plan.Scheme{plan.Plain, plan.PK, plan.BDCC} {
+		db, ok := b.DBs[scheme]
+		if !ok {
+			continue
+		}
+		rep.Schemes = append(rep.Schemes, scheme)
+		ing := db.Ingest()
+		comp := CompRecord{}
+		for qi, q := range Queries {
+			if err := appendTo(db, batches[qi]); err != nil {
+				return nil, fmt.Errorf("tpch: ingest before %s under %s: %w", q.Name, scheme, err)
+			}
+			_, st, explain, err := RunQueryOpts(db, q, opt)
+			if err != nil {
+				return nil, fmt.Errorf("tpch: %s under %s (round 1): %w", q.Name, scheme, err)
+			}
+			rep.Runs[scheme] = append(rep.Runs[scheme], QueryRun{Query: q.Name, Scheme: scheme, Round: 1, Stats: st})
+			rep.Explain[fmt.Sprintf("%s/%s", scheme, q.Name)] = explain
+			comp.WireSaved += st.Net.Saved
+		}
+		// The drift map clears when a merge absorbs the delta: read the peak
+		// before forcing the final consolidation.
+		rec := IngestRecord{}
+		pre := ing.Stats()
+		for _, d := range pre.Drift {
+			if d.Distance > rec.MaxDrift {
+				rec.MaxDrift = d.Distance
+			}
+		}
+		ing.Wait()
+		if err := ing.Merge(); err != nil {
+			return nil, fmt.Errorf("tpch: merge under %s: %w", scheme, err)
+		}
+		for _, q := range Queries {
+			_, st, _, err := RunQueryOpts(db, q, opt)
+			if err != nil {
+				return nil, fmt.Errorf("tpch: %s under %s (round 2): %w", q.Name, scheme, err)
+			}
+			rep.Runs[scheme] = append(rep.Runs[scheme], QueryRun{Query: q.Name, Scheme: scheme, Round: 2, Stats: st})
+			comp.WireSaved += st.Net.Saved
+		}
+		post := ing.Stats()
+		rec.AppendedRows = post.AppendedRows
+		rec.Merges = post.Merges
+		rec.MergedRows = post.MergedRows
+		if post.Err != nil {
+			return nil, fmt.Errorf("tpch: background merge under %s: %w", scheme, post.Err)
+		}
+		rep.Ingest[scheme] = rec
+		comp.CompressionStats = db.Snapshot().CompressionStats()
 		rep.Comp[scheme] = comp
 	}
 	return rep, nil
@@ -289,6 +408,33 @@ func (r *Report) WriteComp(w io.Writer) {
 	}
 }
 
+// WriteIngest renders the mixed-workload leg: per-scheme arrival totals,
+// merge counters, peak drift, and the freshness tax — round-1 (delta visible)
+// versus round-2 (post-merge) MB read over the query set.
+func (r *Report) WriteIngest(w io.Writer) {
+	if len(r.Ingest) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Ingest — mixed read/write grid (SF%g, %d orders per query, limit %d)\n",
+		r.SF, r.IngestRate, r.IngestLimit)
+	fmt.Fprintf(w, "%-6s %12s %8s %12s %10s %14s %14s\n",
+		"scheme", "appended", "merges", "merged-rows", "max-drift", "r1-MB-read", "r2-MB-read")
+	for _, s := range r.Schemes {
+		rec, ok := r.Ingest[s]
+		if !ok {
+			continue
+		}
+		var mb [3]float64
+		for _, run := range r.Runs[s] {
+			if run.Round >= 1 && run.Round <= 2 {
+				mb[run.Round] += float64(run.Stats.IO.Bytes) / (1 << 20)
+			}
+		}
+		fmt.Fprintf(w, "%-6s %12d %8d %12d %10.3f %14.1f %14.1f\n",
+			s, rec.AppendedRows, rec.Merges, rec.MergedRows, rec.MaxDrift, mb[1], mb[2])
+	}
+}
+
 // WriteConcurrency renders the daemon leg: closed-loop throughput and
 // latency quantiles per scheme, with the admission counters of each run.
 func (r *Report) WriteConcurrency(w io.Writer) {
@@ -309,14 +455,21 @@ func (r *Report) WriteConcurrency(w io.Writer) {
 // (device-ms, MB-read, peak-MB) so the perf trajectory can be diffed
 // PR-over-PR by tooling.
 type JSONQueryRun struct {
-	Scheme   string  `json:"scheme"`
-	Query    string  `json:"query"`
-	Rows     int     `json:"rows"`
-	DeviceMS float64 `json:"device_ms"`
-	MBRead   float64 `json:"mb_read"`
-	PeakMB   float64 `json:"peak_mb"`
-	ColdMS   float64 `json:"cold_ms"`
-	WallMS   float64 `json:"wall_ms"`
+	Scheme string `json:"scheme"`
+	Query  string `json:"query"`
+	// Round distinguishes the two passes of an ingest grid (1 = interleaved
+	// with appends, 2 = post-merge); omitted on read-only grids. Epoch is the
+	// ingest version the run's snapshot pinned and DeltaRows the un-merged
+	// rows visible at it — the freshness the run's mb_read paid for.
+	Round     int     `json:"round,omitempty"`
+	Epoch     int64   `json:"epoch,omitempty"`
+	DeltaRows int64   `json:"delta_rows,omitempty"`
+	Rows      int     `json:"rows"`
+	DeviceMS  float64 `json:"device_ms"`
+	MBRead    float64 `json:"mb_read"`
+	PeakMB    float64 `json:"peak_mb"`
+	ColdMS    float64 `json:"cold_ms"`
+	WallMS    float64 `json:"wall_ms"`
 	// HiddenMS is the device time hidden behind compute by asynchronous
 	// grouped-scan reads; zero in serial runs (cold = device + wall there).
 	HiddenMS    float64 `json:"hidden_ms,omitempty"`
@@ -377,6 +530,22 @@ type JSONReport struct {
 	// measurements through bdccd, one record per scheme. Absent when the
 	// grid ran without a daemon.
 	Concurrency []ConcurrencyStats `json:"concurrency,omitempty"`
+	// IngestRate/IngestLimit are the mixed-workload knobs of an ingest grid;
+	// Ingest the per-scheme outcome. Absent on read-only grids.
+	IngestRate  int          `json:"ingest_rate,omitempty"`
+	IngestLimit int          `json:"ingest_limit,omitempty"`
+	Ingest      []JSONIngest `json:"ingest,omitempty"`
+}
+
+// JSONIngest is one scheme's ingest record in the JSON grid: how many rows
+// arrived, how many consolidations committed and how many rows they folded
+// into the base, and the peak drift distance observed before the final merge.
+type JSONIngest struct {
+	Scheme       string  `json:"scheme"`
+	AppendedRows int64   `json:"appended_rows"`
+	Merges       int64   `json:"merges"`
+	MergedRows   int64   `json:"merged_rows"`
+	MaxDrift     float64 `json:"max_drift"`
 }
 
 // JSONCompression is one scheme's compression record in the JSON grid:
@@ -401,7 +570,23 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	}
 	out := JSONReport{SF: r.SF, Workers: r.Workers, Shards: r.Shards,
 		Remotes: len(r.Remotes), Balance: balance, Partition: r.Partition,
-		Concurrency: r.Concurrency, Compressed: r.Compressed}
+		Concurrency: r.Concurrency, Compressed: r.Compressed,
+		IngestRate: r.IngestRate, IngestLimit: r.IngestLimit}
+	if len(r.Ingest) > 0 {
+		for _, scheme := range r.Schemes {
+			rec, ok := r.Ingest[scheme]
+			if !ok {
+				continue
+			}
+			out.Ingest = append(out.Ingest, JSONIngest{
+				Scheme:       scheme.String(),
+				AppendedRows: rec.AppendedRows,
+				Merges:       rec.Merges,
+				MergedRows:   rec.MergedRows,
+				MaxDrift:     rec.MaxDrift,
+			})
+		}
+	}
 	if r.Compressed {
 		for _, scheme := range r.Schemes {
 			c := r.Comp[scheme]
@@ -438,6 +623,9 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			out.Queries = append(out.Queries, JSONQueryRun{
 				Scheme:             scheme.String(),
 				Query:              run.Query,
+				Round:              run.Round,
+				Epoch:              st.Epoch,
+				DeltaRows:          st.DeltaRows,
 				Rows:               st.Rows,
 				DeviceMS:           float64(st.IO.Time.Microseconds()) / 1000,
 				MBRead:             float64(st.IO.Bytes) / (1 << 20),
